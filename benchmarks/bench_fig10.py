@@ -1,0 +1,52 @@
+"""Figure 10: ANTT improvement over non-preemptive FCFS for LUD paired
+with every other benchmark.
+
+Paper averages: switch 20.9x, drain 19.3x, flush 23.6x, Chimera 25.4x,
+with outliers past 100x for the long-kernel partners (HW, KM, LC, MUM,
+SAD). Chimera is the best (or tied-best) policy on average.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once, write_result
+from repro.core.chimera import POLICY_NAMES
+from repro.metrics.report import format_table
+
+
+def _geomean(values):
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def test_figure10_antt_improvement(benchmark, case_study):
+    results = once(benchmark, case_study.get)
+    rows = []
+    per_policy = {p: [] for p in POLICY_NAMES}
+    for name, result in results.items():
+        row = [name]
+        for policy in POLICY_NAMES:
+            improvement = result.antt_improvement(policy)
+            per_policy[policy].append(improvement)
+            row.append(f"{improvement:.1f}x")
+        rows.append(row)
+    rows.append(["geomean"] + [f"{_geomean(per_policy[p]):.1f}x"
+                               for p in POLICY_NAMES])
+    table = format_table(["workload", *POLICY_NAMES], rows,
+                         title="Figure 10. ANTT improvement over FCFS")
+    write_result("fig10", table)
+
+    geo = {p: _geomean(per_policy[p]) for p in POLICY_NAMES}
+    # Preemption helps everywhere, dramatically on average.
+    for policy in POLICY_NAMES:
+        assert geo[policy] > 2.0, policy
+    # Chimera is within a whisker of the best single technique, and
+    # clearly better than the worst.
+    best_single = max(geo[p] for p in ("switch", "drain", "flush"))
+    worst_single = min(geo[p] for p in ("switch", "drain", "flush"))
+    assert geo["chimera"] >= 0.9 * best_single
+    assert geo["chimera"] > worst_single
+    # Long-kernel partners see outsized gains (paper's x100+ cases).
+    assert max(results[f"LUD/{b}"].antt_improvement("chimera")
+               for b in ("MUM", "LC", "KM")) > 20.0

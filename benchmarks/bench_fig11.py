@@ -1,0 +1,40 @@
+"""Figure 11: STP improvement over non-preemptive FCFS for LUD paired
+with every other benchmark.
+
+Paper averages: switch 16.5%, drain 36.6%, flush 31.4%, Chimera 41.7%.
+Because LUD rarely occupies the whole machine, spatial sharing itself
+buys most of the throughput; Chimera tops every single technique.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once, write_result
+from repro.core.chimera import POLICY_NAMES
+from repro.metrics.report import format_percent, format_table
+
+
+def test_figure11_stp_improvement(benchmark, case_study):
+    results = once(benchmark, case_study.get)
+    rows = []
+    per_policy = {p: [] for p in POLICY_NAMES}
+    for name, result in results.items():
+        row = [name]
+        for policy in POLICY_NAMES:
+            improvement = result.stp_improvement(policy)
+            per_policy[policy].append(improvement)
+            row.append(format_percent(improvement))
+        rows.append(row)
+    rows.append(["mean"] + [
+        format_percent(sum(per_policy[p]) / len(per_policy[p]))
+        for p in POLICY_NAMES])
+    table = format_table(["workload", *POLICY_NAMES], rows,
+                         title="Figure 11. STP improvement over FCFS")
+    write_result("fig11", table)
+
+    mean = {p: sum(v) / len(v) for p, v in per_policy.items()}
+    # Every preemptive policy improves throughput over FCFS on average.
+    for policy in POLICY_NAMES:
+        assert mean[policy] > 0.0, policy
+    # Chimera is at least competitive with the best single technique.
+    best_single = max(mean[p] for p in ("switch", "drain", "flush"))
+    assert mean["chimera"] >= 0.85 * best_single

@@ -1,0 +1,26 @@
+"""Figure 2: estimated preemption latency per technique per kernel."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once, write_result
+from repro.core.estimates import figure2_rows
+from repro.metrics.report import format_table
+
+
+def test_figure2_estimated_preemption_latency(benchmark):
+    rows = once(benchmark, figure2_rows)
+    table = format_table(
+        ["kernel", "switch us", "drain us", "flush us"],
+        [[r["kernel"], f"{r['switch']:.1f}", f"{r['drain']:.1f}",
+          f"{r['flush']:.1f}"] for r in rows],
+        title="Figure 2. Estimated preemption latency (us)")
+    write_result("fig2", table)
+
+    avg = rows[-1]
+    # Paper: switch ~14.5us, drain ~830us, flush 0.
+    assert abs(avg["switch"] - 14.5) < 0.5
+    assert 700 < avg["drain"] < 1000
+    assert avg["flush"] == 0.0
+    # Drain spans four orders of magnitude across kernels.
+    drains = [r["drain"] for r in rows[:-1]]
+    assert max(drains) / min(drains) > 1e3

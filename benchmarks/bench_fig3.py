@@ -1,0 +1,27 @@
+"""Figure 3: estimated throughput overhead per technique per kernel."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once, write_result
+from repro.core.estimates import figure3_rows
+from repro.metrics.report import format_percent, format_table
+
+
+def test_figure3_estimated_throughput_overhead(benchmark):
+    rows = once(benchmark, figure3_rows)
+    table = format_table(
+        ["kernel", "switch", "drain", "flush"],
+        [[r["kernel"], format_percent(r["switch"]),
+          format_percent(r["drain"]), format_percent(r["flush"])]
+         for r in rows],
+        title="Figure 3. Estimated throughput overhead")
+    write_result("fig3", table)
+
+    avg = rows[-1]
+    # Paper: switch 47.7%, drain 0%, flush 30.7% (= 1 - ln 2).
+    assert 0.40 < avg["switch"] < 0.55
+    assert avg["drain"] == 0.0
+    assert abs(avg["flush"] - 0.307) < 0.001
+    # Per paper's tradeoff story: flush constant, switch kernel-varying.
+    flushes = {round(r["flush"], 6) for r in rows[:-1]}
+    assert len(flushes) == 1

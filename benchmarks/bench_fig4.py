@@ -1,0 +1,53 @@
+"""Figure 4: theoretical per-block cost of each technique versus
+execution progress, and the optimal-technique crossovers.
+
+The paper's motivating picture: flushing is cheapest early, context
+switching in the middle, draining near the end. We regenerate the
+curves for a representative long-block kernel and tabulate the
+crossover points for all 27 kernels.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once, write_result
+from repro.core.estimates import figure4_crossovers, figure4_curves
+from repro.metrics.report import format_table
+from repro.workloads.specs import all_kernel_specs, kernel_spec
+
+
+def test_figure4_cost_vs_progress(benchmark):
+    spec = kernel_spec("KM.0")
+    curves = once(benchmark, lambda: figure4_curves(spec, points=11))
+    rows = [[f"{r['progress']:.1f}", f"{r['switch']:.0f}",
+             f"{r['drain']:.0f}", f"{r['flush']:.0f}",
+             f"{r['optimal']:.0f}"] for r in curves]
+    table = format_table(
+        ["progress", "switch (cyc)", "drain (cyc)", "flush (cyc)", "optimal"],
+        rows, title=f"Figure 4. Theoretical preemption cost across a "
+                    f"{spec.label} block")
+    cross_rows = []
+    for s in all_kernel_specs():
+        c = figure4_crossovers(s)
+        cross_rows.append([s.label, f"{c['flush_to_switch']:.2f}",
+                           f"{c['switch_to_drain']:.2f}",
+                           f"{c['switch_window']:.2f}"])
+    table += "\n\n" + format_table(
+        ["kernel", "flush->switch", "switch->drain", "switch window"],
+        cross_rows, title="Optimal-technique crossover points")
+    write_result("fig4", table)
+
+    # Shape: switch constant; drain decreasing; flush increasing; the
+    # optimal envelope starts with flush and ends with drain.
+    assert len({r["switch"] for r in curves}) == 1
+    drains = [r["drain"] for r in curves]
+    flushes = [r["flush"] for r in curves]
+    assert drains == sorted(drains, reverse=True)
+    assert flushes == sorted(flushes)
+    assert curves[0]["optimal"] == curves[0]["flush"] == 0.0
+    assert curves[-1]["optimal"] == curves[-1]["drain"] == 0.0
+    mid = curves[len(curves) // 2]
+    assert mid["optimal"] == mid["switch"]  # long block: switch wins mid
+    # Short blocks never give switching a window (BT.0: 7us block vs
+    # ~16us round-trip); long blocks give it most of the execution.
+    assert figure4_crossovers(kernel_spec("BT.0"))["switch_window"] == 0.0
+    assert figure4_crossovers(kernel_spec("MUM.0"))["switch_window"] > 0.9

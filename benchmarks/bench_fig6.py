@@ -1,0 +1,45 @@
+"""Figure 6: deadline violations under a 15 us latency constraint.
+
+A periodic real-time task (1 ms period, 200 us execution, half the SMs)
+shares the GPU with each benchmark; the violation rate per policy is
+the fraction of launches killed at their deadline.
+
+Paper averages: switch 56.0%, drain 61.3%, flush 7.3%, Chimera 0.2%.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once, write_result
+from repro.core.chimera import POLICY_NAMES
+from repro.metrics.report import format_percent, format_table
+
+
+def test_figure6_deadline_violations(benchmark, fig67_sweep):
+    sweep = once(benchmark, fig67_sweep.get)
+    rows = []
+    for label in sweep.results:
+        rows.append([label] + [
+            format_percent(sweep.violation_rate(label, p))
+            for p in POLICY_NAMES])
+    rows.append(["average"] + [
+        format_percent(sweep.average_violation_rate(p)) for p in POLICY_NAMES])
+    table = format_table(["benchmark", *POLICY_NAMES], rows,
+                         title="Figure 6. Deadline violations @ 15us")
+    write_result("fig6", table)
+
+    avg = {p: sweep.average_violation_rate(p) for p in POLICY_NAMES}
+    # Shape: chimera (near zero) < flush << switch ~ drain.
+    assert avg["chimera"] < 0.05
+    assert avg["chimera"] <= avg["flush"]
+    assert avg["flush"] < 0.20
+    assert 0.35 < avg["switch"] < 0.75
+    assert 0.45 < avg["drain"] < 0.90
+    # Flush violations concentrate on the paper's culprits: the
+    # non-idempotent short-block benchmarks BT and FWT.
+    for label in sweep.results:
+        if label not in ("BT", "FWT"):
+            assert sweep.violation_rate(label, "flush") <= 0.11, label
+    # Per-benchmark: Chimera never does worse than flushing by much.
+    for label in sweep.results:
+        assert sweep.violation_rate(label, "chimera") <= \
+            sweep.violation_rate(label, "flush") + 0.101, label

@@ -1,0 +1,52 @@
+"""Figure 8: Chimera under latency constraints of 5/10/15/20 us.
+
+(a) violation rate, (b) throughput overhead, (c) technique mix.
+Paper: violations 2.00/1.08/0.24/0.00 %, overhead 16.5/12.2/10.0/9.0 %,
+and the flush share grows as the constraint tightens while the switch
+share collapses.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once, write_result
+from repro.core.techniques import Technique
+from repro.metrics.report import format_percent, format_table
+
+CONSTRAINTS = (5.0, 10.0, 15.0, 20.0)
+
+
+def test_figure8_constraint_sweep(benchmark, fig8_sweep):
+    sweeps = once(benchmark, fig8_sweep.get)
+    rows = []
+    for constraint in CONSTRAINTS:
+        sweep = sweeps[constraint]
+        fracs = sweep.technique_fractions("chimera")
+        rows.append([
+            f"{constraint:.0f}us",
+            format_percent(sweep.average_violation_rate("chimera"), 2),
+            format_percent(sweep.average_overhead("chimera")),
+            format_percent(fracs[Technique.SWITCH]),
+            format_percent(fracs[Technique.DRAIN]),
+            format_percent(fracs[Technique.FLUSH]),
+        ])
+    table = format_table(
+        ["constraint", "violations (a)", "overhead (b)",
+         "switch (c)", "drain (c)", "flush (c)"],
+        rows, title="Figure 8. Impact of the preemption latency constraint")
+    write_result("fig8", table)
+
+    viol = [sweeps[c].average_violation_rate("chimera") for c in CONSTRAINTS]
+    ovh = [sweeps[c].average_overhead("chimera") for c in CONSTRAINTS]
+    flush_frac = [sweeps[c].technique_fractions("chimera")[Technique.FLUSH]
+                  for c in CONSTRAINTS]
+    switch_frac = [sweeps[c].technique_fractions("chimera")[Technique.SWITCH]
+                   for c in CONSTRAINTS]
+    # (a) violations shrink as the constraint loosens; tiny everywhere.
+    assert viol[0] >= viol[-1]
+    assert viol[-1] < 0.02
+    assert all(v < 0.12 for v in viol)
+    # (b) overhead shrinks (or at worst stays flat) with looser limits.
+    assert ovh[0] >= ovh[-1] - 0.005
+    # (c) tighter constraints force more flushing, allow less switching.
+    assert flush_frac[0] > flush_frac[-1]
+    assert switch_frac[0] < switch_frac[-1]

@@ -1,0 +1,83 @@
+"""Extension experiments beyond the paper's two-program case study.
+
+1. **Three- and four-way multiprogramming** — the paper argues Chimera
+   scales as more kernels shrink each kernel's SM count (N drops in
+   Algorithm 1); verify ANTT/STP improvements survive deeper sharing.
+2. **Priority-proportional partitioning** — the paper treats the SM
+   partition policy as orthogonal; give one benchmark a 3x weight and
+   check the partition policy alone shifts turnaround in its favor
+   while Chimera keeps honoring the latency constraint.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BUDGET, SEED, once, write_result
+from repro.harness.experiments import figure10_11
+from repro.harness.runner import SimSystem
+from repro.metrics.report import format_percent, format_table
+from repro.workloads.multiprogram import MultiprogramWorkload
+
+TRIPLE = ("LUD", "MUM", "BS")
+QUAD = ("LUD", "MUM", "BS", "KM")
+
+
+def _run_multiway():
+    rows = []
+    results = {}
+    for labels in (TRIPLE, QUAD):
+        workload = MultiprogramWorkload(labels, budget_insts=BUDGET)
+        result = figure10_11(workload, policies=("drain", "chimera"),
+                             seed=SEED)
+        results[workload.name] = result
+        rows.append([
+            workload.name,
+            f"{result.antt('fcfs'):.1f}",
+            f"{result.antt('chimera'):.2f}",
+            f"{result.antt_improvement('chimera'):.1f}x",
+            f"{result.antt_improvement('drain'):.1f}x",
+            f"{result.stp('chimera'):.2f}",
+            format_percent(result.stp_improvement('chimera')),
+        ])
+    return rows, results
+
+
+def test_multiway_multiprogramming(benchmark):
+    rows, results = once(benchmark, _run_multiway)
+    table = format_table(
+        ["workload", "ANTT fcfs", "ANTT chimera", "chimera impr",
+         "drain impr", "STP chimera", "STP impr"],
+        rows, title="Extension: 3- and 4-way multiprogramming")
+    write_result("multiway", table)
+
+    for name, result in results.items():
+        n = len(result.labels)
+        # Sharing still beats FCFS by a lot, for every member.
+        assert result.antt_improvement("chimera") > 2.0, name
+        assert result.stp_improvement("chimera") > 0.0, name
+        # STP stays within its theoretical bound.
+        assert result.stp("chimera") <= n + 1e-6
+        # Chimera >= drain with deeper sharing too.
+        assert result.antt_improvement("chimera") >= \
+            0.9 * result.antt_improvement("drain"), name
+
+
+def test_priority_weights_shift_shares(benchmark):
+    def run(weight):
+        system = SimSystem(policy_name="chimera", seed=SEED)
+        favored = system.add_benchmark("BS", budget_insts=3e6, weight=weight)
+        other = system.add_benchmark("KM", budget_insts=3e6)
+        system.start()
+        system.run(stop=lambda: favored.done_recording
+                   and other.done_recording)
+        return favored.metric_time, other.metric_time
+
+    (even_bs, even_km), (fav_bs, fav_km) = once(
+        benchmark, lambda: (run(1.0), run(3.0)))
+    table = format_table(
+        ["weights", "BS time (cycles)", "KM time (cycles)"],
+        [["1:1", f"{even_bs:.0f}", f"{even_km:.0f}"],
+         ["3:1", f"{fav_bs:.0f}", f"{fav_km:.0f}"]],
+        title="Extension: priority-proportional partitioning")
+    write_result("priority", table)
+    assert fav_bs < even_bs          # favored benchmark speeds up
+    assert fav_km >= even_km * 0.9   # at the other's expense (or equal)

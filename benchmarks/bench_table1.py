@@ -1,0 +1,14 @@
+"""Table 1: system configuration."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once, write_result
+from repro.gpu.config import GPUConfig
+
+
+def test_table1_system_configuration(benchmark):
+    config = once(benchmark, GPUConfig)
+    text = "Table 1. System configuration\n" + config.describe()
+    write_result("table1", text)
+    assert config.num_sms == 30
+    assert config.memory_bandwidth_gbps == 177.4

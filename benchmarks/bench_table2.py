@@ -1,0 +1,35 @@
+"""Table 2: benchmark specification, with the derived context-switch
+time cross-checked against the published column."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import once, write_result
+from repro.core.estimates import estimate_switch_latency_us
+from repro.gpu.config import GPUConfig
+from repro.metrics.report import format_table
+from repro.workloads.specs import all_kernel_specs
+
+
+def test_table2_benchmark_specification(benchmark):
+    specs = once(benchmark, all_kernel_specs)
+    config = GPUConfig()
+    rows = []
+    for spec in specs:
+        derived = estimate_switch_latency_us(spec, config)
+        rows.append([
+            spec.label, spec.name, f"{spec.avg_drain_us:.1f}",
+            f"{spec.context_kb_per_tb:.0f} kB", spec.tbs_per_sm,
+            f"{spec.switch_time_us:.1f}", f"{derived:.1f}",
+            "Yes" if spec.idempotent else "No",
+        ])
+    text = format_table(
+        ["kernel", "name", "drain us", "ctx/TB", "TB/SM",
+         "switch us (paper)", "switch us (model)", "idempotent"],
+        rows, title="Table 2. Benchmark specification")
+    write_result("table2", text)
+
+    assert len(specs) == 27
+    assert sum(1 for s in specs if s.idempotent) == 12
+    for spec in specs:
+        assert abs(estimate_switch_latency_us(spec, config)
+                   - spec.switch_time_us) < 1.5

@@ -1,0 +1,87 @@
+"""Shared machinery for the figure-regeneration benchmarks.
+
+Every paper table/figure has one ``bench_*`` file. Expensive sweeps are
+computed once per session (cached here) and shared between figures that
+the paper derives from the same runs (Fig. 6 and Fig. 7; Fig. 10 and
+Fig. 11). Each benchmark writes its regenerated table to
+``benchmarks/results/<name>.txt``.
+
+Scale knobs (environment variables):
+
+* ``CHIMERA_BENCH_PERIODS`` — 1 ms periods per periodic run (default 10)
+* ``CHIMERA_BENCH_BUDGET``  — per-benchmark instruction budget for the
+  case study (default 8e6)
+* ``CHIMERA_BENCH_SEED``    — root seed (default 12345)
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Callable, Dict
+
+import pytest
+
+from repro.harness.experiments import figure6_7, figure8, figure9, figure10_11
+from repro.workloads.multiprogram import pair_with_lud
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+PERIODS = int(os.environ.get("CHIMERA_BENCH_PERIODS", "10"))
+BUDGET = float(os.environ.get("CHIMERA_BENCH_BUDGET", "8e6"))
+SEED = int(os.environ.get("CHIMERA_BENCH_SEED", "12345"))
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+
+
+class _Lazy:
+    """Compute-once holder so paired figures share one sweep."""
+
+    def __init__(self, fn: Callable):
+        self._fn = fn
+        self._value = None
+        self._done = False
+
+    def get(self):
+        if not self._done:
+            self._value = self._fn()
+            self._done = True
+        return self._value
+
+
+@pytest.fixture(scope="session")
+def fig67_sweep() -> _Lazy:
+    return _Lazy(lambda: figure6_7(periods=PERIODS, seed=SEED))
+
+
+@pytest.fixture(scope="session")
+def fig8_sweep() -> _Lazy:
+    return _Lazy(lambda: figure8(periods=PERIODS, seed=SEED))
+
+
+@pytest.fixture(scope="session")
+def fig9_sweep() -> _Lazy:
+    return _Lazy(lambda: figure9(
+        periods=PERIODS, seed=SEED,
+        policies=("flush-strict", "flush", "flush-strict-nofallback")))
+
+
+@pytest.fixture(scope="session")
+def case_study() -> _Lazy:
+    def run() -> Dict[str, object]:
+        solo_cache: Dict[str, float] = {}
+        out = {}
+        for workload in pair_with_lud(budget_insts=BUDGET):
+            out[workload.name] = figure10_11(workload, seed=SEED,
+                                             solo_cache=solo_cache)
+        return out
+    return _Lazy(run)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""SM flushing on the cycle-level simulator (paper §3.4, in hardware).
+
+Runs an instrumented kernel on a small multi-SM device clocked cycle by
+cycle, then fires the reset circuit at random moments. The mailbox
+monitor arbitrates each attempt: granted flushes requeue the SM's
+blocks (front of the dispatch queue, as the paper's thread-block
+scheduler prefers), denied ones leave the SM alone. At the end the
+result is compared bit-for-bit against an uninterrupted run.
+
+Also shows the affine refinement at work: `shift_halves` writes the
+same buffer it reads, yet the refined analysis proves the intervals
+disjoint, no MARK is planted, and the SM stays flushable forever.
+
+Run:  python examples/cycle_level_flush.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.functional.gpusim import CycleGPU
+from repro.functional.machine import FunctionalBlockRun, GlobalMemory
+from repro.idempotence.affine import refine_analysis
+from repro.idempotence.analysis import analyze
+from repro.idempotence.instrument import instrument, mark_count
+from repro.idempotence.kernels import (
+    late_writeback,
+    shift_halves,
+    vector_add,
+)
+
+N, TPB, BLOCKS = 64, 16, 4
+
+
+def reference(prog, init, blocks=BLOCKS):
+    g = GlobalMemory(dict(prog.buffers), init=init)
+    for b in range(blocks):
+        FunctionalBlockRun(prog, b, TPB, g).run()
+    return g
+
+
+def chaos_run(prog, init, seed=0, attempts=6, blocks=BLOCKS):
+    """Clock the device, firing flush attempts at random cycles."""
+    rng = random.Random(seed)
+    g = GlobalMemory(dict(prog.buffers), init=init)
+    gpu = CycleGPU(prog, blocks, TPB, num_sms=2, blocks_per_sm=1, gmem=g)
+    outcomes = []
+    for _ in range(attempts):
+        gpu.step(rng.randrange(100, 600))
+        if gpu.done:
+            break
+        sm = rng.randrange(2)
+        outcomes.append((gpu.cycle, sm, gpu.try_flush(sm)))
+    result = gpu.run()
+    return g, result, outcomes
+
+
+def main() -> None:
+    cases = {
+        "vector_add (idempotent)": (
+            instrument(vector_add(N)),
+            {"a": list(range(N)), "b": [7] * N, "c": [0] * N}),
+        "late_writeback (non-idem tail)": (
+            instrument(late_writeback(N, loop_iters=8)),
+            {"buf": [3] * N}),
+    }
+    # shift_halves: same-buffer read/write, proven safe by the affine
+    # refinement, so instrumentation plants no marks.
+    sh = shift_halves(N)
+    sh_blocks = (N // 2) // TPB  # the kernel launches n/2 threads total
+    refined = refine_analysis(sh, num_threads=TPB, num_blocks=sh_blocks)
+    print(f"shift_halves: buffer-level analysis says idempotent="
+          f"{analyze(sh).idempotent}, affine refinement says "
+          f"{refined.idempotent} -> {mark_count(instrument(sh, refined))} "
+          "marks planted")
+    cases["shift_halves (affine-refined)"] = (
+        instrument(sh, refined),
+        {"buf": [i + 1 for i in range(N // 2)] + [0] * (N // 2)},
+        sh_blocks)
+
+    print()
+    for name, entry in cases.items():
+        prog, init = entry[0], entry[1]
+        blocks = entry[2] if len(entry) > 2 else BLOCKS
+        ref = reference(prog, init, blocks)
+        g, result, outcomes = chaos_run(prog, init, seed=11, blocks=blocks)
+        granted = sum(1 for _, _, ok in outcomes if ok)
+        denied = len(outcomes) - granted
+        verdict = "OK" if g == ref else "MISMATCH!"
+        print(f"{name:34s} cycles={result.cycles:6d} "
+              f"flushes granted={granted} denied={denied} "
+              f"requeued={result.blocks_requeued}  memory: {verdict}")
+        assert g == ref
+    print("\nEvery granted flush preserved the final memory; every denial "
+          "was a block past its MARK.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Chimera: collaborative preemption for multitasking on a shared GPU.
+
+A full reproduction of Park, Park & Mahlke (ASPLOS 2015): a fluid-timing
+GPU multitasking simulator, the three preemption techniques (context
+switch, drain, SM flush with relaxed idempotence), Chimera's cost model
+and selection algorithm, the paper's workloads, and the experiment
+harness that regenerates every evaluation figure.
+
+Quickstart::
+
+    from repro import run_periodic
+    result = run_periodic("BS", "chimera", constraint_us=15.0)
+    print(result.violations.violation_rate, result.throughput_overhead)
+"""
+
+from repro.core import (
+    ChimeraPolicy,
+    CostEstimator,
+    SingleTechniquePolicy,
+    Technique,
+    figure2_rows,
+    figure3_rows,
+    make_policy,
+)
+from repro.gpu import GPU, GPUConfig, Kernel, StreamingMultiprocessor, ThreadBlock
+from repro.harness import (
+    run_pair,
+    run_periodic,
+    run_solo,
+    figure6_7,
+    figure8,
+    figure9,
+    figure10_11,
+)
+from repro.metrics import antt, stp
+from repro.sched import KernelScheduler, SchedulerMode, ThreadBlockScheduler
+from repro.sim import Engine, RngStreams
+from repro.workloads import TABLE2, benchmark, benchmark_labels, kernel_spec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChimeraPolicy",
+    "CostEstimator",
+    "SingleTechniquePolicy",
+    "Technique",
+    "figure2_rows",
+    "figure3_rows",
+    "make_policy",
+    "GPU",
+    "GPUConfig",
+    "Kernel",
+    "StreamingMultiprocessor",
+    "ThreadBlock",
+    "run_pair",
+    "run_periodic",
+    "run_solo",
+    "figure6_7",
+    "figure8",
+    "figure9",
+    "figure10_11",
+    "antt",
+    "stp",
+    "KernelScheduler",
+    "SchedulerMode",
+    "ThreadBlockScheduler",
+    "Engine",
+    "RngStreams",
+    "TABLE2",
+    "benchmark",
+    "benchmark_labels",
+    "kernel_spec",
+    "__version__",
+]

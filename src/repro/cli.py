@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands mirror the paper's experiments:
+
+* ``table1`` / ``table2``          — print the configuration tables
+* ``estimate``                     — Figure 2/3 analytic estimates
+* ``periodic``                     — §4.1 periodic-task scenario
+* ``pair``                         — §4.4 multiprogrammed case study
+* ``analyze``                      — idempotence analysis of the sample
+                                     IR kernels
+
+Examples::
+
+    python -m repro periodic --bench MUM --policy chimera --periods 10
+    python -m repro pair --benchmarks LUD MUM --budget 8e6
+    python -m repro estimate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.chimera import POLICY_NAMES
+from repro.core.estimates import figure2_rows, figure3_rows
+from repro.gpu.config import GPUConfig
+from repro.metrics.report import format_percent, format_table
+from repro.workloads.specs import all_kernel_specs, benchmark_labels
+
+ALL_POLICIES = ("switch", "drain", "flush", "flush-strict",
+                "flush-nofallback", "flush-strict-nofallback",
+                "chimera", "chimera-strict", "chimera-oracle")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Chimera (ASPLOS'15) reproduction: GPU preemptive "
+                    "multitasking experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the machine configuration")
+    sub.add_parser("table2", help="print the benchmark specification")
+    sub.add_parser("estimate", help="analytic Figure 2/3 estimates")
+    sub.add_parser("analyze", help="idempotence analysis of sample IR kernels")
+
+    periodic = sub.add_parser("periodic",
+                              help="run the periodic real-time task scenario")
+    periodic.add_argument("--bench", default="BS", choices=benchmark_labels())
+    periodic.add_argument("--policy", default="chimera", choices=ALL_POLICIES)
+    periodic.add_argument("--constraint-us", type=float, default=15.0)
+    periodic.add_argument("--periods", type=int, default=10)
+    periodic.add_argument("--seed", type=int, default=12345)
+
+    pair = sub.add_parser("pair", help="run a multiprogrammed combination")
+    pair.add_argument("--benchmarks", nargs="+", default=["LUD", "MUM"],
+                      choices=benchmark_labels())
+    pair.add_argument("--policies", nargs="+", default=list(POLICY_NAMES),
+                      choices=ALL_POLICIES)
+    pair.add_argument("--budget", type=float, default=8e6)
+    pair.add_argument("--latency-limit-us", type=float, default=30.0)
+    pair.add_argument("--seed", type=int, default=12345)
+    return parser
+
+
+def cmd_table1() -> int:
+    """``table1``: print the machine configuration."""
+    print(GPUConfig().describe())
+    return 0
+
+
+def cmd_table2() -> int:
+    """``table2``: print the Table 2 benchmark specification."""
+    rows = [[s.label, s.name, f"{s.avg_drain_us:.1f}",
+             f"{s.context_kb_per_tb:.0f}", s.tbs_per_sm,
+             f"{s.switch_time_us:.1f}", "Yes" if s.idempotent else "No"]
+            for s in all_kernel_specs()]
+    print(format_table(
+        ["kernel", "name", "drain us", "ctx kB/TB", "TB/SM", "switch us",
+         "idempotent"], rows, title="Table 2. Benchmark specification"))
+    return 0
+
+
+def cmd_estimate() -> int:
+    """``estimate``: print the Figure 2/3 analytic estimates."""
+    fig2 = figure2_rows()
+    fig3 = figure3_rows()
+    rows = []
+    for lat, ovh in zip(fig2, fig3):
+        rows.append([lat["kernel"], f"{lat['switch']:.1f}",
+                     f"{lat['drain']:.1f}", f"{lat['flush']:.1f}",
+                     format_percent(ovh["switch"]),
+                     format_percent(ovh["drain"]),
+                     format_percent(ovh["flush"])])
+    print(format_table(
+        ["kernel", "switch us", "drain us", "flush us",
+         "switch ovh", "drain ovh", "flush ovh"],
+        rows, title="Figures 2-3. Estimated preemption latency and overhead"))
+    return 0
+
+
+def cmd_analyze() -> int:
+    """``analyze``: idempotence analysis of the sample kernels."""
+    from repro.idempotence.affine import refine_analysis
+    from repro.idempotence.analysis import analyze
+    from repro.idempotence.instrument import instrument, mark_count
+    from repro.idempotence.kernels import all_sample_kernels, shift_halves
+
+    kernels = dict(all_sample_kernels())
+    kernels["shift_halves"] = shift_halves(64)
+    rows = []
+    for name, prog in kernels.items():
+        report = analyze(prog)
+        refined = refine_analysis(prog, num_threads=16, num_blocks=4)
+        rows.append([
+            name,
+            "Yes" if report.idempotent else "No",
+            "Yes" if refined.idempotent else "No",
+            len(report.nonidempotent_indices),
+            mark_count(instrument(prog, refined)),
+            "; ".join(refined.reasons or report.reasons) or "-",
+        ])
+    print(format_table(
+        ["kernel", "idempotent", "refined", "non-idem ops",
+         "marks inserted", "reasons"],
+        rows, title="Idempotence analysis (paper Section 3.4)"))
+    return 0
+
+
+def cmd_periodic(args: argparse.Namespace) -> int:
+    """``periodic``: run the paper's periodic-task scenario."""
+    from repro.harness.runner import run_periodic
+
+    result = run_periodic(args.bench, args.policy,
+                          constraint_us=args.constraint_us,
+                          periods=args.periods, seed=args.seed)
+    mix = {tech.value: count
+           for tech, count in result.technique_mix.counts.items()}
+    print(f"benchmark          {result.label}")
+    print(f"policy             {result.policy}")
+    print(f"latency constraint {result.constraint_us} us")
+    print(f"requests           {result.violations.requests}")
+    print(f"violations         {result.violations.violations} "
+          f"({format_percent(result.violations.violation_rate)})")
+    print(f"mean latency       {result.violations.mean_latency_us:.1f} us")
+    print(f"throughput ovh     {format_percent(result.throughput_overhead)}")
+    print(f"technique mix      {mix}")
+    return 0
+
+
+def cmd_pair(args: argparse.Namespace) -> int:
+    """``pair``: run a multiprogrammed combination vs FCFS."""
+    from repro.harness.experiments import figure10_11
+    from repro.workloads.multiprogram import MultiprogramWorkload
+
+    workload = MultiprogramWorkload(tuple(args.benchmarks),
+                                    budget_insts=args.budget)
+    result = figure10_11(workload, policies=tuple(args.policies),
+                         latency_limit_us=args.latency_limit_us,
+                         seed=args.seed)
+    rows = []
+    for policy in ("fcfs", *args.policies):
+        rows.append([
+            policy, f"{result.antt(policy):.2f}",
+            f"{result.stp(policy):.3f}",
+            f"{result.antt_improvement(policy):.1f}x",
+            format_percent(result.stp_improvement(policy)),
+            result.preemption_requests.get(policy, 0),
+        ])
+    print(format_table(
+        ["policy", "ANTT", "STP", "ANTT impr", "STP impr", "preemptions"],
+        rows, title=f"Case study {workload.name} "
+                    f"(budget {args.budget:.0f} instructions)"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        return cmd_table1()
+    if args.command == "table2":
+        return cmd_table2()
+    if args.command == "estimate":
+        return cmd_estimate()
+    if args.command == "analyze":
+        return cmd_analyze()
+    if args.command == "periodic":
+        return cmd_periodic(args)
+    if args.command == "pair":
+        return cmd_pair(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Chimera core: preemption techniques, cost model, selection, policies."""
+
+from repro.core.techniques import Technique
+from repro.core.cost import CostEstimator, TBCost, SMPlan, OnlineKernelStats
+from repro.core.selection import select_preemptions
+from repro.core.chimera import (
+    ChimeraPolicy,
+    SingleTechniquePolicy,
+    PreemptionPolicy,
+    make_policy,
+    POLICY_NAMES,
+)
+from repro.core.estimates import (
+    estimate_switch_latency_us,
+    estimate_drain_latency_us,
+    estimate_flush_latency_us,
+    estimate_switch_overhead,
+    estimate_drain_overhead,
+    estimate_flush_overhead,
+    figure2_rows,
+    figure3_rows,
+    FLUSH_OVERHEAD_CONSTANT,
+)
+
+__all__ = [
+    "Technique",
+    "CostEstimator",
+    "TBCost",
+    "SMPlan",
+    "OnlineKernelStats",
+    "select_preemptions",
+    "ChimeraPolicy",
+    "SingleTechniquePolicy",
+    "PreemptionPolicy",
+    "make_policy",
+    "POLICY_NAMES",
+    "estimate_switch_latency_us",
+    "estimate_drain_latency_us",
+    "estimate_flush_latency_us",
+    "estimate_switch_overhead",
+    "estimate_drain_overhead",
+    "estimate_flush_overhead",
+    "figure2_rows",
+    "figure3_rows",
+    "FLUSH_OVERHEAD_CONSTANT",
+]

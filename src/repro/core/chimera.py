@@ -1,0 +1,158 @@
+"""Preemption policies: Chimera and the single-technique baselines.
+
+A policy answers one question for the kernel scheduler: given the SMs a
+victim kernel occupies, a number of SMs to free, and a preemption
+latency constraint, which SMs should be preempted and how should each
+resident thread block be preempted?
+
+* :class:`ChimeraPolicy` — the paper's contribution: all three
+  techniques, cost-driven per-block choice, latency-aware SM selection
+  (Algorithm 1).
+* :class:`SingleTechniquePolicy` — the paper's baselines. ``switch``
+  and ``drain`` apply their technique to every block. ``flush`` flushes
+  every block that is idempotent *now* and must drain the rest (a
+  non-idempotent block simply cannot be flushed); with
+  ``strict_idempotence`` the flushability test uses the kernel-level
+  flag, reproducing the paper's Figure 9 comparison.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence
+
+from repro.core.cost import CostEstimator, SMPlan
+from repro.core.selection import select_preemptions
+from repro.core.techniques import TECHNIQUE_ORDER, Technique
+from repro.errors import ConfigError
+from repro.gpu.config import GPUConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.sm import StreamingMultiprocessor
+
+
+class PreemptionPolicy:
+    """Interface all policies implement."""
+
+    #: Human-readable policy name used in reports.
+    name: str = "abstract"
+
+    def plan(self, sms: Sequence["StreamingMultiprocessor"],
+             num_preempts: int, limit_cycles: float) -> List[SMPlan]:
+        """Choose SM plans for this preemption request."""
+        raise NotImplementedError
+
+
+class ChimeraPolicy(PreemptionPolicy):
+    """Collaborative preemption (the paper's Chimera)."""
+
+    def __init__(self, config: GPUConfig, oracle: bool = False,
+                 strict_idempotence: bool = False,
+                 techniques: Sequence[Technique] = TECHNIQUE_ORDER):
+        self.config = config
+        self.estimator = CostEstimator(config, oracle=oracle,
+                                       strict_idempotence=strict_idempotence)
+        self.techniques = tuple(techniques)
+        suffix = "-strict" if strict_idempotence else ""
+        suffix += "-oracle" if oracle else ""
+        self.name = f"chimera{suffix}"
+
+    def plan(self, sms: Sequence["StreamingMultiprocessor"],
+             num_preempts: int, limit_cycles: float) -> List[SMPlan]:
+        """Choose SM plans for this preemption request."""
+        return select_preemptions(sms, self.estimator, limit_cycles,
+                                  num_preempts, self.techniques,
+                                  latency_aware=True)
+
+
+class SingleTechniquePolicy(PreemptionPolicy):
+    """Preempt every block with one fixed technique.
+
+    Flushing degrades to draining for blocks that are not flushable at
+    the moment of preemption — the hardware has no other way to stop
+    them without losing correctness (context switching is a different
+    mechanism the baseline does not have).
+    """
+
+    def __init__(self, config: GPUConfig, technique: Technique,
+                 strict_idempotence: bool = False,
+                 flush_fallback: bool = True):
+        self.config = config
+        self.technique = technique
+        self.estimator = CostEstimator(config,
+                                       strict_idempotence=strict_idempotence)
+        #: When False, an SM with any non-flushable block simply cannot
+        #: be preempted by the flush baseline (the reset circuit is the
+        #: only mechanism it has); with True, non-flushable blocks
+        #: degrade to draining (dispatch stops, blocks run out).
+        self.flush_fallback = flush_fallback
+        self.name = technique.value
+        if strict_idempotence:
+            self.name += "-strict"
+        if not flush_fallback:
+            self.name += "-nofallback"
+
+    def plan(self, sms: Sequence["StreamingMultiprocessor"],
+             num_preempts: int, limit_cycles: float) -> List[SMPlan]:
+        """Choose SM plans for this preemption request."""
+        if self.technique is Technique.FLUSH:
+            plans = [self._flush_plan(sm) for sm in sms]
+            if not self.flush_fallback:
+                plans = [p for p in plans if not p.assignments or
+                         set(p.assignments.values()) == {Technique.FLUSH}]
+            plans.sort(key=lambda p: (p.overhead_insts, p.latency_cycles))
+            return plans[:num_preempts]
+        techniques = (self.technique,)
+        return select_preemptions(sms, self.estimator, limit_cycles,
+                                  num_preempts, techniques,
+                                  latency_aware=False)
+
+    def _flush_plan(self, sm: "StreamingMultiprocessor") -> SMPlan:
+        """Flush whatever is flushable right now; the rest must drain."""
+        from repro.core.cost import OnlineKernelStats
+
+        blocks = sm.resident_snapshot()
+        chosen = {}
+        max_executed = max((tb.executed_insts for tb in blocks), default=0.0)
+        for tb in blocks:
+            cost = self.estimator.flush_cost(tb)
+            if cost is None:
+                stats = OnlineKernelStats(tb.kernel)
+                cost = self.estimator.drain_cost(tb, stats, max_executed)
+            chosen[tb] = cost
+        return self.estimator.combine(sm, chosen)
+
+
+#: Policy names accepted by :func:`make_policy`, in reporting order.
+POLICY_NAMES = ("switch", "drain", "flush", "chimera")
+
+
+def make_policy(name: str, config: GPUConfig) -> PreemptionPolicy:
+    """Factory for the policies the paper evaluates.
+
+    Accepts ``switch``, ``drain``, ``flush``, ``flush-strict``,
+    ``flush-nofallback``, ``flush-strict-nofallback``, ``chimera``,
+    ``chimera-strict`` and ``chimera-oracle``.
+    """
+    if name == "chimera":
+        return ChimeraPolicy(config)
+    if name == "chimera-strict":
+        return ChimeraPolicy(config, strict_idempotence=True)
+    if name == "chimera-oracle":
+        return ChimeraPolicy(config, oracle=True)
+    if name == "switch":
+        return SingleTechniquePolicy(config, Technique.SWITCH)
+    if name == "drain":
+        return SingleTechniquePolicy(config, Technique.DRAIN)
+    if name == "flush":
+        return SingleTechniquePolicy(config, Technique.FLUSH)
+    if name == "flush-strict":
+        return SingleTechniquePolicy(config, Technique.FLUSH,
+                                     strict_idempotence=True)
+    if name == "flush-nofallback":
+        return SingleTechniquePolicy(config, Technique.FLUSH,
+                                     flush_fallback=False)
+    if name == "flush-strict-nofallback":
+        return SingleTechniquePolicy(config, Technique.FLUSH,
+                                     strict_idempotence=True,
+                                     flush_fallback=False)
+    raise ConfigError(f"unknown policy {name!r}")

@@ -1,0 +1,203 @@
+"""Closed-form preemption-cost estimates (the paper's Figures 2 and 3).
+
+These reproduce the analytic projections of Section 2.4:
+
+* **Context switch latency** — the full-occupancy per-SM context moved
+  over one SM's even share of DRAM bandwidth (same method as Tanasic et
+  al., used by the paper to produce Table 2's switching-time column).
+* **Drain latency** — expected remaining execution of a thread block
+  under a uniformly random preemption point, i.e. half the mean TB
+  execution time (Table 2's drain-time column).
+* **Flush latency** — zero by assumption.
+* **Switch overhead** — twice the switch latency (save + restore)
+  divided by TB execution time, capped at 100%.
+* **Drain overhead** — zero under the in-sync assumption.
+* **Flush overhead** — with preemption point ``p`` uniform on [0, 1],
+  the discarded fraction of total executed work is ``p / (1 + p)``;
+  integrating gives ``1 - ln 2 ≈ 30.7%``, the kernel-independent
+  constant the paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.core.techniques import Technique
+from repro.gpu.config import GPUConfig
+from repro.units import cycles_to_us
+from repro.workloads.specs import KernelSpec, all_kernel_specs
+
+#: Expected throughput overhead of flushing at a uniform preemption
+#: point: integral of p/(1+p) over [0,1] = 1 - ln 2.
+FLUSH_OVERHEAD_CONSTANT = 1.0 - math.log(2.0)
+
+
+def estimate_switch_latency_us(spec: KernelSpec, config: GPUConfig) -> float:
+    """Estimated context-switch preemption latency in microseconds."""
+    cycles = config.context_switch_cycles(spec.context_bytes_per_sm)
+    return cycles_to_us(cycles, config.clock_mhz)
+
+
+def estimate_drain_latency_us(spec: KernelSpec, config: GPUConfig) -> float:
+    """Estimated drain preemption latency in microseconds.
+
+    Under a uniformly random preemption point the expected remaining
+    time of a thread block is half its execution time, which is exactly
+    the spec's drain-time column.
+    """
+    del config  # clock-independent: the spec stores wall time
+    return spec.avg_drain_us
+
+
+def estimate_flush_latency_us(spec: KernelSpec, config: GPUConfig) -> float:
+    """Flushing preempts the SM instantly (paper assumption)."""
+    del spec
+    return cycles_to_us(config.flush_reset_cycles, config.clock_mhz)
+
+
+def estimate_switch_overhead(spec: KernelSpec, config: GPUConfig) -> float:
+    """Estimated context-switch throughput overhead as a fraction.
+
+    Save plus restore each stall the SM for the switch latency, so the
+    wasted time is twice the latency, normalized by the TB execution
+    time. Capped at 1.0: a switch cannot waste more than it displaces.
+    """
+    latency = estimate_switch_latency_us(spec, config)
+    return min(1.0, 2.0 * latency / spec.mean_tb_exec_us)
+
+
+def estimate_drain_overhead(spec: KernelSpec, config: GPUConfig) -> float:
+    """Drain overhead under the in-sync assumption is zero."""
+    del spec, config
+    return 0.0
+
+
+def estimate_flush_overhead(spec: KernelSpec, config: GPUConfig) -> float:
+    """Flush overhead is a kernel-independent constant (module doc)."""
+    del spec, config
+    return FLUSH_OVERHEAD_CONSTANT
+
+
+_LATENCY_FUNCS = {
+    Technique.SWITCH: estimate_switch_latency_us,
+    Technique.DRAIN: estimate_drain_latency_us,
+    Technique.FLUSH: estimate_flush_latency_us,
+}
+
+_OVERHEAD_FUNCS = {
+    Technique.SWITCH: estimate_switch_overhead,
+    Technique.DRAIN: estimate_drain_overhead,
+    Technique.FLUSH: estimate_flush_overhead,
+}
+
+
+def estimate_latency_us(spec: KernelSpec, technique: Technique, config: GPUConfig) -> float:
+    """Dispatch to the per-technique latency estimate."""
+    return _LATENCY_FUNCS[technique](spec, config)
+
+
+def estimate_overhead(spec: KernelSpec, technique: Technique, config: GPUConfig) -> float:
+    """Dispatch to the per-technique overhead estimate."""
+    return _OVERHEAD_FUNCS[technique](spec, config)
+
+
+def figure2_rows(config: GPUConfig | None = None) -> List[Dict[str, float | str]]:
+    """Per-kernel estimated preemption latency (Figure 2 series).
+
+    Returns one row per Table 2 kernel plus an ``average`` row, each
+    with ``switch``, ``drain`` and ``flush`` latencies in microseconds.
+    """
+    config = config or GPUConfig()
+    rows: List[Dict[str, float | str]] = []
+    sums = {t: 0.0 for t in Technique}
+    specs = all_kernel_specs()
+    for spec in specs:
+        row: Dict[str, float | str] = {"kernel": spec.label}
+        for tech in Technique:
+            value = estimate_latency_us(spec, tech, config)
+            row[tech.value] = value
+            sums[tech] += value
+        rows.append(row)
+    avg: Dict[str, float | str] = {"kernel": "average"}
+    for tech in Technique:
+        avg[tech.value] = sums[tech] / len(specs)
+    rows.append(avg)
+    return rows
+
+
+def figure4_curves(spec: KernelSpec, config: GPUConfig | None = None,
+                   points: int = 21) -> List[Dict[str, float]]:
+    """Theoretical per-block preemption cost versus execution progress
+    (the paper's Figure 4).
+
+    Cost is an aggregate of latency and throughput overhead in a common
+    unit: cycles of SM time lost. At progress fraction ``p`` of a block
+    of duration ``T`` cycles:
+
+    * switch — constant: the save+restore DMA, ``2 * L_switch``;
+    * drain  — the remaining execution, ``(1 - p) * T`` (latency-only,
+      no work wasted);
+    * flush  — the work discarded, ``p * T``.
+
+    The envelope's minimum traces the paper's "optimal" curve: flush
+    early, switch in the middle, drain near the end; the crossovers sit
+    where ``p*T`` and ``(1-p)*T`` meet ``2*L_switch``.
+    """
+    config = config or GPUConfig()
+    block_cycles = config.us(spec.mean_tb_exec_us)
+    switch_cost = 2.0 * config.context_switch_cycles(spec.context_bytes_per_tb)
+    rows: List[Dict[str, float]] = []
+    for i in range(points):
+        p = i / (points - 1)
+        flush = p * block_cycles
+        drain = (1.0 - p) * block_cycles
+        rows.append({
+            "progress": p,
+            "switch": switch_cost,
+            "drain": drain,
+            "flush": flush,
+            "optimal": min(switch_cost, drain, flush),
+        })
+    return rows
+
+
+def figure4_crossovers(spec: KernelSpec, config: GPUConfig | None = None
+                       ) -> Dict[str, float]:
+    """Progress fractions where the optimal technique changes.
+
+    Returns ``flush_to_switch`` and ``switch_to_drain``; when the block
+    is so short that switching is never optimal, both collapse to 0.5
+    (flush hands straight over to drain).
+    """
+    config = config or GPUConfig()
+    block_cycles = config.us(spec.mean_tb_exec_us)
+    switch_cost = 2.0 * config.context_switch_cycles(spec.context_bytes_per_tb)
+    flush_to_switch = min(1.0, switch_cost / block_cycles)
+    switch_to_drain = max(0.0, 1.0 - switch_cost / block_cycles)
+    if flush_to_switch >= switch_to_drain:
+        return {"flush_to_switch": 0.5, "switch_to_drain": 0.5,
+                "switch_window": 0.0}
+    return {"flush_to_switch": flush_to_switch,
+            "switch_to_drain": switch_to_drain,
+            "switch_window": switch_to_drain - flush_to_switch}
+
+
+def figure3_rows(config: GPUConfig | None = None) -> List[Dict[str, float | str]]:
+    """Per-kernel estimated throughput overhead (Figure 3 series)."""
+    config = config or GPUConfig()
+    rows: List[Dict[str, float | str]] = []
+    sums = {t: 0.0 for t in Technique}
+    specs = all_kernel_specs()
+    for spec in specs:
+        row: Dict[str, float | str] = {"kernel": spec.label}
+        for tech in Technique:
+            value = estimate_overhead(spec, tech, config)
+            row[tech.value] = value
+            sums[tech] += value
+        rows.append(row)
+    avg: Dict[str, float | str] = {"kernel": "average"}
+    for tech in Technique:
+        avg[tech.value] = sums[tech] / len(specs)
+    rows.append(avg)
+    return rows

@@ -1,0 +1,36 @@
+"""The three preemption techniques and their static properties."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Technique(enum.Enum):
+    """How a thread block (or a whole SM) is preempted.
+
+    SWITCH saves the context and restores it later; DRAIN lets the
+    thread block run to completion while refusing new dispatches; FLUSH
+    drops the execution and reruns the block from scratch elsewhere
+    (legal only while the block is idempotent at the current time).
+    """
+
+    SWITCH = "switch"
+    DRAIN = "drain"
+    FLUSH = "flush"
+
+    @property
+    def preserves_progress(self) -> bool:
+        """Whether the technique keeps the work done so far."""
+        return self is not Technique.FLUSH
+
+    @property
+    def requires_idempotence(self) -> bool:
+        """Only flushing needs the idempotence guarantee."""
+        return self is Technique.FLUSH
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Order used when reporting per-technique rows (paper figure order).
+TECHNIQUE_ORDER = (Technique.SWITCH, Technique.DRAIN, Technique.FLUSH)

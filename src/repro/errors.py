@@ -1,0 +1,39 @@
+"""Exception hierarchy for the Chimera reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch library failures without also catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid machine or workload configuration was supplied."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler was asked to do something impossible.
+
+    Examples: preempting an SM that is not running the victim kernel, or
+    dispatching a thread block to a busy SM.
+    """
+
+
+class PreemptionError(ReproError):
+    """A preemption request could not be carried out."""
+
+
+class IRError(ReproError):
+    """A kernel IR program is malformed."""
+
+
+class ExecutionError(ReproError):
+    """The functional interpreter hit an illegal operation at runtime."""

@@ -1,0 +1,42 @@
+"""Functional SIMT execution of IR kernels + a roofline timing model."""
+
+from repro.functional.machine import (
+    BlockResult,
+    FunctionalBlockRun,
+    GlobalMemory,
+    run_grid,
+)
+from repro.functional.smsim import MeasuredKernel, measure_kernel, spec_from_ir
+from repro.functional.warpsim import (
+    SchedulerKind,
+    WarpLevelSM,
+    WarpSimResult,
+    clock_kernel,
+)
+from repro.functional.gpusim import CycleGPU, CycleGPUResult
+from repro.functional.replay import (
+    ArchState,
+    replay_to,
+    run_and_interrupt,
+    states_equal,
+)
+
+__all__ = [
+    "BlockResult",
+    "FunctionalBlockRun",
+    "GlobalMemory",
+    "run_grid",
+    "MeasuredKernel",
+    "measure_kernel",
+    "spec_from_ir",
+    "SchedulerKind",
+    "WarpLevelSM",
+    "WarpSimResult",
+    "clock_kernel",
+    "CycleGPU",
+    "CycleGPUResult",
+    "ArchState",
+    "replay_to",
+    "run_and_interrupt",
+    "states_equal",
+]

@@ -1,0 +1,182 @@
+"""Cycle-level multi-SM GPU running IR kernels, with SM flushing.
+
+Composes :class:`~repro.functional.warpsim.WarpLevelSM` instances into a
+whole device: a thread-block dispatcher hands grid blocks to SMs as
+slots free up, all SMs share global memory, and the idempotence monitor
+watches every SM's mailbox. On top of that it implements the paper's
+flush mechanism *at cycle granularity*: :meth:`CycleGPU.try_flush`
+consults the monitor and, when every resident block of the SM is still
+idempotent, resets the SM (all warp state dropped) and requeues its
+blocks to rerun from scratch elsewhere — the hardware operation §3.4
+describes, demonstrated on an instruction-accurate substrate rather
+than the fluid model.
+
+This is deliberately small-scale (tests use a handful of SMs and
+blocks); the fluid simulator remains the vehicle for the paper's
+full-size experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from collections import deque
+
+from repro.errors import ConfigError, ExecutionError
+from repro.functional.machine import GlobalMemory
+from repro.functional.warpsim import SchedulerKind, WarpLevelSM
+from repro.gpu.config import GPUConfig
+from repro.idempotence.ir import KernelProgram
+from repro.idempotence.monitor import IdempotenceMonitor
+
+MAX_CYCLES = 20_000_000
+
+
+@dataclass
+class CycleGPUResult:
+    """Aggregates from a whole-device cycle simulation."""
+
+    cycles: int
+    blocks_completed: int
+    flush_attempts: int
+    flushes_granted: int
+    flushes_denied: int
+    blocks_requeued: int
+    per_sm_instructions: List[int] = field(default_factory=list)
+
+    @property
+    def total_instructions(self) -> int:
+        """Warp instructions summed over all SMs."""
+        return sum(self.per_sm_instructions)
+
+
+class CycleGPU:
+    """A small multi-SM device clocked one cycle at a time."""
+
+    def __init__(self, prog: KernelProgram, grid_blocks: int,
+                 threads_per_block: int, num_sms: int = 4,
+                 blocks_per_sm: int = 2,
+                 config: Optional[GPUConfig] = None,
+                 scheduler: SchedulerKind = SchedulerKind.GREEDY_THEN_OLDEST,
+                 gmem: Optional[GlobalMemory] = None):
+        if grid_blocks < 1 or num_sms < 1 or blocks_per_sm < 1:
+            raise ConfigError("grid, SMs and blocks/SM must be positive")
+        self.prog = prog
+        self.grid_blocks = grid_blocks
+        self.threads_per_block = threads_per_block
+        self.blocks_per_sm = blocks_per_sm
+        self.config = config or GPUConfig()
+        self.gmem = gmem if gmem is not None else GlobalMemory(dict(prog.buffers))
+        self.monitor = IdempotenceMonitor(num_sms)
+        self.sms: List[WarpLevelSM] = [
+            WarpLevelSM(prog, threads_per_block, self.config, scheduler,
+                        self.gmem, self.monitor, sm_id=i,
+                        fast_forward=False)
+            for i in range(num_sms)
+        ]
+        #: Pending block ids: preempted blocks go to the front.
+        self.queue: Deque[int] = deque(range(grid_blocks))
+        self.completed: Dict[int, bool] = {}
+        self.cycle = 0
+        self.flush_attempts = 0
+        self.flushes_granted = 0
+        self.flushes_denied = 0
+        self.blocks_requeued = 0
+        self._dispatch_all()
+
+    # ------------------------------------------------------------------
+
+    def _resident_live(self, sm: WarpLevelSM) -> List:
+        return [b for b in sm.blocks if not b.done]
+
+    def _dispatch_all(self) -> None:
+        for sm in self.sms:
+            while self.queue and len(self._resident_live(sm)) < self.blocks_per_sm:
+                sm.add_block(self.queue.popleft())
+
+    def _retire_finished(self, sm: WarpLevelSM) -> None:
+        for block in list(sm.blocks):
+            if block.done and not self.completed.get(block.block_id, False):
+                self.completed[block.block_id] = True
+                self.monitor.clear_block(sm.sm_id, block.block_id)
+
+    @property
+    def done(self) -> bool:
+        """True when nothing is left to execute."""
+        return len([1 for v in self.completed.values() if v]) >= self.grid_blocks
+
+    # ------------------------------------------------------------------
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance every SM ``cycles`` ticks (skipping finished ones)."""
+        for _ in range(cycles):
+            if self.done:
+                return
+            self.cycle += 1
+            for sm in self.sms:
+                if any(not b.done for b in sm.blocks):
+                    sm._tick()
+                self._retire_finished(sm)
+                self._refill(sm)
+
+    def _refill(self, sm: WarpLevelSM) -> None:
+        while self.queue and len(self._resident_live(sm)) < self.blocks_per_sm:
+            sm.add_block(self.queue.popleft())
+
+    def run(self, max_cycles: int = MAX_CYCLES) -> CycleGPUResult:
+        """Run to completion and return the aggregate result."""
+        while not self.done:
+            if self.cycle >= max_cycles:
+                raise ExecutionError(
+                    f"{self.prog.name}: exceeded {max_cycles} cycles")
+            self.step()
+        return self.result()
+
+    def result(self) -> CycleGPUResult:
+        """Aggregate statistics at the current moment."""
+        return CycleGPUResult(
+            cycles=self.cycle,
+            blocks_completed=sum(1 for v in self.completed.values() if v),
+            flush_attempts=self.flush_attempts,
+            flushes_granted=self.flushes_granted,
+            flushes_denied=self.flushes_denied,
+            blocks_requeued=self.blocks_requeued,
+            per_sm_instructions=[sm.warp_instructions for sm in self.sms],
+        )
+
+    # ------------------------------------------------------------------
+    # SM flushing (paper §3.4, at cycle granularity)
+    # ------------------------------------------------------------------
+
+    def try_flush(self, sm_id: int) -> bool:
+        """Attempt to flush SM ``sm_id`` right now.
+
+        Returns True (and resets the SM) only if the mailbox monitor
+        shows every resident block still idempotent; otherwise the SM is
+        left untouched (the scheduler would fall back to another
+        technique — that is Chimera's job, not the reset circuit's).
+        Flushed blocks rerun from the beginning: they go to the *front*
+        of the dispatch queue, as the paper's thread-block scheduler
+        prefers preempted blocks.
+        """
+        if not 0 <= sm_id < len(self.sms):
+            raise ConfigError(f"no SM {sm_id}")
+        sm = self.sms[sm_id]
+        self.flush_attempts += 1
+        live = self._resident_live(sm)
+        if not live:
+            self.flushes_granted += 1
+            sm.blocks = []
+            return True
+        if not self.monitor.sm_flushable(sm_id):
+            self.flushes_denied += 1
+            return False
+        # Reset circuit: drop all state, requeue the live blocks.
+        for block in reversed(live):
+            self.queue.appendleft(block.block_id)
+            self.blocks_requeued += 1
+        sm.blocks = [b for b in sm.blocks if b.done]
+        self.monitor.clear_sm(sm_id)
+        self.flushes_granted += 1
+        return True

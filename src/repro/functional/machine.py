@@ -1,0 +1,343 @@
+"""Functional interpreter for the miniature SIMT IR.
+
+Threads of a block advance in lockstep rounds (one instruction per
+thread per round — the fluid-model analogue of warp-synchronous
+execution), synchronize at barriers, and share a per-block scratchpad.
+Global memory is a set of named word arrays shared by all blocks.
+
+The interpreter supports *interruption*: ``run(max_instructions=k)``
+stops after exactly ``k`` executed instructions, leaving partial global
+side effects in place — precisely the state an SM flush would abandon.
+Re-running the block from scratch on that memory is the experiment the
+idempotence machinery must get right, and the property tests in
+``tests/test_functional.py`` check it exhaustively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ExecutionError
+from repro.idempotence.ir import Instr, KernelProgram, Op
+from repro.idempotence.monitor import IdempotenceMonitor
+
+#: Safety valve against runaway kernels in tests.
+DEFAULT_MAX_INSTRUCTIONS = 2_000_000
+
+
+class GlobalMemory:
+    """Named global buffers of word-sized cells."""
+
+    def __init__(self, sizes: Dict[str, int],
+                 init: Optional[Dict[str, List[int]]] = None):
+        self._buffers: Dict[str, List[int]] = {}
+        for name, words in sizes.items():
+            if init and name in init:
+                data = list(init[name])
+                if len(data) != words:
+                    raise ExecutionError(
+                        f"buffer {name!r}: init length {len(data)} != {words}")
+                self._buffers[name] = data
+            else:
+                self._buffers[name] = [0] * words
+
+    def load(self, buffer: str, addr: int) -> int:
+        """Read one word from a named buffer."""
+        return self._cell(buffer, addr)
+
+    def store(self, buffer: str, addr: int, value: int) -> None:
+        """Write one word to a named buffer."""
+        self._check(buffer, addr)
+        self._buffers[buffer][addr] = value
+
+    def atomic_add(self, buffer: str, addr: int, value: int) -> int:
+        """Atomic fetch-and-add; returns the old value."""
+        old = self._cell(buffer, addr)
+        self._buffers[buffer][addr] = old + value
+        return old
+
+    def _cell(self, buffer: str, addr: int) -> int:
+        self._check(buffer, addr)
+        return self._buffers[buffer][addr]
+
+    def _check(self, buffer: str, addr: int) -> None:
+        if buffer not in self._buffers:
+            raise ExecutionError(f"unknown buffer {buffer!r}")
+        if not 0 <= addr < len(self._buffers[buffer]):
+            raise ExecutionError(
+                f"{buffer}[{addr}] out of range (size "
+                f"{len(self._buffers[buffer])})")
+
+    def snapshot(self) -> Dict[str, List[int]]:
+        """Deep copy of all buffer contents as plain lists."""
+        return {name: list(data) for name, data in self._buffers.items()}
+
+    def copy(self) -> "GlobalMemory":
+        """Independent deep copy of this memory."""
+        sizes = {name: len(data) for name, data in self._buffers.items()}
+        return GlobalMemory(sizes, init=self.snapshot())
+
+    def __getitem__(self, buffer: str) -> List[int]:
+        if buffer not in self._buffers:
+            raise ExecutionError(f"unknown buffer {buffer!r}")
+        return self._buffers[buffer]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GlobalMemory):
+            return NotImplemented
+        return self._buffers == other._buffers
+
+
+@dataclass
+class BlockResult:
+    """Outcome of (partially) executing one thread block."""
+
+    block_id: int
+    executed_instructions: int
+    finished: bool
+    #: Executed-instruction count when the first MARK ran (None if no
+    #: MARK executed) — the block's dynamic non-idempotent point.
+    first_mark_at: Optional[int] = None
+    marks_executed: int = 0
+
+    @property
+    def idempotent_at_stop(self) -> bool:
+        """Relaxed idempotence at the interruption point."""
+        return self.marks_executed == 0
+
+
+class _Thread:
+    __slots__ = ("tid", "regs", "pc", "done", "at_barrier")
+
+    def __init__(self, tid: int, num_regs: int):
+        self.tid = tid
+        self.regs = [0] * num_regs
+        self.pc = 0
+        self.done = False
+        self.at_barrier = False
+
+
+class FunctionalBlockRun:
+    """Executes one thread block of a kernel program."""
+
+    def __init__(self, prog: KernelProgram, block_id: int, num_threads: int,
+                 gmem: GlobalMemory, ntid: Optional[int] = None,
+                 monitor: Optional[IdempotenceMonitor] = None,
+                 sm_id: int = 0, block_key: Optional[int] = None):
+        if num_threads < 1:
+            raise ExecutionError("block needs at least one thread")
+        self.prog = prog
+        self.block_id = block_id
+        self.num_threads = num_threads
+        self.ntid = ntid if ntid is not None else num_threads
+        self.gmem = gmem
+        self.monitor = monitor
+        self.sm_id = sm_id
+        self.block_key = block_key if block_key is not None else block_id
+        self.shared = [0] * prog.shared_words
+        self.threads = [_Thread(t, prog.num_regs) for t in range(num_threads)]
+        self.executed = 0
+        self.first_mark_at: Optional[int] = None
+        self.marks = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_instructions: Optional[int] = None) -> BlockResult:
+        """Execute until completion or until ``max_instructions`` more
+        instructions have run (cumulative across calls)."""
+        budget_total = DEFAULT_MAX_INSTRUCTIONS if max_instructions is None \
+            else self.executed + max_instructions
+        while True:
+            live = [t for t in self.threads if not t.done]
+            if not live:
+                return self._result(finished=True)
+            runnable = [t for t in live if not t.at_barrier]
+            if not runnable:
+                # Barrier release: every live thread arrived.
+                for t in live:
+                    t.at_barrier = False
+                continue
+            for thread in runnable:
+                if thread.done or thread.at_barrier:
+                    continue
+                if self.executed >= budget_total:
+                    if max_instructions is None:
+                        raise ExecutionError(
+                            f"{self.prog.name}: exceeded "
+                            f"{DEFAULT_MAX_INSTRUCTIONS} instructions")
+                    return self._result(finished=False)
+                self._step(thread)
+        # unreachable
+
+    def _result(self, finished: bool) -> BlockResult:
+        return BlockResult(self.block_id, self.executed, finished,
+                           self.first_mark_at, self.marks)
+
+    # ------------------------------------------------------------------
+
+    def _step(self, t: _Thread) -> None:
+        if t.pc >= len(self.prog.instrs):
+            raise ExecutionError(f"{self.prog.name}: thread {t.tid} fell off "
+                                 "the end (missing EXIT)")
+        instr = self.prog.instrs[t.pc]
+        self.executed += 1
+        handler = _HANDLERS.get(instr.op)
+        if handler is None:
+            raise ExecutionError(f"unhandled op {instr.op}")
+        handler(self, t, instr)
+
+    # --- handlers ------------------------------------------------------
+
+    def _r(self, t: _Thread, reg: Optional[int]) -> int:
+        if reg is None:
+            raise ExecutionError("missing register operand")
+        return t.regs[reg]
+
+    def _w(self, t: _Thread, reg: Optional[int], value: int) -> None:
+        if reg is None:
+            raise ExecutionError("missing destination register")
+        t.regs[reg] = value
+
+    def _op_movi(self, t, i):
+        self._w(t, i.dst, i.imm if i.imm is not None else 0)
+        t.pc += 1
+
+    def _op_mov(self, t, i):
+        self._w(t, i.dst, self._r(t, i.src0))
+        t.pc += 1
+
+    def _alu(self, t, i, fn):
+        self._w(t, i.dst, fn(self._r(t, i.src0), self._r(t, i.src1)))
+        t.pc += 1
+
+    def _op_div(self, t, i):
+        b = self._r(t, i.src1)
+        if b == 0:
+            raise ExecutionError("division by zero")
+        self._w(t, i.dst, self._r(t, i.src0) // b)
+        t.pc += 1
+
+    def _op_mod(self, t, i):
+        b = self._r(t, i.src1)
+        if b == 0:
+            raise ExecutionError("modulo by zero")
+        self._w(t, i.dst, self._r(t, i.src0) % b)
+        t.pc += 1
+
+    def _op_tid(self, t, i):
+        self._w(t, i.dst, t.tid)
+        t.pc += 1
+
+    def _op_ctaid(self, t, i):
+        self._w(t, i.dst, self.block_id)
+        t.pc += 1
+
+    def _op_ntid(self, t, i):
+        self._w(t, i.dst, self.ntid)
+        t.pc += 1
+
+    def _op_ldg(self, t, i):
+        self._w(t, i.dst, self.gmem.load(i.buffer, self._r(t, i.src0)))
+        t.pc += 1
+
+    def _op_stg(self, t, i):
+        self.gmem.store(i.buffer, self._r(t, i.src0), self._r(t, i.src1))
+        t.pc += 1
+
+    def _op_atom(self, t, i):
+        old = self.gmem.atomic_add(i.buffer, self._r(t, i.src0),
+                                   self._r(t, i.src1))
+        if i.dst is not None:
+            self._w(t, i.dst, old)
+        t.pc += 1
+
+    def _op_lds(self, t, i):
+        addr = self._r(t, i.src0)
+        self._check_shared(addr)
+        self._w(t, i.dst, self.shared[addr])
+        t.pc += 1
+
+    def _op_sts(self, t, i):
+        addr = self._r(t, i.src0)
+        self._check_shared(addr)
+        self.shared[addr] = self._r(t, i.src1)
+        t.pc += 1
+
+    def _check_shared(self, addr: int) -> None:
+        if not 0 <= addr < len(self.shared):
+            raise ExecutionError(f"shared[{addr}] out of range")
+
+    def _op_bra(self, t, i):
+        t.pc = self.prog.labels[i.label]
+
+    def _op_cbra(self, t, i):
+        if self._r(t, i.src0) != 0:
+            t.pc = self.prog.labels[i.label]
+        else:
+            t.pc += 1
+
+    def _op_bar(self, t, i):
+        t.at_barrier = True
+        t.pc += 1
+
+    def _op_exit(self, t, i):
+        t.done = True
+
+    def _op_mark(self, t, i):
+        self.marks += 1
+        if self.first_mark_at is None:
+            self.first_mark_at = self.executed
+        if self.monitor is not None:
+            self.monitor.notify(self.sm_id, self.block_key)
+        t.pc += 1
+
+
+_HANDLERS = {
+    Op.MOVI: FunctionalBlockRun._op_movi,
+    Op.MOV: FunctionalBlockRun._op_mov,
+    Op.ADD: lambda s, t, i: s._alu(t, i, lambda a, b: a + b),
+    Op.SUB: lambda s, t, i: s._alu(t, i, lambda a, b: a - b),
+    Op.MUL: lambda s, t, i: s._alu(t, i, lambda a, b: a * b),
+    Op.DIV: FunctionalBlockRun._op_div,
+    Op.MOD: FunctionalBlockRun._op_mod,
+    Op.MIN: lambda s, t, i: s._alu(t, i, min),
+    Op.MAX: lambda s, t, i: s._alu(t, i, max),
+    Op.AND: lambda s, t, i: s._alu(t, i, lambda a, b: a & b),
+    Op.OR: lambda s, t, i: s._alu(t, i, lambda a, b: a | b),
+    Op.XOR: lambda s, t, i: s._alu(t, i, lambda a, b: a ^ b),
+    Op.SHL: lambda s, t, i: s._alu(t, i, lambda a, b: a << b),
+    Op.SHR: lambda s, t, i: s._alu(t, i, lambda a, b: a >> b),
+    Op.SETLT: lambda s, t, i: s._alu(t, i, lambda a, b: int(a < b)),
+    Op.SETLE: lambda s, t, i: s._alu(t, i, lambda a, b: int(a <= b)),
+    Op.SETEQ: lambda s, t, i: s._alu(t, i, lambda a, b: int(a == b)),
+    Op.SETNE: lambda s, t, i: s._alu(t, i, lambda a, b: int(a != b)),
+    Op.TID: FunctionalBlockRun._op_tid,
+    Op.CTAID: FunctionalBlockRun._op_ctaid,
+    Op.NTID: FunctionalBlockRun._op_ntid,
+    Op.LDG: FunctionalBlockRun._op_ldg,
+    Op.STG: FunctionalBlockRun._op_stg,
+    Op.ATOM: FunctionalBlockRun._op_atom,
+    Op.LDS: FunctionalBlockRun._op_lds,
+    Op.STS: FunctionalBlockRun._op_sts,
+    Op.BRA: FunctionalBlockRun._op_bra,
+    Op.CBRA: FunctionalBlockRun._op_cbra,
+    Op.BAR: FunctionalBlockRun._op_bar,
+    Op.EXIT: FunctionalBlockRun._op_exit,
+    Op.MARK: FunctionalBlockRun._op_mark,
+}
+
+
+def run_grid(prog: KernelProgram, num_blocks: int, threads_per_block: int,
+             gmem: GlobalMemory,
+             monitor: Optional[IdempotenceMonitor] = None) -> List[BlockResult]:
+    """Run every block of a grid to completion (block order is
+    irrelevant for correct kernels; we use ascending ids)."""
+    results = []
+    for block_id in range(num_blocks):
+        run = FunctionalBlockRun(prog, block_id, threads_per_block, gmem,
+                                 monitor=monitor,
+                                 sm_id=block_id % (monitor.num_sms if monitor else 1),
+                                 block_key=block_id)
+        results.append(run.run())
+    return results

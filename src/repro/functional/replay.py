@@ -1,0 +1,103 @@
+"""Idempotence-based state reconstruction (iGPU-style replay).
+
+The paper's related work (Menon et al., iGPU) uses the same idempotence
+property Chimera flushes with to implement precise exceptions: instead
+of checkpointing, re-execute from the last idempotent point up to the
+faulting instruction to reconstruct register state.
+
+This module demonstrates that mechanism on our IR: interrupt a block at
+an arbitrary executed-instruction count, throw its context away, and
+:func:`replay_to` re-executes the block from scratch for exactly the
+same number of instructions. While the block has not passed its first
+MARK, the reconstructed architectural state (registers, shared memory,
+per-thread PCs) is bit-identical to the lost one — which the test suite
+verifies — so a flush-capable SM gets precise exception support for
+free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ExecutionError
+from repro.functional.machine import BlockResult, FunctionalBlockRun, GlobalMemory
+from repro.idempotence.ir import KernelProgram
+
+
+@dataclass(frozen=True)
+class ArchState:
+    """Architectural snapshot of a thread block."""
+
+    executed_instructions: int
+    pcs: tuple
+    done_flags: tuple
+    registers: tuple  # tuple of per-thread register tuples
+    shared: tuple
+
+    @classmethod
+    def capture(cls, run: FunctionalBlockRun) -> "ArchState":
+        """Snapshot a running block's architectural state."""
+        return cls(
+            executed_instructions=run.executed,
+            pcs=tuple(t.pc for t in run.threads),
+            done_flags=tuple(t.done for t in run.threads),
+            registers=tuple(tuple(t.regs) for t in run.threads),
+            shared=tuple(run.shared),
+        )
+
+
+def run_and_interrupt(prog: KernelProgram, block_id: int, num_threads: int,
+                      gmem: GlobalMemory, stop_after: int
+                      ) -> tuple[ArchState, BlockResult]:
+    """Execute a block for ``stop_after`` instructions and capture the
+    architectural state at the interruption (the 'faulting' state an
+    exception would need to materialize)."""
+    run = FunctionalBlockRun(prog, block_id, num_threads, gmem)
+    result = run.run(max_instructions=stop_after)
+    return ArchState.capture(run), result
+
+
+def replay_to(prog: KernelProgram, block_id: int, num_threads: int,
+              gmem: GlobalMemory, executed_instructions: int
+              ) -> ArchState:
+    """Reconstruct the state at ``executed_instructions`` by
+    re-executing the block from its beginning (iGPU's recovery path).
+
+    The caller is responsible for only invoking this while the block is
+    idempotent (no MARK executed); past that point the re-execution
+    reads its own partial writes and the reconstruction diverges —
+    exactly the condition the runtime monitor tracks.
+    """
+    run = FunctionalBlockRun(prog, block_id, num_threads, gmem)
+    result = run.run(max_instructions=executed_instructions)
+    if result.executed_instructions != executed_instructions:
+        raise ExecutionError(
+            f"replay ended early: {result.executed_instructions} of "
+            f"{executed_instructions} instructions (block finished)")
+    return ArchState.capture(run)
+
+
+def states_equal(a: ArchState, b: ArchState) -> bool:
+    """Bit-exact architectural equality."""
+    return a == b
+
+
+def divergence_report(a: ArchState, b: ArchState) -> List[str]:
+    """Human-readable description of where two states differ."""
+    issues: List[str] = []
+    if a.executed_instructions != b.executed_instructions:
+        issues.append(
+            f"instruction counts differ: {a.executed_instructions} vs "
+            f"{b.executed_instructions}")
+    if a.pcs != b.pcs:
+        issues.append("per-thread PCs differ")
+    if a.done_flags != b.done_flags:
+        issues.append("thread completion flags differ")
+    if a.shared != b.shared:
+        issues.append("shared memory differs")
+    for tid, (ra, rb) in enumerate(zip(a.registers, b.registers)):
+        if ra != rb:
+            diffs = [i for i, (x, y) in enumerate(zip(ra, rb)) if x != y]
+            issues.append(f"thread {tid} registers differ at {diffs}")
+    return issues

@@ -1,0 +1,378 @@
+"""Cycle-level SM simulation of IR kernels with SIMT warps.
+
+Where :mod:`repro.functional.machine` is a functional reference and
+:mod:`repro.functional.smsim` an analytic roofline, this module actually
+clocks an SM: warps of ``simt_width`` threads execute in lockstep under
+*min-PC reconvergence* (each issue, the warp executes the instruction at
+the smallest program counter among its unfinished threads — a simple
+scheme that is correct for arbitrary control flow and charges divergence
+its natural serialization cost), warp schedulers arbitrate one issue per
+cycle (round-robin or greedy-then-oldest), memory operations park a warp
+for the memory latency, and barriers synchronize the warps of a block.
+
+It produces the same aggregates as the roofline (cycles/block, SM IPC)
+from first principles, so the two models cross-validate, and it exposes
+per-cycle behaviour (issue counts, stall breakdowns) the roofline cannot.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError, ExecutionError
+from repro.functional.machine import GlobalMemory, _Thread
+from repro.gpu.config import GPUConfig
+from repro.idempotence.ir import Instr, KernelProgram, Op
+from repro.idempotence.monitor import IdempotenceMonitor
+
+#: Issue-to-ready latency per op class, in cycles.
+ALU_LATENCY = 1
+SHARED_LATENCY = 4
+GLOBAL_LATENCY = 400
+ATOMIC_LATENCY = 500
+BARRIER_LATENCY = 1
+MARK_LATENCY = 4  # uncached mailbox store, fire-and-forget
+
+#: Safety valve.
+MAX_CYCLES = 5_000_000
+
+
+class SchedulerKind(enum.Enum):
+    """Warp-scheduler arbitration policies."""
+    ROUND_ROBIN = "rr"
+    GREEDY_THEN_OLDEST = "gto"
+
+
+def _op_latency(op: Op) -> int:
+    if op in (Op.LDG, Op.STG):
+        return GLOBAL_LATENCY
+    if op is Op.ATOM:
+        return ATOMIC_LATENCY
+    if op in (Op.LDS, Op.STS):
+        return SHARED_LATENCY
+    if op is Op.BAR:
+        return BARRIER_LATENCY
+    if op is Op.MARK:
+        return MARK_LATENCY
+    return ALU_LATENCY
+
+
+class _Warp:
+    """A SIMT warp: lockstep threads with min-PC reconvergence."""
+
+    __slots__ = ("warp_id", "block", "threads", "ready_at", "at_barrier",
+                 "issued")
+
+    def __init__(self, warp_id: int, block: "_Block", threads: List[_Thread]):
+        self.warp_id = warp_id
+        self.block = block
+        self.threads = threads
+        self.ready_at = 0
+        self.at_barrier = False
+        self.issued = 0
+
+    @property
+    def done(self) -> bool:
+        """True when nothing is left to execute."""
+        return all(t.done for t in self.threads)
+
+    def next_pc(self) -> int:
+        """Smallest PC among unfinished lanes (min-PC reconvergence)."""
+        return min(t.pc for t in self.threads if not t.done)
+
+    def active_threads(self) -> List[_Thread]:
+        """Lanes executing at the warp's current PC."""
+        pc = self.next_pc()
+        return [t for t in self.threads if not t.done and t.pc == pc]
+
+
+@dataclass
+class _Block:
+    block_id: int
+    warps: List[_Warp] = field(default_factory=list)
+    shared: List[int] = field(default_factory=list)
+    start_cycle: int = 0
+    finish_cycle: Optional[int] = None
+
+    @property
+    def done(self) -> bool:
+        """True when nothing is left to execute."""
+        return all(w.done for w in self.warps)
+
+    def barrier_release_ready(self) -> bool:
+        """True when every live warp reached the barrier."""
+        live = [w for w in self.warps if not w.done]
+        return bool(live) and all(w.at_barrier for w in live)
+
+
+@dataclass
+class WarpSimResult:
+    """Aggregates from clocking one SM."""
+
+    cycles: int
+    warp_instructions: int
+    blocks_completed: int
+    block_latencies: List[int]
+    issue_cycles: int      # cycles with a successful issue
+    idle_cycles: int       # cycles with every warp stalled/waiting
+    scheduler: str
+
+    @property
+    def ipc(self) -> float:
+        """Warp instructions per cycle."""
+        return self.warp_instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def issue_efficiency(self) -> float:
+        """Fraction of cycles that issued an instruction."""
+        return self.issue_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def mean_block_latency(self) -> float:
+        """Average block residence time in cycles."""
+        if not self.block_latencies:
+            return 0.0
+        return sum(self.block_latencies) / len(self.block_latencies)
+
+
+class WarpLevelSM:
+    """One SM executing resident blocks of a kernel, cycle by cycle."""
+
+    def __init__(self, prog: KernelProgram, threads_per_block: int,
+                 config: Optional[GPUConfig] = None,
+                 scheduler: SchedulerKind = SchedulerKind.GREEDY_THEN_OLDEST,
+                 gmem: Optional[GlobalMemory] = None,
+                 monitor: Optional[IdempotenceMonitor] = None,
+                 sm_id: int = 0,
+                 fast_forward: bool = True):
+        if threads_per_block < 1:
+            raise ConfigError("blocks need at least one thread")
+        self.prog = prog
+        self.threads_per_block = threads_per_block
+        self.config = config or GPUConfig()
+        self.scheduler = scheduler
+        self.gmem = gmem if gmem is not None else GlobalMemory(dict(prog.buffers))
+        self.monitor = monitor
+        self.sm_id = sm_id
+        #: Skip dead cycles to the next wake-up. Disabled when several
+        #: SMs are co-clocked by a device-level loop (their cycle
+        #: counters must advance in lockstep).
+        self.fast_forward = fast_forward
+        self.blocks: List[_Block] = []
+        self.cycle = 0
+        self._warp_count = 0
+        self._last_issued: Optional[_Warp] = None
+        self._rr_cursor = 0
+        self.issue_cycles = 0
+        self.idle_cycles = 0
+        self.warp_instructions = 0
+        self.block_latencies: List[int] = []
+
+    # ------------------------------------------------------------------
+
+    def add_block(self, block_id: int) -> _Block:
+        """Make a block resident (its warps join the schedulers)."""
+        block = _Block(block_id=block_id,
+                       shared=[0] * self.prog.shared_words,
+                       start_cycle=self.cycle)
+        width = self.config.simt_width
+        threads = [_Thread(t, self.prog.num_regs)
+                   for t in range(self.threads_per_block)]
+        for lane0 in range(0, self.threads_per_block, width):
+            warp = _Warp(self._warp_count, block, threads[lane0:lane0 + width])
+            self._warp_count += 1
+            block.warps.append(warp)
+        self.blocks.append(block)
+        return block
+
+    def run(self, max_cycles: int = MAX_CYCLES) -> WarpSimResult:
+        """Clock the SM until every resident block completes."""
+        while any(not b.done for b in self.blocks):
+            if self.cycle >= max_cycles:
+                raise ExecutionError(
+                    f"{self.prog.name}: exceeded {max_cycles} cycles")
+            self._tick()
+        return WarpSimResult(
+            cycles=self.cycle,
+            warp_instructions=self.warp_instructions,
+            blocks_completed=sum(1 for b in self.blocks if b.done),
+            block_latencies=list(self.block_latencies),
+            issue_cycles=self.issue_cycles,
+            idle_cycles=self.idle_cycles,
+            scheduler=self.scheduler.value,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self.cycle += 1
+        self._release_barriers()
+        warp = self._pick_warp()
+        if warp is None:
+            self.idle_cycles += 1
+            if self.fast_forward:
+                self._fast_forward()
+            return
+        self._issue(warp)
+        self.issue_cycles += 1
+
+    def _release_barriers(self) -> None:
+        for block in self.blocks:
+            if block.barrier_release_ready():
+                for warp in block.warps:
+                    warp.at_barrier = False
+
+    def _ready(self, warp: _Warp) -> bool:
+        return (not warp.done and not warp.at_barrier
+                and warp.ready_at <= self.cycle)
+
+    def _all_warps(self) -> List[_Warp]:
+        return [w for b in self.blocks for w in b.warps]
+
+    def _pick_warp(self) -> Optional[_Warp]:
+        warps = self._all_warps()
+        ready = [w for w in warps if self._ready(w)]
+        if not ready:
+            return None
+        if self.scheduler is SchedulerKind.GREEDY_THEN_OLDEST:
+            if self._last_issued in ready:
+                return self._last_issued
+            return min(ready, key=lambda w: w.warp_id)
+        # Round-robin from the cursor.
+        order = sorted(ready, key=lambda w: ((w.warp_id - self._rr_cursor)
+                                             % max(self._warp_count, 1)))
+        pick = order[0]
+        self._rr_cursor = (pick.warp_id + 1) % max(self._warp_count, 1)
+        return pick
+
+    def _fast_forward(self) -> None:
+        """Skip dead cycles to the next warp wake-up (keeps long memory
+        latencies cheap to simulate without changing the cycle count)."""
+        pending = [w.ready_at for w in self._all_warps()
+                   if not w.done and not w.at_barrier]
+        if pending:
+            target = min(pending)
+            if target > self.cycle:
+                self.idle_cycles += target - self.cycle - 1
+                self.cycle = target - 1
+
+    # ------------------------------------------------------------------
+
+    def _issue(self, warp: _Warp) -> None:
+        pc = warp.next_pc()
+        if pc >= len(self.prog.instrs):
+            raise ExecutionError(f"{self.prog.name}: warp fell off the end")
+        instr = self.prog.instrs[pc]
+        active = warp.active_threads()
+        for thread in active:
+            self._execute_lane(warp, thread, instr)
+        warp.issued += 1
+        self.warp_instructions += 1
+        warp.ready_at = self.cycle + _op_latency(instr.op)
+        self._last_issued = warp
+        if warp.block.done and warp.block.finish_cycle is None:
+            warp.block.finish_cycle = self.cycle
+            self.block_latencies.append(self.cycle - warp.block.start_cycle)
+
+    def _execute_lane(self, warp: _Warp, t: _Thread, i: Instr) -> None:
+        block = warp.block
+        regs = t.regs
+
+        def r(reg):
+            return regs[reg]
+
+        op = i.op
+        if op is Op.MOVI:
+            regs[i.dst] = i.imm or 0
+        elif op is Op.MOV:
+            regs[i.dst] = r(i.src0)
+        elif op is Op.ADD:
+            regs[i.dst] = r(i.src0) + r(i.src1)
+        elif op is Op.SUB:
+            regs[i.dst] = r(i.src0) - r(i.src1)
+        elif op is Op.MUL:
+            regs[i.dst] = r(i.src0) * r(i.src1)
+        elif op is Op.DIV:
+            if r(i.src1) == 0:
+                raise ExecutionError("division by zero")
+            regs[i.dst] = r(i.src0) // r(i.src1)
+        elif op is Op.MOD:
+            if r(i.src1) == 0:
+                raise ExecutionError("modulo by zero")
+            regs[i.dst] = r(i.src0) % r(i.src1)
+        elif op is Op.MIN:
+            regs[i.dst] = min(r(i.src0), r(i.src1))
+        elif op is Op.MAX:
+            regs[i.dst] = max(r(i.src0), r(i.src1))
+        elif op is Op.AND:
+            regs[i.dst] = r(i.src0) & r(i.src1)
+        elif op is Op.OR:
+            regs[i.dst] = r(i.src0) | r(i.src1)
+        elif op is Op.XOR:
+            regs[i.dst] = r(i.src0) ^ r(i.src1)
+        elif op is Op.SHL:
+            regs[i.dst] = r(i.src0) << r(i.src1)
+        elif op is Op.SHR:
+            regs[i.dst] = r(i.src0) >> r(i.src1)
+        elif op is Op.SETLT:
+            regs[i.dst] = int(r(i.src0) < r(i.src1))
+        elif op is Op.SETLE:
+            regs[i.dst] = int(r(i.src0) <= r(i.src1))
+        elif op is Op.SETEQ:
+            regs[i.dst] = int(r(i.src0) == r(i.src1))
+        elif op is Op.SETNE:
+            regs[i.dst] = int(r(i.src0) != r(i.src1))
+        elif op is Op.TID:
+            regs[i.dst] = t.tid
+        elif op is Op.CTAID:
+            regs[i.dst] = block.block_id
+        elif op is Op.NTID:
+            regs[i.dst] = self.threads_per_block
+        elif op is Op.LDG:
+            regs[i.dst] = self.gmem.load(i.buffer, r(i.src0))
+        elif op is Op.STG:
+            self.gmem.store(i.buffer, r(i.src0), r(i.src1))
+        elif op is Op.ATOM:
+            old = self.gmem.atomic_add(i.buffer, r(i.src0), r(i.src1))
+            if i.dst is not None:
+                regs[i.dst] = old
+        elif op is Op.LDS:
+            regs[i.dst] = block.shared[r(i.src0)]
+        elif op is Op.STS:
+            block.shared[r(i.src0)] = r(i.src1)
+        elif op is Op.BRA:
+            t.pc = self.prog.labels[i.label]
+            return
+        elif op is Op.CBRA:
+            if r(i.src0) != 0:
+                t.pc = self.prog.labels[i.label]
+            else:
+                t.pc += 1
+            return
+        elif op is Op.BAR:
+            warp.at_barrier = True
+            t.pc += 1
+            return
+        elif op is Op.EXIT:
+            t.done = True
+            return
+        elif op is Op.MARK:
+            if self.monitor is not None:
+                self.monitor.notify(self.sm_id, block.block_id)
+        else:  # pragma: no cover - exhaustive
+            raise ExecutionError(f"unhandled op {op}")
+        t.pc += 1
+
+
+def clock_kernel(prog: KernelProgram, threads_per_block: int,
+                 resident_blocks: int = 4,
+                 config: Optional[GPUConfig] = None,
+                 scheduler: SchedulerKind = SchedulerKind.GREEDY_THEN_OLDEST,
+                 gmem: Optional[GlobalMemory] = None) -> WarpSimResult:
+    """Convenience wrapper: one SM, ``resident_blocks`` blocks, run all."""
+    sm = WarpLevelSM(prog, threads_per_block, config, scheduler, gmem)
+    for block_id in range(resident_blocks):
+        sm.add_block(block_id)
+    return sm.run()

@@ -1,0 +1,20 @@
+"""GPU machine model: configuration, SMs, thread blocks, kernels, memory."""
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.kernel import Kernel, KernelStats
+from repro.gpu.threadblock import ThreadBlock, TBState
+from repro.gpu.sm import StreamingMultiprocessor, SMState
+from repro.gpu.memory import MemorySubsystem
+from repro.gpu.gpu import GPU
+
+__all__ = [
+    "GPUConfig",
+    "Kernel",
+    "KernelStats",
+    "ThreadBlock",
+    "TBState",
+    "StreamingMultiprocessor",
+    "SMState",
+    "MemorySubsystem",
+    "GPU",
+]

@@ -1,0 +1,101 @@
+"""Machine description (the paper's Table 1) and derived quantities.
+
+The default configuration models the Fermi-class GPU the paper
+simulates: 30 SMs at 1400 MHz, 8-wide SIMT, 32768 registers and 48 kB of
+shared memory per SM, at most 8 resident thread blocks per SM, and a
+memory subsystem with 6 partitions totalling 177.4 GB/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.units import KB, bytes_per_cycle, us_to_cycles
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Immutable machine description.
+
+    Attributes mirror Table 1 of the paper; extra fields parameterize
+    the synthetic substrate (documented in DESIGN.md §5).
+    """
+
+    num_sms: int = 30
+    clock_mhz: float = 1400.0
+    simt_width: int = 8
+    registers_per_sm: int = 32768
+    max_tbs_per_sm: int = 8
+    shared_memory_bytes: int = 48 * KB
+    num_memory_partitions: int = 6
+    memory_bandwidth_gbps: float = 177.4
+
+    #: Fixed pipeline-reset cost of flushing an SM, in cycles. The paper
+    #: treats flush latency as zero; a handful of cycles models the
+    #: reset circuit without changing any conclusion.
+    flush_reset_cycles: float = 0.0
+
+    #: Scheduling overhead charged per preemption decision, in cycles.
+    decision_overhead_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_sms < 1:
+            raise ConfigError("num_sms must be >= 1")
+        if self.clock_mhz <= 0:
+            raise ConfigError("clock_mhz must be positive")
+        if self.simt_width < 1:
+            raise ConfigError("simt_width must be >= 1")
+        if self.max_tbs_per_sm < 1:
+            raise ConfigError("max_tbs_per_sm must be >= 1")
+        if self.memory_bandwidth_gbps <= 0:
+            raise ConfigError("memory_bandwidth_gbps must be positive")
+        if self.num_memory_partitions < 1:
+            raise ConfigError("num_memory_partitions must be >= 1")
+        if self.shared_memory_bytes < 0 or self.registers_per_sm < 0:
+            raise ConfigError("per-SM storage sizes must be non-negative")
+
+    @property
+    def bandwidth_bytes_per_cycle(self) -> float:
+        """Aggregate DRAM bandwidth in bytes per core cycle."""
+        return bytes_per_cycle(self.memory_bandwidth_gbps, self.clock_mhz)
+
+    @property
+    def sm_bandwidth_bytes_per_cycle(self) -> float:
+        """One SM's even share of DRAM bandwidth, in bytes per cycle.
+
+        The paper estimates context-switch latency assuming an SM has
+        only its share of global memory bandwidth for context traffic.
+        """
+        return self.bandwidth_bytes_per_cycle / self.num_sms
+
+    def us(self, us_value: float) -> float:
+        """Convert microseconds to cycles under this config's clock."""
+        return us_to_cycles(us_value, self.clock_mhz)
+
+    def context_switch_cycles(self, context_bytes: int) -> float:
+        """Cycles to move ``context_bytes`` over one SM's bandwidth share.
+
+        This is the one-way (save *or* load) cost; the paper doubles it
+        when charging throughput overhead.
+        """
+        if context_bytes < 0:
+            raise ConfigError("context size must be non-negative")
+        return context_bytes / self.sm_bandwidth_bytes_per_cycle
+
+    def describe(self) -> str:
+        """Human-readable Table 1 style dump."""
+        lines = [
+            f"SM                {self.num_sms} SMs, {self.clock_mhz:.0f} MHz, "
+            f"{self.simt_width} SIMT width",
+            f"                  {self.registers_per_sm} registers per SM",
+            f"                  {self.max_tbs_per_sm} maximum thread blocks per SM",
+            f"                  {self.shared_memory_bytes // KB} kB shared memory",
+            f"Memory Subsystem  {self.num_memory_partitions} memory partitions",
+            f"                  {self.memory_bandwidth_gbps} GB/s bandwidth",
+        ]
+        return "\n".join(lines)
+
+
+#: The paper's evaluated machine.
+FERMI_30SM = GPUConfig()

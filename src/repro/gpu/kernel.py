@@ -1,0 +1,204 @@
+"""Kernel runtime instances for the fluid-timing GPU model.
+
+A :class:`Kernel` owns a grid of thread blocks generated lazily from its
+:class:`~repro.workloads.specs.KernelSpec`. Per-TB instruction counts
+are drawn lognormally around the spec's mean and the first
+non-idempotent point (for non-idempotent kernels) is drawn from the
+spec's Beta distribution — clustered near the end of the block, as the
+paper observes.
+
+The kernel also accumulates the statistics Chimera's online cost model
+needs and the counters the experiment harness reports.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.errors import SimulationError
+from repro.gpu.threadblock import ThreadBlock
+from repro.sim.rng import RngStreams
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a gpu<->workloads cycle
+    from repro.workloads.specs import KernelSpec
+
+_kernel_ids = itertools.count()
+
+
+class KernelStats:
+    """Counters accumulated over a kernel instance's lifetime."""
+
+    __slots__ = (
+        "tbs_completed", "insts_retired", "cycles_retired", "insts_discarded",
+        "stall_insts", "idle_slot_insts", "preemptions",
+        "flushes", "switches", "drains", "tb_insts_sumsq", "tb_insts_max",
+    )
+
+    def __init__(self) -> None:
+        self.tbs_completed = 0
+        self.insts_retired = 0.0
+        self.cycles_retired = 0.0
+        #: Sum of squared per-TB instruction counts (for the cost
+        #: model's conservative drain estimate).
+        self.tb_insts_sumsq = 0.0
+        #: Largest completed-TB instruction count seen so far.
+        self.tb_insts_max = 0.0
+        #: Work thrown away by flushing (re-executed instructions).
+        self.insts_discarded = 0.0
+        #: Work forgone while context save/load DMAs stall blocks.
+        self.stall_insts = 0.0
+        #: Work forgone while preemption holds SM slots idle.
+        self.idle_slot_insts = 0.0
+        self.preemptions = 0
+        self.flushes = 0
+        self.switches = 0
+        self.drains = 0
+
+    @property
+    def wasted_insts(self) -> float:
+        """Total throughput overhead in instructions (paper §3.2 units)."""
+        return self.insts_discarded + self.stall_insts + self.idle_slot_insts
+
+
+class Kernel:
+    """A launched kernel: a grid of thread blocks plus statistics."""
+
+    def __init__(self, spec: KernelSpec, grid_tbs: int, rng: RngStreams,
+                 name: Optional[str] = None, clock_mhz: float = 1400.0):
+        if grid_tbs < 1:
+            raise SimulationError(f"kernel {spec.label}: grid must have >= 1 TB")
+        self.kernel_id = next(_kernel_ids)
+        self.spec = spec
+        self.grid_tbs = grid_tbs
+        self.name = name or f"{spec.label}/k{self.kernel_id}"
+        self.clock_mhz = clock_mhz
+        self._rng = rng
+        self._next_index = 0
+        self.stats = KernelStats()
+        self.launch_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        #: Blocks currently resident on SMs (for live-progress queries).
+        self._live: List[ThreadBlock] = []
+
+    # ------------------------------------------------------------------
+    # grid generation
+    # ------------------------------------------------------------------
+
+    @property
+    def mean_tb_insts(self) -> float:
+        """Mean instructions per block (measured or oracle)."""
+        return self.spec.mean_tb_instructions(self.clock_mhz)
+
+    def make_tb(self) -> ThreadBlock:
+        """Generate the next thread block of the grid."""
+        if self._next_index >= self.grid_tbs:
+            raise SimulationError(f"kernel {self.name}: grid exhausted")
+        index = self._next_index
+        self._next_index += 1
+        stream = f"tb:{self.spec.label}"
+        total = self._rng.lognormal(stream, self.mean_tb_insts, self.spec.tb_cv)
+        total = max(total, 1.0)
+        # Per-TB wall-clock jitter enters through the rate.
+        cpi_jitter = self._rng.lognormal(f"cpi:{self.spec.label}", 1.0, self.spec.cpi_cv)
+        rate = self.spec.tb_rate / cpi_jitter
+        if self.spec.idempotent:
+            nonidem_at = math.inf
+        else:
+            frac = self._rng.beta(f"idem:{self.spec.label}", *self.spec.nonidem_beta)
+            nonidem_at = frac * total
+        return ThreadBlock(self, index, total, rate, nonidem_at)
+
+    @property
+    def undispatched_tbs(self) -> int:
+        """Fresh blocks never handed out yet (excludes preempted ones)."""
+        return self.grid_tbs - self._next_index
+
+    # ------------------------------------------------------------------
+    # residency + completion tracking
+    # ------------------------------------------------------------------
+
+    def note_resident(self, tb: ThreadBlock) -> None:
+        """Track a block placed on an SM."""
+        self._live.append(tb)
+
+    def note_off_sm(self, tb: ThreadBlock) -> None:
+        """Track a block leaving an SM."""
+        try:
+            self._live.remove(tb)
+        except ValueError:
+            raise SimulationError(f"{tb!r} was not resident") from None
+
+    def note_completed(self, tb: ThreadBlock) -> None:
+        """Retire a finished block into the statistics."""
+        self.note_off_sm(tb)
+        self.stats.tbs_completed += 1
+        self.stats.insts_retired += tb.total_insts
+        self.stats.cycles_retired += tb.executed_cycles
+        self.stats.tb_insts_sumsq += tb.total_insts * tb.total_insts
+        if tb.total_insts > self.stats.tb_insts_max:
+            self.stats.tb_insts_max = tb.total_insts
+
+    @property
+    def finished(self) -> bool:
+        """True once every grid block retired."""
+        return self.stats.tbs_completed >= self.grid_tbs
+
+    def live_progress_insts(self, now: float) -> float:
+        """Instructions executed by currently-resident blocks up to now."""
+        total = 0.0
+        for tb in self._live:
+            tb.advance_to(now)
+            total += tb.executed_insts
+        return total
+
+    def useful_insts(self, now: float) -> float:
+        """Retired plus live-but-not-yet-retired instructions.
+
+        Saved (context-switched-out) blocks keep their progress; that
+        progress is *not* counted here until they retire, matching how a
+        hardware instruction counter would report committed work. The
+        small understatement is identical across policies.
+        """
+        return self.stats.insts_retired + self.live_progress_insts(now)
+
+    # ------------------------------------------------------------------
+    # online statistics for the cost model (paper §3.2)
+    # ------------------------------------------------------------------
+
+    def observed_mean_tb_insts(self) -> Optional[float]:
+        """Mean instructions per completed TB, or None before the first
+        completion (the cost model then uses its conservative maximum)."""
+        if self.stats.tbs_completed == 0:
+            return None
+        return self.stats.insts_retired / self.stats.tbs_completed
+
+    def observed_max_tb_insts(self) -> Optional[float]:
+        """Largest completed-TB instruction count, or None before the
+        first completion."""
+        if self.stats.tbs_completed == 0:
+            return None
+        return self.stats.tb_insts_max
+
+    def observed_std_tb_insts(self) -> Optional[float]:
+        """Standard deviation of instructions per completed TB, or None
+        until two blocks have completed."""
+        n = self.stats.tbs_completed
+        if n < 2:
+            return None
+        mean = self.stats.insts_retired / n
+        variance = max(0.0, self.stats.tb_insts_sumsq / n - mean * mean)
+        return math.sqrt(variance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Kernel {self.name} {self.stats.tbs_completed}/{self.grid_tbs} done>")
+
+
+def reset_kernel_ids() -> None:
+    """Restart the global kernel-id counter (test isolation helper)."""
+    global _kernel_ids
+    _kernel_ids = itertools.count()
+
+
+__all__ = ["Kernel", "KernelStats", "reset_kernel_ids"]

@@ -1,0 +1,53 @@
+"""Memory subsystem model: bandwidth shares and context DMA timing.
+
+The paper sizes context-switch latency by assuming an SM moves its
+context over its even share of global memory bandwidth (§2.4). This
+module provides that timing plus simple accounting of context traffic
+per memory partition, so experiments can report how many bytes each
+technique moved.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigError
+from repro.gpu.config import GPUConfig
+
+
+class MemorySubsystem:
+    """Bandwidth model with per-partition traffic accounting."""
+
+    def __init__(self, config: GPUConfig):
+        self.config = config
+        self.partition_bytes: List[float] = [0.0] * config.num_memory_partitions
+        self.total_context_bytes = 0.0
+        self.dma_count = 0
+
+    def dma_cycles(self, nbytes: int) -> float:
+        """Cycles for one SM to move ``nbytes`` of context over its
+        bandwidth share. Zero bytes cost zero cycles."""
+        if nbytes < 0:
+            raise ConfigError("DMA size must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return nbytes / self.config.sm_bandwidth_bytes_per_cycle
+
+    def record_dma(self, nbytes: int, home_sm: int) -> float:
+        """Account a context DMA and return its duration in cycles.
+
+        Traffic is spread across partitions by address interleaving;
+        attributing the whole transfer to ``home_sm mod partitions``
+        keeps the accounting simple while preserving totals.
+        """
+        cycles = self.dma_cycles(nbytes)
+        self.partition_bytes[home_sm % len(self.partition_bytes)] += nbytes
+        self.total_context_bytes += nbytes
+        self.dma_count += 1
+        return cycles
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.partition_bytes = [0.0] * self.config.num_memory_partitions
+        self.total_context_bytes = 0.0
+        self.dma_count = 0

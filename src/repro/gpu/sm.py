@@ -1,0 +1,348 @@
+"""Streaming multiprocessor model with preemption support.
+
+An SM holds up to ``kernel.spec.tbs_per_sm`` resident thread blocks that
+progress at their fixed fluid rates. Every externally visible action
+(dispatch, completion, preemption, release) first advances resident
+blocks to the current time, so progress accounting is exact.
+
+Preemption follows the paper's mechanics:
+
+* **Flush** — resident blocks drop instantly (reset circuit); their
+  executed work is discarded and they go back to the scheduler's
+  preempted queue to rerun from scratch.
+* **Switch** — blocks halt immediately, their contexts DMA out over the
+  SM's bandwidth share (serialized), then they wait in the preempted
+  queue with progress intact. Restoring later costs a symmetric DMA.
+* **Drain** — blocks run to completion; no new blocks are dispatched.
+
+The SM hands itself over once every drained block finished *and* the
+save DMA (if any) completed. Realized preemption latency is measured
+from the preemption call to that hand-over.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol
+
+from repro.core.techniques import Technique
+from repro.errors import PreemptionError, SchedulingError
+from repro.gpu.config import GPUConfig
+from repro.gpu.kernel import Kernel
+from repro.gpu.memory import MemorySubsystem
+from repro.gpu.threadblock import TBState, ThreadBlock
+from repro.sim.engine import Engine, Event
+
+
+class SMState(enum.Enum):
+    """Lifecycle of an SM."""
+    IDLE = "idle"
+    RUNNING = "running"
+    PREEMPTING = "preempting"
+
+
+@dataclass
+class PreemptionRecord:
+    """Outcome of one SM preemption, reported on hand-over."""
+
+    sm_id: int
+    kernel_name: str
+    request_time: float
+    release_time: float = 0.0
+    techniques: Dict[Technique, int] = field(default_factory=dict)
+    estimated_latency: float = 0.0
+    estimated_overhead: float = 0.0
+
+    @property
+    def realized_latency(self) -> float:
+        """Hand-over delay actually experienced, in cycles."""
+        return self.release_time - self.request_time
+
+
+class SMListener(Protocol):
+    """Callbacks an SM raises toward the thread-block scheduler."""
+
+    def on_tb_complete(self, sm: "StreamingMultiprocessor", tb: ThreadBlock) -> None:
+        """A block finished; the slot is free for a refill."""
+
+    def on_tb_preempted(self, tb: ThreadBlock) -> None:
+        """A flushed or switched-out block needs re-dispatching later."""
+
+    def on_sm_released(self, sm: "StreamingMultiprocessor",
+                       record: PreemptionRecord) -> None:
+        """The SM finished preempting and is idle."""
+
+
+class StreamingMultiprocessor:
+    """One SM of the fluid-timing GPU."""
+
+    def __init__(self, sm_id: int, config: GPUConfig, engine: Engine,
+                 memory: MemorySubsystem, listener: SMListener):
+        self.sm_id = sm_id
+        self.config = config
+        self.engine = engine
+        self.memory = memory
+        self.listener = listener
+        self.state = SMState.IDLE
+        self.kernel: Optional[Kernel] = None
+        self.resident: List[ThreadBlock] = []
+        self._completion_events: Dict[int, Event] = {}
+        self._load_events: Dict[int, Event] = {}
+        # preemption bookkeeping
+        self._record: Optional[PreemptionRecord] = None
+        self._draining: List[ThreadBlock] = []
+        self._save_pending = False
+        #: (vacate_time, fluid_rate) per slot emptied mid-preemption.
+        self._vacated: List[tuple[float, float]] = []
+
+    # ------------------------------------------------------------------
+    # capacity
+    # ------------------------------------------------------------------
+
+    @property
+    def max_slots(self) -> int:
+        """Resident-block capacity under the current kernel."""
+        if self.kernel is None:
+            return 0
+        return min(self.kernel.spec.tbs_per_sm, self.config.max_tbs_per_sm)
+
+    @property
+    def free_slots(self) -> int:
+        """Open resident-block slots."""
+        return self.max_slots - len(self.resident)
+
+    @property
+    def is_preempting(self) -> bool:
+        """True while a preemption is in flight."""
+        return self.state is SMState.PREEMPTING
+
+    def advance(self) -> None:
+        """Bring all resident blocks' progress up to the current time."""
+        now = self.engine.now
+        for tb in self.resident:
+            tb.advance_to(now)
+
+    # ------------------------------------------------------------------
+    # assignment and dispatch
+    # ------------------------------------------------------------------
+
+    def assign(self, kernel: Kernel) -> None:
+        """Bind an idle SM to a kernel."""
+        if self.state is not SMState.IDLE or self.resident:
+            raise SchedulingError(f"SM{self.sm_id}: assign while busy")
+        self.kernel = kernel
+        self.state = SMState.RUNNING
+
+    def unassign(self) -> None:
+        """Detach from a kernel once nothing is resident."""
+        if self.resident:
+            raise SchedulingError(f"SM{self.sm_id}: unassign with resident blocks")
+        if self.state is SMState.PREEMPTING:
+            raise SchedulingError(f"SM{self.sm_id}: unassign mid-preemption")
+        self.kernel = None
+        self.state = SMState.IDLE
+
+    def dispatch(self, tb: ThreadBlock) -> None:
+        """Place a block on this SM. Saved blocks pay a restore DMA
+        before they start progressing."""
+        if self.state is not SMState.RUNNING or self.kernel is None:
+            raise SchedulingError(f"SM{self.sm_id}: dispatch while {self.state.value}")
+        if tb.kernel is not self.kernel:
+            raise SchedulingError(
+                f"SM{self.sm_id}: block of {tb.kernel.name} on SM running "
+                f"{self.kernel.name}")
+        if self.free_slots <= 0:
+            raise SchedulingError(f"SM{self.sm_id}: no free slot")
+        now = self.engine.now
+        self.resident.append(tb)
+        self.kernel.note_resident(tb)
+        if tb.state is TBState.SAVED:
+            tb.begin_load(now)
+            load_cycles = self.memory.record_dma(tb.context_bytes, self.sm_id)
+            self.kernel.stats.stall_insts += load_cycles * tb.rate
+            self._load_events[tb.index] = self.engine.schedule(
+                load_cycles, lambda: self._finish_load(tb),
+                f"SM{self.sm_id}:load:{tb.index}")
+        else:
+            tb.start_running(now)
+            self._schedule_completion(tb)
+
+    def _finish_load(self, tb: ThreadBlock) -> None:
+        self._load_events.pop(tb.index, None)
+        tb.start_running(self.engine.now)
+        self._schedule_completion(tb)
+
+    def _schedule_completion(self, tb: ThreadBlock) -> None:
+        delay = tb.completion_delay()
+        self._completion_events[tb.index] = self.engine.schedule(
+            delay, lambda: self._complete(tb), f"SM{self.sm_id}:done:{tb.index}")
+
+    def _complete(self, tb: ThreadBlock) -> None:
+        self._completion_events.pop(tb.index, None)
+        now = self.engine.now
+        tb.mark_done(now)
+        self.resident.remove(tb)
+        tb.kernel.note_completed(tb)
+        if self.state is SMState.PREEMPTING:
+            if tb in self._draining:
+                self._draining.remove(tb)
+            self._vacated.append((now, tb.rate))
+            self._maybe_release()
+        else:
+            self.listener.on_tb_complete(self, tb)
+
+    # ------------------------------------------------------------------
+    # preemption
+    # ------------------------------------------------------------------
+
+    def preempt(self, plan: Dict[ThreadBlock, Technique],
+                estimated_latency: float = 0.0,
+                estimated_overhead: float = 0.0) -> PreemptionRecord:
+        """Execute a per-block preemption plan.
+
+        ``plan`` must cover exactly the resident blocks. Returns the
+        record that will be completed (release_time filled) when the SM
+        hands over.
+        """
+        if self.state is not SMState.RUNNING or self.kernel is None:
+            raise PreemptionError(f"SM{self.sm_id}: preempt while {self.state.value}")
+        if set(plan) != set(self.resident):
+            raise PreemptionError(
+                f"SM{self.sm_id}: plan does not cover resident blocks")
+        now = self.engine.now
+        self.advance()
+        kernel = self.kernel
+        record = PreemptionRecord(
+            sm_id=self.sm_id, kernel_name=kernel.name, request_time=now,
+            estimated_latency=estimated_latency,
+            estimated_overhead=estimated_overhead)
+        for tech in Technique:
+            count = sum(1 for t in plan.values() if t is tech)
+            if count:
+                record.techniques[tech] = count
+        kernel.stats.preemptions += 1
+
+        self.state = SMState.PREEMPTING
+        self._record = record
+        self._draining = []
+        self._save_pending = False
+        self._vacated = []
+
+        switch_bytes = 0
+        switched: List[ThreadBlock] = []
+        for tb, tech in plan.items():
+            if tech is Technique.FLUSH:
+                self._cancel_tb_events(tb)
+                discarded = tb.flush(now)
+                kernel.stats.insts_discarded += discarded
+                kernel.stats.flushes += 1
+                kernel.note_off_sm(tb)
+                self.resident.remove(tb)
+                self._vacated.append((now, tb.rate))
+                self.listener.on_tb_preempted(tb)
+            elif tech is Technique.SWITCH:
+                self._cancel_tb_events(tb)
+                if tb.state is TBState.LOADING:
+                    # Load was in flight: abandon it; context is still
+                    # in memory, so the block reverts to SAVED for free.
+                    tb.state = TBState.SAVED
+                    kernel.note_off_sm(tb)
+                    self.resident.remove(tb)
+                    self._vacated.append((now, tb.rate))
+                    kernel.stats.switches += 1
+                    self.listener.on_tb_preempted(tb)
+                    continue
+                tb.halt(now)
+                switch_bytes += tb.context_bytes
+                switched.append(tb)
+                kernel.stats.switches += 1
+            elif tech is Technique.DRAIN:
+                self._draining.append(tb)
+                kernel.stats.drains += 1
+            else:  # pragma: no cover - exhaustive enum
+                raise PreemptionError(f"unknown technique {tech}")
+
+        if switched:
+            self._save_pending = True
+            save_cycles = self.memory.record_dma(switch_bytes, self.sm_id)
+            for tb in switched:
+                kernel.stats.stall_insts += save_cycles * tb.rate
+            self.engine.schedule(save_cycles, lambda: self._finish_save(switched),
+                                 f"SM{self.sm_id}:save")
+        self._maybe_release()
+        return record
+
+    def _cancel_tb_events(self, tb: ThreadBlock) -> None:
+        event = self._completion_events.pop(tb.index, None)
+        if event is not None:
+            event.cancel()
+        load = self._load_events.pop(tb.index, None)
+        if load is not None:
+            load.cancel()
+
+    def _finish_save(self, switched: List[ThreadBlock]) -> None:
+        now = self.engine.now
+        kernel = self.kernel
+        assert kernel is not None
+        for tb in switched:
+            tb.save_context(now)
+            kernel.note_off_sm(tb)
+            self.resident.remove(tb)
+            self._vacated.append((now, tb.rate))
+            self.listener.on_tb_preempted(tb)
+        self._save_pending = False
+        self._maybe_release()
+
+    def _maybe_release(self) -> None:
+        if self.state is not SMState.PREEMPTING:
+            return
+        if self._draining or self._save_pending:
+            return
+        assert self._record is not None and self.kernel is not None
+        now = self.engine.now
+        record = self._record
+        record.release_time = now
+        kernel = self.kernel
+        # Slots vacated before the hand-over did no useful work while
+        # the stragglers finished: charge that as idle-slot overhead.
+        for vacated_at, rate in self._vacated:
+            idle = now - vacated_at
+            if idle > 0:
+                kernel.stats.idle_slot_insts += idle * rate
+        self._record = None
+        self._vacated = []
+        self.kernel = None
+        self.state = SMState.IDLE
+        self.listener.on_sm_released(self, record)
+
+    def abort_all(self) -> List[ThreadBlock]:
+        """Drop every resident block without preserving anything.
+
+        Used when a kernel is killed (missed-deadline real-time task).
+        Returns the dropped blocks. The SM stays assigned; the caller
+        unassigns it.
+        """
+        if self.state is SMState.PREEMPTING:
+            raise PreemptionError(f"SM{self.sm_id}: abort mid-preemption")
+        self.advance()
+        dropped: List[ThreadBlock] = []
+        for tb in list(self.resident):
+            self._cancel_tb_events(tb)
+            self.resident.remove(tb)
+            self.kernel.note_off_sm(tb)
+            dropped.append(tb)
+        return dropped
+
+    # ------------------------------------------------------------------
+    # introspection for the cost model
+    # ------------------------------------------------------------------
+
+    def resident_snapshot(self) -> List[ThreadBlock]:
+        """Advance and return resident blocks (cost model input)."""
+        self.advance()
+        return list(self.resident)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        who = self.kernel.name if self.kernel else "-"
+        return f"<SM{self.sm_id} {self.state.value} {who} {len(self.resident)} TBs>"

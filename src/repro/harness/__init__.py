@@ -1,0 +1,35 @@
+"""Experiment harness: one entry point per paper table/figure."""
+
+from repro.harness.runner import (
+    SimSystem,
+    SoloResult,
+    PairResult,
+    PeriodicResult,
+    run_solo,
+    run_pair,
+    run_periodic,
+)
+from repro.harness.experiments import (
+    figure6_7,
+    figure8,
+    figure9,
+    figure10_11,
+    PeriodicSweepResult,
+    CaseStudyResult,
+)
+
+__all__ = [
+    "SimSystem",
+    "SoloResult",
+    "PairResult",
+    "PeriodicResult",
+    "run_solo",
+    "run_pair",
+    "run_periodic",
+    "figure6_7",
+    "figure8",
+    "figure9",
+    "figure10_11",
+    "PeriodicSweepResult",
+    "CaseStudyResult",
+]

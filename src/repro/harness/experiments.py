@@ -1,0 +1,213 @@
+"""Figure-level experiment drivers.
+
+Each function regenerates one of the paper's evaluation artifacts
+(DESIGN.md §4 maps them). They wrap the scenario runners in
+:mod:`repro.harness.runner`, sweep the paper's parameters, and return
+structured results the benchmark harness formats into tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.chimera import POLICY_NAMES
+from repro.core.techniques import Technique
+from repro.gpu.config import GPUConfig
+from repro.harness.runner import (
+    PairResult,
+    PeriodicResult,
+    run_pair,
+    run_periodic,
+    run_solo,
+)
+from repro.metrics.metrics import antt, normalized_turnaround, stp
+from repro.sched.kernel_scheduler import SchedulerMode
+from repro.workloads.multiprogram import MultiprogramWorkload
+from repro.workloads.specs import benchmark_labels
+
+#: Default scaled instruction budget for case-study runs.
+DEFAULT_BUDGET = 8e6
+
+#: Default number of 1 ms periods for the periodic-task scenario.
+DEFAULT_PERIODS = 10
+
+
+@dataclass
+class PeriodicSweepResult:
+    """Violations + overheads for a set of (benchmark, policy) runs."""
+
+    constraint_us: float
+    results: Dict[str, Dict[str, PeriodicResult]] = field(default_factory=dict)
+
+    def add(self, result: PeriodicResult) -> None:
+        """Add a value/sample."""
+        self.results.setdefault(result.label, {})[result.policy] = result
+
+    def policies(self) -> List[str]:
+        """Policy names present, in insertion order."""
+        seen: List[str] = []
+        for per_policy in self.results.values():
+            for policy in per_policy:
+                if policy not in seen:
+                    seen.append(policy)
+        return seen
+
+    def violation_rate(self, label: str, policy: str) -> float:
+        """Fraction of requests that missed the deadline."""
+        return self.results[label][policy].violations.violation_rate
+
+    def overhead(self, label: str, policy: str) -> float:
+        """Throughput overhead for one (benchmark, policy) run."""
+        return self.results[label][policy].throughput_overhead
+
+    def average_violation_rate(self, policy: str) -> float:
+        """Mean violation rate across benchmarks."""
+        rates = [per_policy[policy].violations.violation_rate
+                 for per_policy in self.results.values() if policy in per_policy]
+        return sum(rates) / len(rates) if rates else 0.0
+
+    def average_overhead(self, policy: str) -> float:
+        """Mean throughput overhead across benchmarks."""
+        rates = [per_policy[policy].throughput_overhead
+                 for per_policy in self.results.values() if policy in per_policy]
+        return sum(rates) / len(rates) if rates else 0.0
+
+    def technique_fractions(self, policy: str) -> Dict[Technique, float]:
+        """Aggregate per-technique preemption shares."""
+        counts: Dict[Technique, int] = {t: 0 for t in Technique}
+        for per_policy in self.results.values():
+            if policy not in per_policy:
+                continue
+            for tech, count in per_policy[policy].technique_mix.counts.items():
+                counts[tech] += count
+        total = sum(counts.values())
+        if total == 0:
+            return {t: 0.0 for t in Technique}
+        return {t: counts[t] / total for t in Technique}
+
+
+def figure6_7(labels: Optional[Sequence[str]] = None,
+              policies: Sequence[str] = POLICY_NAMES,
+              constraint_us: float = 15.0,
+              periods: int = DEFAULT_PERIODS,
+              seed: int = 12345,
+              config: Optional[GPUConfig] = None) -> PeriodicSweepResult:
+    """Deadline violations (Fig. 6) and throughput overhead (Fig. 7)
+    for each benchmark sharing the GPU with the periodic task."""
+    labels = list(labels) if labels is not None else benchmark_labels()
+    sweep = PeriodicSweepResult(constraint_us=constraint_us)
+    for label in labels:
+        for policy in policies:
+            sweep.add(run_periodic(label, policy, constraint_us=constraint_us,
+                                   periods=periods, seed=seed, config=config))
+    return sweep
+
+
+def figure8(labels: Optional[Sequence[str]] = None,
+            constraints_us: Sequence[float] = (5.0, 10.0, 15.0, 20.0),
+            periods: int = DEFAULT_PERIODS,
+            seed: int = 12345,
+            config: Optional[GPUConfig] = None
+            ) -> Dict[float, PeriodicSweepResult]:
+    """Chimera under varying latency constraints: violation rate (8a),
+    throughput overhead (8b) and technique distribution (8c)."""
+    labels = list(labels) if labels is not None else benchmark_labels()
+    out: Dict[float, PeriodicSweepResult] = {}
+    for constraint in constraints_us:
+        sweep = PeriodicSweepResult(constraint_us=constraint)
+        for label in labels:
+            sweep.add(run_periodic(label, "chimera", constraint_us=constraint,
+                                   periods=periods, seed=seed, config=config))
+        out[constraint] = sweep
+    return out
+
+
+def figure9(labels: Optional[Sequence[str]] = None,
+            constraint_us: float = 15.0,
+            periods: int = DEFAULT_PERIODS,
+            seed: int = 12345,
+            config: Optional[GPUConfig] = None,
+            policies: Sequence[str] = ("flush-strict", "flush")
+            ) -> PeriodicSweepResult:
+    """Strict vs relaxed idempotence for SM flushing (Fig. 9).
+
+    Flushing with kernel-level flushability (strict) cannot preempt any
+    non-idempotent kernel — those blocks must drain — against the
+    per-block relaxed condition. Pass ``("chimera-strict", "chimera")``
+    to see the same comparison inside the full collaborative policy.
+    """
+    return figure6_7(labels=labels, policies=policies,
+                     constraint_us=constraint_us, periods=periods, seed=seed,
+                     config=config)
+
+
+@dataclass
+class CaseStudyResult:
+    """ANTT / STP improvements over FCFS for one workload combination."""
+
+    workload_name: str
+    labels: Sequence[str]
+    #: policy -> per-benchmark normalized turnaround time.
+    ntts: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    preemption_requests: Dict[str, int] = field(default_factory=dict)
+
+    def antt(self, policy: str) -> float:
+        """Average normalized turnaround time for a policy."""
+        return antt(list(self.ntts[policy].values()))
+
+    def stp(self, policy: str) -> float:
+        """System throughput for a policy."""
+        return stp(list(self.ntts[policy].values()))
+
+    def antt_improvement(self, policy: str, baseline: str = "fcfs") -> float:
+        """How many times better (lower) ANTT is than the baseline."""
+        return self.antt(baseline) / self.antt(policy)
+
+    def stp_improvement(self, policy: str, baseline: str = "fcfs") -> float:
+        """Relative STP gain over the baseline."""
+        base = self.stp(baseline)
+        return (self.stp(policy) - base) / base
+
+
+def figure10_11(workload: MultiprogramWorkload,
+                policies: Sequence[str] = POLICY_NAMES,
+                latency_limit_us: float = 30.0,
+                seed: int = 12345,
+                config: Optional[GPUConfig] = None,
+                solo_cache: Optional[Dict[str, float]] = None
+                ) -> CaseStudyResult:
+    """ANTT (Fig. 10) and STP (Fig. 11) for one workload combination
+    under each policy, normalized against non-preemptive FCFS.
+
+    ``solo_cache`` maps benchmark label -> solo metric time, letting a
+    sweep over many combinations reuse solo runs.
+    """
+    result = CaseStudyResult(workload_name=workload.name,
+                             labels=workload.labels)
+    solo_times: Dict[str, float] = {}
+    for label in workload.labels:
+        if solo_cache is not None and label in solo_cache:
+            solo_times[label] = solo_cache[label]
+            continue
+        solo = run_solo(label, workload.budget_insts, seed=seed, config=config)
+        solo_times[label] = solo.metric_time_cycles
+        if solo_cache is not None:
+            solo_cache[label] = solo.metric_time_cycles
+
+    def record(policy_key: str, pair: PairResult) -> None:
+        """Record one observation."""
+        result.ntts[policy_key] = {
+            label: normalized_turnaround(solo_times[label],
+                                         pair.metric_time_cycles[label])
+            for label in workload.labels
+        }
+        result.preemption_requests[policy_key] = pair.preemption_records
+
+    record("fcfs", run_pair(workload, policy_name=None,
+                            mode=SchedulerMode.FCFS, seed=seed, config=config))
+    for policy in policies:
+        record(policy, run_pair(workload, policy_name=policy,
+                                latency_limit_us=latency_limit_us,
+                                seed=seed, config=config))
+    return result

@@ -1,0 +1,36 @@
+"""Idempotence machinery (paper §3.4).
+
+A miniature SIMT kernel IR, static analysis for the strict and relaxed
+idempotence conditions, the software instrumentation pass that inserts
+a mailbox store before the first non-idempotent instruction, and the
+runtime monitor the GPU scheduler polls to decide whether an SM can be
+flushed.
+"""
+
+from repro.idempotence.ir import (
+    Instr,
+    KernelProgram,
+    Op,
+    program,
+)
+from repro.idempotence.analysis import IdempotenceReport, analyze
+from repro.idempotence.asm import assemble, disassemble
+from repro.idempotence.affine import Affine, refine_analysis
+from repro.idempotence.instrument import instrument
+from repro.idempotence.monitor import IdempotenceMonitor, MAILBOX_BASE
+
+__all__ = [
+    "Instr",
+    "KernelProgram",
+    "Op",
+    "program",
+    "IdempotenceReport",
+    "analyze",
+    "assemble",
+    "disassemble",
+    "Affine",
+    "refine_analysis",
+    "instrument",
+    "IdempotenceMonitor",
+    "MAILBOX_BASE",
+]

@@ -1,0 +1,211 @@
+"""Affine address analysis: sharpening the overwrite test.
+
+The buffer-granularity analysis in :mod:`repro.idempotence.analysis`
+flags *any* store to a buffer the kernel also loads. That is sound but
+conservative: a kernel that reads the first half of a buffer and writes
+the second half never overwrites what it read, and is idempotent.
+
+The paper (§3.4) argues GPU kernels use pointers in a restricted enough
+fashion that the compiler can find global overwrites "precisely in most
+cases". This module implements that restricted reasoning:
+
+* registers are abstractly interpreted as **affine expressions**
+  ``a*tid + b*ctaid + c`` (with ``ntid`` folded in numerically, since
+  the launch geometry is known at analysis time);
+* for straight-line kernels, every global access therefore covers a
+  known **index interval** over all threads and blocks;
+* a store is a real overwrite only if its interval intersects the
+  interval of some load from the same buffer. Disjoint halves, gather/
+  scatter offsets, etc., are proven safe.
+
+Any construct the abstraction cannot follow (data-dependent addresses,
+loops, divergent writes) degrades soundly to "may overlap".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import IRError
+from repro.idempotence.analysis import IdempotenceReport, analyze
+from repro.idempotence.ir import (
+    ATOMIC_OPS,
+    GLOBAL_READS,
+    Instr,
+    KernelProgram,
+    Op,
+)
+
+
+@dataclass(frozen=True)
+class Affine:
+    """``tid_coeff * tid + ctaid_coeff * ctaid + const``."""
+
+    tid: int = 0
+    ctaid: int = 0
+    const: int = 0
+
+    def __add__(self, other: "Affine") -> "Affine":
+        return Affine(self.tid + other.tid, self.ctaid + other.ctaid,
+                      self.const + other.const)
+
+    def __sub__(self, other: "Affine") -> "Affine":
+        return Affine(self.tid - other.tid, self.ctaid - other.ctaid,
+                      self.const - other.const)
+
+    def scale(self, k: int) -> "Affine":
+        """Multiply every coefficient by a constant."""
+        return Affine(self.tid * k, self.ctaid * k, self.const * k)
+
+    @property
+    def is_const(self) -> bool:
+        """True when the expression has no tid/ctaid terms."""
+        return self.tid == 0 and self.ctaid == 0
+
+    def interval(self, num_threads: int, num_blocks: int) -> Tuple[int, int]:
+        """Inclusive [lo, hi] over tid in [0, T) and ctaid in [0, B)."""
+        lo = self.const
+        hi = self.const
+        for coeff, bound in ((self.tid, num_threads - 1),
+                             (self.ctaid, num_blocks - 1)):
+            if coeff >= 0:
+                hi += coeff * bound
+            else:
+                lo += coeff * bound
+        return lo, hi
+
+
+#: Abstract value: an Affine or None (= Top / unknown).
+AbstractValue = Optional[Affine]
+
+
+def _interpret(prog: KernelProgram, num_threads: int
+               ) -> Optional[List[Dict[int, AbstractValue]]]:
+    """Abstractly execute a straight-line kernel.
+
+    Returns, for each instruction index, the register state *before*
+    the instruction, or None when the program has control flow the
+    straight-line abstraction cannot follow soundly.
+    """
+    for instr in prog.instrs[:-1]:
+        if instr.op in (Op.BRA, Op.CBRA):
+            return None  # loops/conditional paths: stay conservative
+    regs: Dict[int, AbstractValue] = {}
+    states: List[Dict[int, AbstractValue]] = []
+
+    def get(reg: Optional[int]) -> AbstractValue:
+        if reg is None:
+            return None
+        return regs.get(reg)
+
+    for instr in prog.instrs:
+        states.append(dict(regs))
+        op = instr.op
+        if op is Op.MOVI:
+            regs[instr.dst] = Affine(const=instr.imm or 0)
+        elif op is Op.MOV:
+            regs[instr.dst] = get(instr.src0)
+        elif op is Op.TID:
+            regs[instr.dst] = Affine(tid=1)
+        elif op is Op.CTAID:
+            regs[instr.dst] = Affine(ctaid=1)
+        elif op is Op.NTID:
+            regs[instr.dst] = Affine(const=num_threads)
+        elif op is Op.ADD:
+            a, b = get(instr.src0), get(instr.src1)
+            regs[instr.dst] = a + b if a is not None and b is not None else None
+        elif op is Op.SUB:
+            a, b = get(instr.src0), get(instr.src1)
+            regs[instr.dst] = a - b if a is not None and b is not None else None
+        elif op is Op.MUL:
+            a, b = get(instr.src0), get(instr.src1)
+            if a is not None and b is not None:
+                if a.is_const:
+                    regs[instr.dst] = b.scale(a.const)
+                elif b.is_const:
+                    regs[instr.dst] = a.scale(b.const)
+                else:
+                    regs[instr.dst] = None
+            else:
+                regs[instr.dst] = None
+        elif op in (Op.MIN, Op.MAX, Op.DIV, Op.MOD, Op.AND, Op.OR, Op.XOR,
+                    Op.SHL, Op.SHR, Op.SETLT, Op.SETLE, Op.SETEQ, Op.SETNE,
+                    Op.LDG, Op.LDS, Op.ATOM):
+            if instr.dst is not None:
+                regs[instr.dst] = None  # data-dependent
+        elif op in (Op.STG, Op.STS, Op.BAR, Op.EXIT, Op.MARK):
+            pass
+        else:  # pragma: no cover - exhaustive
+            raise IRError(f"unhandled op {op}")
+    return states
+
+
+def refine_analysis(prog: KernelProgram, num_threads: int, num_blocks: int,
+                    base: Optional[IdempotenceReport] = None
+                    ) -> IdempotenceReport:
+    """Re-classify global stores using affine interval disjointness.
+
+    Falls back to the base (buffer-granularity) report whenever the
+    abstraction loses track of an address. Atomics remain
+    non-idempotent unconditionally.
+    """
+    if num_threads < 1 or num_blocks < 1:
+        raise IRError("launch geometry must be positive")
+    base = base or analyze(prog)
+    if base.idempotent:
+        return base
+    states = _interpret(prog, num_threads)
+    if states is None:
+        return base
+
+    # Collect load intervals per buffer (unknown address -> whole buffer).
+    load_intervals: Dict[str, List[Tuple[int, int]]] = {}
+    for index, instr in enumerate(prog.instrs):
+        if instr.op not in GLOBAL_READS:
+            continue
+        addr = states[index].get(instr.src0)
+        size = prog.buffers[instr.buffer]
+        interval = (addr.interval(num_threads, num_blocks)
+                    if addr is not None else (0, size - 1))
+        load_intervals.setdefault(instr.buffer, []).append(interval)
+
+    nonidem: List[int] = []
+    reasons: List[str] = []
+    for index in base.nonidempotent_indices:
+        instr = prog.instrs[index]
+        if instr.op in ATOMIC_OPS:
+            nonidem.append(index)
+            reasons.append(f"[{index}] atomic {instr.op.value} on "
+                           f"{instr.buffer!r}")
+            continue
+        loads = load_intervals.get(instr.buffer, [])
+        if not loads:
+            continue  # store to a never-read buffer: safe
+        addr = states[index].get(instr.src0)
+        if addr is None:
+            nonidem.append(index)
+            reasons.append(f"[{index}] overwrite of read buffer "
+                           f"{instr.buffer!r} (address unknown)")
+            continue
+        store_lo, store_hi = addr.interval(num_threads, num_blocks)
+        overlapping = [iv for iv in loads
+                       if not (store_hi < iv[0] or iv[1] < store_lo)]
+        if overlapping:
+            nonidem.append(index)
+            reasons.append(f"[{index}] overwrite of read buffer "
+                           f"{instr.buffer!r} (store [{store_lo},{store_hi}] "
+                           f"overlaps loads)")
+        # else: intervals provably disjoint -> not an overwrite.
+
+    overwrite_buffers = tuple(sorted({
+        prog.instrs[i].buffer for i in nonidem
+        if prog.instrs[i].op is Op.STG}))
+    return IdempotenceReport(
+        kernel=prog.name,
+        idempotent=not nonidem,
+        nonidempotent_indices=tuple(nonidem),
+        overwrite_buffers=overwrite_buffers,
+        has_atomics=base.has_atomics,
+        reasons=tuple(reasons),
+    )

@@ -1,0 +1,102 @@
+"""Static idempotence analysis (paper §2.3 and §3.4).
+
+A GPU kernel is (strictly) idempotent when it
+
+1. executes no atomic operations, and
+2. never overwrites a global memory location it also reads.
+
+Because thread-block executions are independent, no cross-block
+reasoning is needed; the analysis is per-program. Full pointer
+disambiguation is undecidable in general, but GPU kernels use pointers
+in a restricted fashion (paper §3.4), which this IR captures as named
+buffers: a store to a buffer the kernel also loads is conservatively a
+*global overwrite*. Stores to write-only buffers are harmless — rerun
+from scratch simply rewrites the same values.
+
+The analysis also produces the set of *non-idempotent instructions*
+(atomics and global overwrites); the instrumentation pass plants the
+mailbox notification in front of exactly these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+from repro.idempotence.ir import (
+    ATOMIC_OPS,
+    GLOBAL_READS,
+    GLOBAL_WRITES,
+    Instr,
+    KernelProgram,
+    Op,
+)
+
+
+@dataclass(frozen=True)
+class IdempotenceReport:
+    """Result of analyzing one kernel program."""
+
+    kernel: str
+    idempotent: bool
+    #: Instruction indices that break idempotence once executed.
+    nonidempotent_indices: Tuple[int, ...]
+    #: Buffers both read and written (the overwrite hazards).
+    overwrite_buffers: Tuple[str, ...]
+    #: Whether the kernel uses atomics.
+    has_atomics: bool
+    #: Human-readable reasons, for diagnostics.
+    reasons: Tuple[str, ...]
+
+    @property
+    def first_nonidempotent_index(self) -> int | None:
+        """Smallest program index of a non-idempotent instruction, or
+        None for idempotent kernels. Note this is a *static* position;
+        the dynamic point depends on control flow and is what the
+        mailbox instrumentation reports at run time."""
+        if not self.nonidempotent_indices:
+            return None
+        return self.nonidempotent_indices[0]
+
+
+def analyze(prog: KernelProgram) -> IdempotenceReport:
+    """Classify a kernel and locate its non-idempotent instructions."""
+    read_buffers: Set[str] = set()
+    written_buffers: Set[str] = set()
+    for instr in prog.instrs:
+        if instr.op in GLOBAL_READS:
+            read_buffers.add(instr.buffer)
+        if instr.op in GLOBAL_WRITES:
+            written_buffers.add(instr.buffer)
+
+    overwrite_buffers = sorted(read_buffers & written_buffers)
+    nonidem: List[int] = []
+    reasons: List[str] = []
+    has_atomics = False
+    for index, instr in enumerate(prog.instrs):
+        if instr.op in ATOMIC_OPS:
+            has_atomics = True
+            nonidem.append(index)
+            reasons.append(
+                f"[{index}] atomic {instr.op.value} on {instr.buffer!r}")
+        elif instr.op is Op.STG and instr.buffer in overwrite_buffers:
+            nonidem.append(index)
+            reasons.append(
+                f"[{index}] overwrite of read buffer {instr.buffer!r}")
+
+    idempotent = not nonidem
+    return IdempotenceReport(
+        kernel=prog.name,
+        idempotent=idempotent,
+        nonidempotent_indices=tuple(nonidem),
+        overwrite_buffers=tuple(overwrite_buffers),
+        has_atomics=has_atomics,
+        reasons=tuple(reasons),
+    )
+
+
+def classify_instruction(prog: KernelProgram, index: int,
+                         report: IdempotenceReport | None = None) -> bool:
+    """True when executing instruction ``index`` breaks idempotence."""
+    report = report or analyze(prog)
+    return index in report.nonidempotent_indices

@@ -1,0 +1,60 @@
+"""Instrumentation pass: plant mailbox stores before non-idempotent ops.
+
+The paper implements relaxed-idempotence detection in software: the
+compiler inserts a store instruction in front of every atomic or global
+overwrite. The store targets a pre-defined, non-cacheable address that
+each SM prefixes with its own ID, and because SMs are in-order the store
+is guaranteed to land before the non-idempotent operation. The GPU
+scheduler polls these mailboxes to learn whether an SM can still be
+flushed.
+
+In the IR this is the ``MARK`` pseudo-instruction; the interpreter
+raises it to the :class:`~repro.idempotence.monitor.IdempotenceMonitor`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.idempotence.analysis import IdempotenceReport, analyze
+from repro.idempotence.ir import Instr, KernelProgram, Op
+
+
+def instrument(prog: KernelProgram,
+               report: IdempotenceReport | None = None) -> KernelProgram:
+    """Return a copy of ``prog`` with a MARK before every
+    non-idempotent instruction. Labels are remapped so control flow is
+    preserved; a branch targeting a non-idempotent instruction lands on
+    its MARK instead (the notification must still precede the op).
+
+    Instrumenting an idempotent kernel returns an equivalent program
+    with no marks.
+    """
+    report = report or analyze(prog)
+    hot = set(report.nonidempotent_indices)
+    if not hot:
+        return KernelProgram(prog.name, list(prog.instrs), dict(prog.labels),
+                             dict(prog.buffers), prog.num_regs,
+                             prog.shared_words)
+
+    new_instrs: List[Instr] = []
+    index_map: Dict[int, int] = {}
+    for index, instr in enumerate(prog.instrs):
+        if index in hot:
+            index_map[index] = len(new_instrs)  # branches land on the mark
+            new_instrs.append(Instr(Op.MARK))
+        else:
+            index_map[index] = len(new_instrs)
+        new_instrs.append(instr)
+    index_map[len(prog.instrs)] = len(new_instrs)
+
+    new_labels = {name: index_map[target]
+                  for name, target in prog.labels.items()}
+    return KernelProgram(prog.name, new_instrs, new_labels,
+                         dict(prog.buffers), prog.num_regs,
+                         prog.shared_words)
+
+
+def mark_count(prog: KernelProgram) -> int:
+    """Number of MARK instructions in a program."""
+    return sum(1 for i in prog.instrs if i.op is Op.MARK)

@@ -1,0 +1,262 @@
+"""A miniature SIMT kernel IR.
+
+Kernels are straight lists of instructions over integer registers, with
+named global buffers, per-block shared memory, barriers, atomics, and
+conditional branches — enough to express the memory behaviour the
+paper's idempotence analysis reasons about (global loads, global
+stores/overwrites, atomic operations) while staying trivially
+interpretable.
+
+Registers are per-thread. Special value sources: ``TID`` (thread index
+within the block), ``CTAID`` (block index), ``NTID`` (threads per
+block). Addressing is ``buffer[reg]`` with word granularity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import IRError
+
+
+class Op(enum.Enum):
+    """Instruction opcodes."""
+
+    # register / arithmetic
+    MOVI = "movi"      # dst <- imm
+    MOV = "mov"        # dst <- src0
+    ADD = "add"        # dst <- src0 + src1
+    SUB = "sub"        # dst <- src0 - src1
+    MUL = "mul"        # dst <- src0 * src1
+    DIV = "div"        # dst <- src0 // src1 (src1 != 0)
+    MOD = "mod"        # dst <- src0 % src1
+    MIN = "min"
+    MAX = "max"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    SETLT = "setlt"    # dst <- 1 if src0 < src1 else 0
+    SETLE = "setle"
+    SETEQ = "seteq"
+    SETNE = "setne"
+    # special sources
+    TID = "tid"        # dst <- thread index in block
+    CTAID = "ctaid"    # dst <- block index
+    NTID = "ntid"      # dst <- threads per block
+    # memory
+    LDG = "ldg"        # dst <- global[buffer][src0]
+    STG = "stg"        # global[buffer][src0] <- src1
+    ATOM = "atom"      # dst <- old; global[buffer][src0] += src1 (atomic)
+    LDS = "lds"        # dst <- shared[src0]
+    STS = "sts"        # shared[src0] <- src1
+    # control
+    BRA = "bra"        # jump to label
+    CBRA = "cbra"      # jump to label if src0 != 0
+    BAR = "bar"        # block-wide barrier
+    EXIT = "exit"      # thread terminates
+    # instrumentation (inserted by the idempotence pass)
+    MARK = "mark"      # notify the mailbox: non-idempotent region ahead
+
+
+#: Ops that read global memory.
+GLOBAL_READS = {Op.LDG}
+#: Ops that write global memory.
+GLOBAL_WRITES = {Op.STG, Op.ATOM}
+#: Ops that are non-idempotent regardless of aliasing.
+ATOMIC_OPS = {Op.ATOM}
+#: Control-flow ops.
+CONTROL_OPS = {Op.BRA, Op.CBRA, Op.BAR, Op.EXIT}
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One IR instruction."""
+
+    op: Op
+    dst: Optional[int] = None
+    src0: Optional[int] = None
+    src1: Optional[int] = None
+    imm: Optional[int] = None
+    buffer: Optional[str] = None
+    label: Optional[str] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = [self.op.value]
+        if self.dst is not None:
+            parts.append(f"r{self.dst}")
+        if self.src0 is not None:
+            parts.append(f"r{self.src0}")
+        if self.src1 is not None:
+            parts.append(f"r{self.src1}")
+        if self.imm is not None:
+            parts.append(f"#{self.imm}")
+        if self.buffer is not None:
+            parts.append(f"@{self.buffer}")
+        if self.label is not None:
+            parts.append(f"->{self.label}")
+        return f"<{' '.join(parts)}>"
+
+
+@dataclass
+class KernelProgram:
+    """A kernel: instructions, labels, buffer declarations."""
+
+    name: str
+    instrs: List[Instr]
+    labels: Dict[str, int] = field(default_factory=dict)
+    buffers: Dict[str, int] = field(default_factory=dict)  # name -> words
+    num_regs: int = 32
+    shared_words: int = 0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise IRError on malformed instructions or labels."""
+        if not self.instrs:
+            raise IRError(f"{self.name}: empty program")
+        for target, index in self.labels.items():
+            if not 0 <= index <= len(self.instrs):
+                raise IRError(f"{self.name}: label {target!r} out of range")
+        for i, instr in enumerate(self.instrs):
+            self._validate_instr(i, instr)
+
+    def _validate_instr(self, i: int, instr: Instr) -> None:
+        where = f"{self.name}[{i}]"
+        for reg in (instr.dst, instr.src0, instr.src1):
+            if reg is not None and not 0 <= reg < self.num_regs:
+                raise IRError(f"{where}: register r{reg} out of range")
+        if instr.op in (Op.BRA, Op.CBRA):
+            if instr.label not in self.labels:
+                raise IRError(f"{where}: unknown label {instr.label!r}")
+        if instr.op in GLOBAL_READS | GLOBAL_WRITES:
+            if instr.buffer not in self.buffers:
+                raise IRError(f"{where}: unknown buffer {instr.buffer!r}")
+        if instr.op in (Op.LDS, Op.STS) and self.shared_words == 0:
+            raise IRError(f"{where}: shared memory not declared")
+
+    @property
+    def global_read_buffers(self) -> set:
+        """Buffers the kernel loads from."""
+        return {i.buffer for i in self.instrs if i.op in GLOBAL_READS}
+
+    @property
+    def global_write_buffers(self) -> set:
+        """Buffers the kernel stores to (non-atomic)."""
+        return {i.buffer for i in self.instrs
+                if i.op in GLOBAL_WRITES and i.op not in ATOMIC_OPS}
+
+    @property
+    def has_atomics(self) -> bool:
+        """True when any atomic instruction is present."""
+        return any(i.op in ATOMIC_OPS for i in self.instrs)
+
+
+class ProgramBuilder:
+    """Fluent builder so sample kernels read like assembly listings."""
+
+    def __init__(self, name: str, num_regs: int = 32, shared_words: int = 0):
+        self.name = name
+        self.num_regs = num_regs
+        self.shared_words = shared_words
+        self._instrs: List[Instr] = []
+        self._labels: Dict[str, int] = {}
+        self._buffers: Dict[str, int] = {}
+
+    def buffer(self, name: str, words: int) -> "ProgramBuilder":
+        """Declare a named global buffer."""
+        if words < 1:
+            raise IRError(f"buffer {name!r} must have at least one word")
+        self._buffers[name] = words
+        return self
+
+    def label(self, name: str) -> "ProgramBuilder":
+        """Bind a label to the next instruction."""
+        if name in self._labels:
+            raise IRError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instrs)
+        return self
+
+    def emit(self, op: Op, dst: Optional[int] = None, src0: Optional[int] = None,
+             src1: Optional[int] = None, imm: Optional[int] = None,
+             buffer: Optional[str] = None, label: Optional[str] = None
+             ) -> "ProgramBuilder":
+        """Append a record (subject to category filter and capacity)."""
+        self._instrs.append(Instr(op, dst, src0, src1, imm, buffer, label))
+        return self
+
+    # Convenience emitters -------------------------------------------------
+
+    def movi(self, dst: int, imm: int) -> "ProgramBuilder":
+        """dst <- immediate."""
+        return self.emit(Op.MOVI, dst=dst, imm=imm)
+
+    def tid(self, dst: int) -> "ProgramBuilder":
+        """dst <- thread index within the block."""
+        return self.emit(Op.TID, dst=dst)
+
+    def ctaid(self, dst: int) -> "ProgramBuilder":
+        """dst <- block index."""
+        return self.emit(Op.CTAID, dst=dst)
+
+    def ntid(self, dst: int) -> "ProgramBuilder":
+        """dst <- threads per block."""
+        return self.emit(Op.NTID, dst=dst)
+
+    def alu(self, op: Op, dst: int, a: int, b: int) -> "ProgramBuilder":
+        """dst <- op(a, b)."""
+        return self.emit(op, dst=dst, src0=a, src1=b)
+
+    def ldg(self, dst: int, buffer: str, addr: int) -> "ProgramBuilder":
+        """dst <- buffer[addr]."""
+        return self.emit(Op.LDG, dst=dst, src0=addr, buffer=buffer)
+
+    def stg(self, buffer: str, addr: int, value: int) -> "ProgramBuilder":
+        """buffer[addr] <- value."""
+        return self.emit(Op.STG, src0=addr, src1=value, buffer=buffer)
+
+    def atom(self, dst: int, buffer: str, addr: int, value: int) -> "ProgramBuilder":
+        """dst <- old; buffer[addr] += value, atomically."""
+        return self.emit(Op.ATOM, dst=dst, src0=addr, src1=value, buffer=buffer)
+
+    def lds(self, dst: int, addr: int) -> "ProgramBuilder":
+        """dst <- shared[addr]."""
+        return self.emit(Op.LDS, dst=dst, src0=addr)
+
+    def sts(self, addr: int, value: int) -> "ProgramBuilder":
+        """shared[addr] <- value."""
+        return self.emit(Op.STS, src0=addr, src1=value)
+
+    def bar(self) -> "ProgramBuilder":
+        """Block-wide barrier."""
+        return self.emit(Op.BAR)
+
+    def bra(self, label: str) -> "ProgramBuilder":
+        """Unconditional branch."""
+        return self.emit(Op.BRA, label=label)
+
+    def cbra(self, pred: int, label: str) -> "ProgramBuilder":
+        """Branch when the predicate register is non-zero."""
+        return self.emit(Op.CBRA, src0=pred, label=label)
+
+    def exit(self) -> "ProgramBuilder":
+        """Terminate the thread."""
+        return self.emit(Op.EXIT)
+
+    def build(self) -> KernelProgram:
+        """Finalize and validate the program (EXIT appended if missing)."""
+        instrs = list(self._instrs)
+        if not instrs or instrs[-1].op is not Op.EXIT:
+            instrs.append(Instr(Op.EXIT))
+        return KernelProgram(self.name, instrs, dict(self._labels),
+                             dict(self._buffers), self.num_regs,
+                             self.shared_words)
+
+
+def program(name: str, num_regs: int = 32, shared_words: int = 0) -> ProgramBuilder:
+    """Start building a kernel program."""
+    return ProgramBuilder(name, num_regs, shared_words)

@@ -1,0 +1,378 @@
+"""Sample IR kernels with known idempotence properties.
+
+These model the memory-behaviour archetypes behind Table 2:
+
+* ``vector_add`` / ``vector_scale`` / ``stencil3`` — read one buffer,
+  write another: **idempotent** (BS, HS, SAD style).
+* ``vector_scale_inplace`` / ``saxpy_inplace`` — overwrite a buffer
+  they read: **non-idempotent from the first store** (FWT style,
+  in-place butterflies).
+* ``block_reduce_sum`` — shared-memory tree reduction whose only global
+  write is to a write-only output: **idempotent** despite barriers.
+* ``histogram_atomic`` / ``compact_nonzero`` — atomics: **non-
+  idempotent** (BT-style result publication).
+* ``late_writeback`` — long compute loop followed by an in-place
+  update: non-idempotent *only at the very end*, the paper's motivation
+  for the relaxed condition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import IRError
+from repro.idempotence.ir import KernelProgram, Op, program
+
+
+def vector_add(n: int) -> KernelProgram:
+    """c[i] = a[i] + b[i] — idempotent."""
+    return (
+        program("vector_add")
+        .buffer("a", n).buffer("b", n).buffer("c", n)
+        .tid(0)
+        .ctaid(1)
+        .ntid(2)
+        .alu(Op.MUL, 3, 1, 2)     # r3 = ctaid * ntid
+        .alu(Op.ADD, 0, 0, 3)     # r0 = global index
+        .ldg(4, "a", 0)
+        .ldg(5, "b", 0)
+        .alu(Op.ADD, 6, 4, 5)
+        .stg("c", 0, 6)
+        .exit()
+        .build()
+    )
+
+
+def vector_scale(n: int, factor: int = 3) -> KernelProgram:
+    """out[i] = in[i] * factor — idempotent."""
+    return (
+        program("vector_scale")
+        .buffer("in", n).buffer("out", n)
+        .tid(0)
+        .ctaid(1)
+        .ntid(2)
+        .alu(Op.MUL, 3, 1, 2)
+        .alu(Op.ADD, 0, 0, 3)
+        .ldg(4, "in", 0)
+        .movi(5, factor)
+        .alu(Op.MUL, 6, 4, 5)
+        .stg("out", 0, 6)
+        .exit()
+        .build()
+    )
+
+
+def vector_scale_inplace(n: int, factor: int = 3) -> KernelProgram:
+    """buf[i] = buf[i] * factor — a global overwrite: re-running a
+    thread that already stored would scale twice. Non-idempotent."""
+    return (
+        program("vector_scale_inplace")
+        .buffer("buf", n)
+        .tid(0)
+        .ctaid(1)
+        .ntid(2)
+        .alu(Op.MUL, 3, 1, 2)
+        .alu(Op.ADD, 0, 0, 3)
+        .ldg(4, "buf", 0)
+        .movi(5, factor)
+        .alu(Op.MUL, 6, 4, 5)
+        .stg("buf", 0, 6)
+        .exit()
+        .build()
+    )
+
+
+def saxpy_inplace(n: int, a: int = 2) -> KernelProgram:
+    """y[i] = a * x[i] + y[i] — y is read and overwritten."""
+    return (
+        program("saxpy_inplace")
+        .buffer("x", n).buffer("y", n)
+        .tid(0)
+        .ctaid(1)
+        .ntid(2)
+        .alu(Op.MUL, 3, 1, 2)
+        .alu(Op.ADD, 0, 0, 3)
+        .ldg(4, "x", 0)
+        .ldg(5, "y", 0)
+        .movi(6, a)
+        .alu(Op.MUL, 7, 4, 6)
+        .alu(Op.ADD, 8, 7, 5)
+        .stg("y", 0, 8)
+        .exit()
+        .build()
+    )
+
+
+def stencil3(n: int) -> KernelProgram:
+    """out[i] = in[i-1] + in[i] + in[i+1] (clamped) — idempotent."""
+    return (
+        program("stencil3", num_regs=16)
+        .buffer("in", n).buffer("out", n)
+        .tid(0)
+        .ctaid(1)
+        .ntid(2)
+        .alu(Op.MUL, 3, 1, 2)
+        .alu(Op.ADD, 0, 0, 3)       # r0 = i
+        .movi(4, 1)
+        .alu(Op.SUB, 5, 0, 4)       # i-1
+        .movi(6, 0)
+        .alu(Op.MAX, 5, 5, 6)       # clamp low
+        .alu(Op.ADD, 7, 0, 4)       # i+1
+        .movi(8, n - 1)
+        .alu(Op.MIN, 7, 7, 8)       # clamp high
+        .ldg(9, "in", 5)
+        .ldg(10, "in", 0)
+        .ldg(11, "in", 7)
+        .alu(Op.ADD, 12, 9, 10)
+        .alu(Op.ADD, 12, 12, 11)
+        .stg("out", 0, 12)
+        .exit()
+        .build()
+    )
+
+
+def block_reduce_sum(threads_per_block: int, num_blocks: int) -> KernelProgram:
+    """Tree reduction in shared memory; out[ctaid] = sum of the block's
+    slice of `in`. Barriers + shared memory, yet idempotent: the only
+    global write targets a write-only buffer."""
+    n = threads_per_block * num_blocks
+    b = (
+        program("block_reduce_sum", num_regs=16,
+                shared_words=threads_per_block)
+        .buffer("in", n).buffer("out", num_blocks)
+        .tid(0)
+        .ctaid(1)
+        .ntid(2)
+        .alu(Op.MUL, 3, 1, 2)
+        .alu(Op.ADD, 4, 0, 3)       # global index
+        .ldg(5, "in", 4)
+        .sts(0, 5)                  # shared[tid] = in[i]
+        .bar()
+    )
+    stride = threads_per_block // 2
+    while stride >= 1:
+        # if tid < stride: shared[tid] += shared[tid + stride]
+        b = (
+            b.movi(6, stride)
+            .alu(Op.SETLT, 7, 0, 6)    # r7 = tid < stride
+            .alu(Op.SETLT, 8, 7, 7)    # r8 = 0
+            .alu(Op.SETEQ, 8, 7, 8)    # r8 = (r7 == 0) -> skip predicate
+            .cbra(8, f"skip{stride}")
+            .alu(Op.ADD, 9, 0, 6)      # tid + stride
+            .lds(10, 0)
+            .lds(11, 9)
+            .alu(Op.ADD, 10, 10, 11)
+            .sts(0, 10)
+            .label(f"skip{stride}")
+            .bar()
+        )
+        stride //= 2
+    return (
+        b.movi(6, 0)
+        .alu(Op.SETEQ, 7, 0, 6)       # tid == 0
+        .alu(Op.SETEQ, 8, 7, 6)       # r8 = (r7 == 0)
+        .cbra(8, "done")
+        .lds(9, 0)
+        .stg("out", 1, 9)
+        .label("done")
+        .exit()
+        .build()
+    )
+
+
+def histogram_atomic(n: int, bins: int) -> KernelProgram:
+    """hist[data[i] % bins] += 1 via atomics — non-idempotent."""
+    return (
+        program("histogram_atomic", num_regs=16)
+        .buffer("data", n).buffer("hist", bins)
+        .tid(0)
+        .ctaid(1)
+        .ntid(2)
+        .alu(Op.MUL, 3, 1, 2)
+        .alu(Op.ADD, 0, 0, 3)
+        .ldg(4, "data", 0)
+        .movi(5, bins)
+        .alu(Op.MOD, 6, 4, 5)
+        .movi(7, 1)
+        .atom(8, "hist", 6, 7)
+        .exit()
+        .build()
+    )
+
+
+def compact_nonzero(n: int) -> KernelProgram:
+    """Stream compaction: nonzero elements of `in` append to `out` via
+    an atomic cursor — non-idempotent (atomic + published slots)."""
+    return (
+        program("compact_nonzero", num_regs=16)
+        .buffer("in", n).buffer("out", n).buffer("cursor", 1)
+        .tid(0)
+        .ctaid(1)
+        .ntid(2)
+        .alu(Op.MUL, 3, 1, 2)
+        .alu(Op.ADD, 0, 0, 3)
+        .ldg(4, "in", 0)
+        .movi(5, 0)
+        .alu(Op.SETEQ, 6, 4, 5)     # r6 = (in[i] == 0)
+        .cbra(6, "done")
+        .movi(7, 1)
+        .atom(8, "cursor", 5, 7)    # r8 = old cursor (addr reg r5 = 0)
+        .stg("out", 8, 4)
+        .label("done")
+        .exit()
+        .build()
+    )
+
+
+def late_writeback(n: int, loop_iters: int = 32) -> KernelProgram:
+    """A long compute loop, then acc folded into buf[i] in place.
+
+    The overwrite is the final instruction, so the block stays
+    flushable for ~all of its execution — the archetype behind the
+    paper's relaxed idempotence condition."""
+    return (
+        program("late_writeback", num_regs=16)
+        .buffer("buf", n)
+        .tid(0)
+        .ctaid(1)
+        .ntid(2)
+        .alu(Op.MUL, 3, 1, 2)
+        .alu(Op.ADD, 0, 0, 3)       # r0 = i
+        .ldg(4, "buf", 0)           # read early
+        .movi(5, 0)                 # acc
+        .movi(6, 0)                 # k
+        .movi(7, loop_iters)
+        .label("loop")
+        .alu(Op.ADD, 5, 5, 4)       # acc += value
+        .movi(8, 1)
+        .alu(Op.ADD, 6, 6, 8)       # k += 1
+        .alu(Op.SETLT, 9, 6, 7)
+        .cbra(9, "loop")
+        .alu(Op.ADD, 10, 4, 5)
+        .stg("buf", 0, 10)          # the only overwrite, at the end
+        .exit()
+        .build()
+    )
+
+
+def shift_halves(n: int) -> KernelProgram:
+    """buf[i + n/2] = buf[i] * 2 for i in the first half.
+
+    Reads and writes the *same buffer*, so buffer-granularity analysis
+    calls it non-idempotent — but the read interval [0, n/2) and the
+    write interval [n/2, n) are provably disjoint, which the affine
+    refinement recovers. Launch with n/2 total threads.
+    """
+    if n % 2 != 0:
+        raise IRError("shift_halves needs an even buffer size")
+    return (
+        program("shift_halves", num_regs=16)
+        .buffer("buf", n)
+        .tid(0)
+        .ctaid(1)
+        .ntid(2)
+        .alu(Op.MUL, 3, 1, 2)
+        .alu(Op.ADD, 0, 0, 3)       # i in [0, n/2)
+        .ldg(4, "buf", 0)
+        .movi(5, 2)
+        .alu(Op.MUL, 6, 4, 5)
+        .movi(7, n // 2)
+        .alu(Op.ADD, 8, 0, 7)       # i + n/2
+        .stg("buf", 8, 6)
+        .exit()
+        .build()
+    )
+
+
+def tiled_matmul(dim: int, tile: int) -> KernelProgram:
+    """C = A x B with square tiles staged through shared memory.
+
+    One block computes one ``tile x tile`` tile of C with ``tile**2``
+    threads; the k-loop stages a tile of A and a tile of B into shared
+    memory with barriers on both sides of the MAC phase — the classic
+    GPU kernel shape (BS/HS style). C is write-only, so the kernel is
+    idempotent despite its heavy shared-memory traffic.
+
+    Thread layout: tid = ty * tile + tx; block layout: ctaid =
+    by * (dim/tile) + bx. Matrices are row-major ``dim x dim``.
+    """
+    if dim % tile != 0:
+        raise IRError("dim must be a multiple of tile")
+    blocks_per_row = dim // tile
+    b = (
+        program("tiled_matmul", num_regs=32, shared_words=2 * tile * tile)
+        .buffer("A", dim * dim).buffer("B", dim * dim).buffer("C", dim * dim)
+        # r0=tid r1=ctaid
+        .tid(0)
+        .ctaid(1)
+        .movi(2, tile)
+        .alu(Op.MOD, 3, 0, 2)     # r3 = tx
+        .alu(Op.DIV, 4, 0, 2)     # r4 = ty
+        .movi(5, blocks_per_row)
+        .alu(Op.MOD, 6, 1, 5)     # r6 = bx
+        .alu(Op.DIV, 7, 1, 5)     # r7 = by
+        .movi(8, dim)
+        # r9 = row = by*tile + ty ; r10 = col = bx*tile + tx
+        .alu(Op.MUL, 9, 7, 2).alu(Op.ADD, 9, 9, 4)
+        .alu(Op.MUL, 10, 6, 2).alu(Op.ADD, 10, 10, 3)
+        .movi(11, 0)              # r11 = acc
+        .movi(12, 0)              # r12 = k0 (tile base along K)
+        .label("ktile")
+        # load A[row][k0+tx] into sharedA[ty*tile+tx]
+        .alu(Op.MUL, 13, 9, 8)            # row*dim
+        .alu(Op.ADD, 14, 12, 3)           # k0+tx
+        .alu(Op.ADD, 13, 13, 14)
+        .ldg(15, "A", 13)
+        .alu(Op.MUL, 16, 4, 2).alu(Op.ADD, 16, 16, 3)   # ty*tile+tx
+        .sts(16, 15)
+        # load B[k0+ty][col] into sharedB[tile*tile + ty*tile+tx]
+        .alu(Op.ADD, 17, 12, 4)           # k0+ty
+        .alu(Op.MUL, 17, 17, 8)
+        .alu(Op.ADD, 17, 17, 10)
+        .ldg(18, "B", 17)
+        .movi(19, tile * tile)
+        .alu(Op.ADD, 20, 16, 19)
+        .sts(20, 18)
+        .bar()
+        # MAC over the staged tiles
+        .movi(21, 0)              # kk
+        .label("mac")
+        .alu(Op.MUL, 22, 4, 2).alu(Op.ADD, 22, 22, 21)  # sharedA[ty][kk]
+        .lds(23, 22)
+        .alu(Op.MUL, 24, 21, 2).alu(Op.ADD, 24, 24, 3)  # sharedB[kk][tx]
+        .alu(Op.ADD, 24, 24, 19)
+        .lds(25, 24)
+        .alu(Op.MUL, 26, 23, 25)
+        .alu(Op.ADD, 11, 11, 26)
+        .movi(27, 1)
+        .alu(Op.ADD, 21, 21, 27)
+        .alu(Op.SETLT, 28, 21, 2)
+        .cbra(28, "mac")
+        .bar()
+        # next k tile
+        .alu(Op.ADD, 12, 12, 2)
+        .alu(Op.SETLT, 29, 12, 8)
+        .cbra(29, "ktile")
+        # C[row][col] = acc
+        .alu(Op.MUL, 30, 9, 8)
+        .alu(Op.ADD, 30, 30, 10)
+        .stg("C", 30, 11)
+        .exit()
+    )
+    return b.build()
+
+
+def all_sample_kernels(n: int = 64, threads_per_block: int = 16,
+                       num_blocks: int = 4) -> Dict[str, KernelProgram]:
+    """The full sample set keyed by name (sized consistently)."""
+    return {
+        "vector_add": vector_add(n),
+        "vector_scale": vector_scale(n),
+        "vector_scale_inplace": vector_scale_inplace(n),
+        "saxpy_inplace": saxpy_inplace(n),
+        "stencil3": stencil3(n),
+        "block_reduce_sum": block_reduce_sum(threads_per_block, num_blocks),
+        "histogram_atomic": histogram_atomic(n, 8),
+        "compact_nonzero": compact_nonzero(n),
+        "late_writeback": late_writeback(n),
+    }

@@ -1,0 +1,67 @@
+"""Runtime idempotence monitor (the scheduler-visible mailboxes).
+
+Each SM owns one mailbox word at ``MAILBOX_BASE + sm_id``. Executing a
+MARK stores the SM's ID into its mailbox; the GPU scheduler polls the
+mailboxes to decide whether an SM (or an individual thread block — the
+monitor tracks both granularities) can still be preempted by flushing.
+
+Mailboxes are cleared when the blocks they described leave the SM
+(completion, flush, or context switch).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.errors import SimulationError
+
+#: Pre-defined, non-cacheable mailbox base address (paper §3.4).
+MAILBOX_BASE = 0x7FFF_0000
+
+
+class IdempotenceMonitor:
+    """Scheduler-visible record of which blocks passed a MARK."""
+
+    def __init__(self, num_sms: int):
+        if num_sms < 1:
+            raise SimulationError("monitor needs at least one SM")
+        self.num_sms = num_sms
+        #: (sm_id, block_key) pairs that executed a MARK.
+        self._dirty_blocks: Set[Tuple[int, int]] = set()
+        #: Count of notifications per SM (diagnostics).
+        self.notifications: Dict[int, int] = {i: 0 for i in range(num_sms)}
+
+    def mailbox_address(self, sm_id: int) -> int:
+        """The SM's pre-defined mailbox word address."""
+        self._check_sm(sm_id)
+        return MAILBOX_BASE + sm_id
+
+    def notify(self, sm_id: int, block_key: int) -> None:
+        """A MARK executed: the block is entering non-idempotent code."""
+        self._check_sm(sm_id)
+        self._dirty_blocks.add((sm_id, block_key))
+        self.notifications[sm_id] += 1
+
+    def block_flushable(self, sm_id: int, block_key: int) -> bool:
+        """Relaxed condition: flushable until its first MARK executes."""
+        self._check_sm(sm_id)
+        return (sm_id, block_key) not in self._dirty_blocks
+
+    def sm_flushable(self, sm_id: int) -> bool:
+        """Whole-SM view: every resident block must still be clean."""
+        self._check_sm(sm_id)
+        return not any(sm == sm_id for sm, _ in self._dirty_blocks)
+
+    def clear_block(self, sm_id: int, block_key: int) -> None:
+        """Block left the SM (done / flushed / switched): forget it."""
+        self._dirty_blocks.discard((sm_id, block_key))
+
+    def clear_sm(self, sm_id: int) -> None:
+        """Forget every block recorded for this SM."""
+        self._check_sm(sm_id)
+        self._dirty_blocks = {(sm, key) for sm, key in self._dirty_blocks
+                              if sm != sm_id}
+
+    def _check_sm(self, sm_id: int) -> None:
+        if not 0 <= sm_id < self.num_sms:
+            raise SimulationError(f"no SM {sm_id}")

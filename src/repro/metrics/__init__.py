@@ -1,0 +1,20 @@
+"""Multiprogram performance metrics and report formatting."""
+
+from repro.metrics.metrics import (
+    antt,
+    stp,
+    normalized_turnaround,
+    ViolationSummary,
+    TechniqueMix,
+)
+from repro.metrics.report import format_table, format_percent
+
+__all__ = [
+    "antt",
+    "stp",
+    "normalized_turnaround",
+    "ViolationSummary",
+    "TechniqueMix",
+    "format_table",
+    "format_percent",
+]

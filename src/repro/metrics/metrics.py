@@ -1,0 +1,124 @@
+"""System-level multiprogram metrics (Eyerman & Eeckhout, IEEE Micro'08).
+
+The paper evaluates with average normalized turnaround time (ANTT,
+lower is better) and system throughput (STP, higher is better):
+
+    ANTT = (1/N) * sum_i CPI_multi_i / CPI_single_i
+    STP  =         sum_i CPI_single_i / CPI_multi_i
+
+Per benchmark we measure the time to reach its instruction target alone
+(t_single) and in the multiprogrammed mix (t_multi); the CPI ratio for a
+fixed instruction count is exactly t_multi / t_single.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.techniques import Technique
+from repro.errors import ConfigError
+
+
+def normalized_turnaround(t_single: float, t_multi: float) -> float:
+    """One benchmark's normalized turnaround time (>= 1 in theory)."""
+    if t_single <= 0 or t_multi <= 0:
+        raise ConfigError("times must be positive")
+    return t_multi / t_single
+
+
+def antt(ntts: Sequence[float]) -> float:
+    """Average normalized turnaround time (Equation 1)."""
+    if not ntts:
+        raise ConfigError("ANTT needs at least one benchmark")
+    return sum(ntts) / len(ntts)
+
+
+def stp(ntts: Sequence[float]) -> float:
+    """System throughput (Equation 2): sum of per-benchmark progress."""
+    if not ntts:
+        raise ConfigError("STP needs at least one benchmark")
+    if any(ntt <= 0 for ntt in ntts):
+        raise ConfigError("normalized turnaround must be positive")
+    return sum(1.0 / ntt for ntt in ntts)
+
+
+@dataclass
+class ViolationSummary:
+    """Deadline-violation accounting for a periodic-task run."""
+
+    requests: int = 0
+    violations: int = 0
+    latencies_us: List[float] = field(default_factory=list)
+
+    def record(self, latency_us: float, violated: bool) -> None:
+        """Record one observation."""
+        self.requests += 1
+        if violated:
+            self.violations += 1
+        self.latencies_us.append(latency_us)
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction of requests that missed the deadline."""
+        return self.violations / self.requests if self.requests else 0.0
+
+    @property
+    def mean_latency_us(self) -> float:
+        """Mean recorded latency in microseconds."""
+        if not self.latencies_us:
+            return 0.0
+        return sum(self.latencies_us) / len(self.latencies_us)
+
+    @property
+    def max_latency_us(self) -> float:
+        """Largest recorded latency in microseconds."""
+        return max(self.latencies_us) if self.latencies_us else 0.0
+
+    def percentile_latency_us(self, q: float) -> float:
+        """Latency at quantile ``q`` in [0, 1] (nearest-rank)."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError("quantile must be in [0, 1]")
+        if not self.latencies_us:
+            return 0.0
+        ordered = sorted(self.latencies_us)
+        rank = min(len(ordered) - 1, max(0, int(q * len(ordered) + 0.5) - 1))
+        return ordered[rank]
+
+    def fraction_above(self, threshold_us: float) -> float:
+        """Fraction of recorded latencies above a threshold."""
+        if not self.latencies_us:
+            return 0.0
+        return (sum(1 for lat in self.latencies_us if lat > threshold_us)
+                / len(self.latencies_us))
+
+
+@dataclass
+class TechniqueMix:
+    """How many thread blocks each technique preempted."""
+
+    counts: Dict[Technique, int] = field(default_factory=dict)
+
+    def add(self, technique: Technique, count: int = 1) -> None:
+        """Add a value/sample."""
+        self.counts[technique] = self.counts.get(technique, 0) + count
+
+    def merge(self, other: "TechniqueMix") -> None:
+        """Fold another accumulator into this one."""
+        for tech, count in other.counts.items():
+            self.add(tech, count)
+
+    @property
+    def total(self) -> int:
+        """Total count across techniques."""
+        return sum(self.counts.values())
+
+    def fraction(self, technique: Technique) -> float:
+        """One technique's share of all preempted blocks."""
+        if self.total == 0:
+            return 0.0
+        return self.counts.get(technique, 0) / self.total
+
+    def fractions(self) -> Dict[Technique, float]:
+        """Every technique's share (zeros included)."""
+        return {tech: self.fraction(tech) for tech in Technique}

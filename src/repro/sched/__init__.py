@@ -1,0 +1,16 @@
+"""Two-level GPU scheduler: kernel scheduler + thread-block scheduler."""
+
+from repro.sched.policy import KernelDemand, compute_partition
+from repro.sched.tb_scheduler import ThreadBlockScheduler
+from repro.sched.kernel_scheduler import KernelScheduler, SchedulerMode
+from repro.sched.process import BenchmarkProcess, ProcessState
+
+__all__ = [
+    "KernelDemand",
+    "compute_partition",
+    "ThreadBlockScheduler",
+    "KernelScheduler",
+    "SchedulerMode",
+    "BenchmarkProcess",
+    "ProcessState",
+]

@@ -1,0 +1,94 @@
+"""SM partitioning policy (paper §4, "Smart Even" + "Rounds" mix).
+
+SMs are distributed evenly across active kernels, except when a kernel
+is size-bound — its grid cannot occupy its even share (at launch, or
+near the end when too few thread blocks remain). SMs a size-bound
+kernel cannot use go to the others. Kernels with a fixed demand (the
+periodic real-time task) take exactly their demand, capped by need.
+
+The partition policy is orthogonal to the preemption decision (paper
+§3.1): this module only says *how many* SMs each kernel should hold;
+Chimera (or a baseline) decides which SMs move and how.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class KernelDemand:
+    """One active kernel's appetite for SMs."""
+
+    key: int
+    #: SMs the kernel can actually fill: ceil(unfinished TBs / TBs-per-SM).
+    needed_sms: int
+    #: Hard demand (real-time task); None for ordinary kernels.
+    fixed_demand: Optional[int] = None
+    #: Relative share weight (priority-proportional partitioning, as in
+    #: Tanasic et al.'s priority policies). 1.0 reproduces the paper's
+    #: even split.
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.needed_sms < 0:
+            raise SchedulingError("needed_sms must be non-negative")
+        if self.fixed_demand is not None and self.fixed_demand < 0:
+            raise SchedulingError("fixed_demand must be non-negative")
+        if self.weight <= 0:
+            raise SchedulingError("weight must be positive")
+
+
+def compute_partition(demands: List[KernelDemand], num_sms: int) -> Dict[int, int]:
+    """Target SM count per kernel key.
+
+    Fixed-demand kernels are served first (in list order), each taking
+    ``min(fixed_demand, needed)``. The remaining SMs are water-filled
+    evenly across the flexible kernels, capped by each kernel's need;
+    leftover SMs go round-robin to kernels that can still use more.
+    SMs nobody can use stay idle.
+    """
+    if num_sms < 0:
+        raise SchedulingError("num_sms must be non-negative")
+    targets: Dict[int, int] = {d.key: 0 for d in demands}
+    if len(targets) != len(demands):
+        raise SchedulingError("duplicate kernel keys in demands")
+    remaining = num_sms
+
+    for demand in demands:
+        if demand.fixed_demand is None:
+            continue
+        grant = min(demand.fixed_demand, demand.needed_sms, remaining)
+        targets[demand.key] = grant
+        remaining -= grant
+
+    flexible = [d for d in demands if d.fixed_demand is None]
+    # Ascending-normalized-need water-fill: size-bound kernels take
+    # less than their weighted share, and what they leave re-enters the
+    # pool for the rest.
+    pending = sorted(flexible, key=lambda d: d.needed_sms / d.weight)
+    weight_left = sum(d.weight for d in pending)
+    for demand in pending:
+        share = int(remaining * demand.weight / weight_left)
+        grant = min(demand.needed_sms, share)
+        targets[demand.key] = grant
+        remaining -= grant
+        weight_left -= demand.weight
+
+    # Round-robin the remainder (heaviest first) to kernels that can
+    # still use SMs.
+    while remaining > 0:
+        hungry = sorted((d for d in flexible
+                         if targets[d.key] < d.needed_sms),
+                        key=lambda d: -d.weight)
+        if not hungry:
+            break
+        for demand in hungry:
+            if remaining == 0:
+                break
+            targets[demand.key] += 1
+            remaining -= 1
+    return targets

@@ -1,0 +1,7 @@
+"""Discrete-event simulation engine, RNG streams, and statistics."""
+
+from repro.sim.engine import Engine, Event
+from repro.sim.rng import RngStreams
+from repro.sim.stats import Counter, Histogram, StatSet
+
+__all__ = ["Engine", "Event", "RngStreams", "Counter", "Histogram", "StatSet"]

@@ -1,0 +1,133 @@
+"""A small discrete-event simulation engine.
+
+The engine keeps a priority queue of :class:`Event` objects keyed by
+firing time. Components schedule callbacks and may cancel events they
+previously scheduled (lazy cancellation: the heap entry stays, the event
+is skipped when popped). Ties in time break by insertion order so runs
+are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Engine.schedule` and can be
+    cancelled with :meth:`cancel`. A cancelled event is never fired.
+    """
+
+    __slots__ = ("time", "seq", "callback", "label", "_cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None], label: str):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event so that it is skipped when popped."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """True when cancel() was called."""
+        return self._cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flag = " cancelled" if self._cancelled else ""
+        return f"<Event {self.label!r} @ {self.time:.1f}{flag}>"
+
+
+class Engine:
+    """Priority-queue discrete-event simulator.
+
+    Time is a float in GPU core cycles. The engine never advances time
+    backwards; scheduling an event in the past raises
+    :class:`~repro.errors.SimulationError`.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in cycles."""
+        return self._now
+
+    @property
+    def fired_events(self) -> int:
+        """Number of events fired so far (cancelled events excluded)."""
+        return self._fired
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-fired, not-cancelled events in the queue."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` to fire ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event {label!r} in the past (delay={delay})")
+        event = Event(self._now + delay, next(self._seq), callback, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` to fire at absolute ``time``."""
+        return self.schedule(time - self._now, callback, label)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Fire the next live event. Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError(
+                    f"event {event.label!r} scheduled at {event.time} but now is {self._now}"
+                )
+            self._now = event.time
+            self._fired += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None,
+            stop: Optional[Callable[[], bool]] = None) -> None:
+        """Run events until the queue drains, ``until`` cycles pass, the
+        ``stop`` predicate returns True, or ``max_events`` events fire.
+        """
+        fired = 0
+        while True:
+            if stop is not None and stop():
+                return
+            if max_events is not None and fired >= max_events:
+                return
+            next_time = self.peek_time()
+            if next_time is None:
+                return
+            if until is not None and next_time > until:
+                self._now = until
+                return
+            self.step()
+            fired += 1

@@ -1,0 +1,178 @@
+"""Lightweight statistics primitives used across the simulator.
+
+Provides counters, streaming mean/variance accumulators, and fixed-bin
+histograms. These deliberately avoid numpy so hot scheduler paths stay
+allocation-free; aggregation for reports can convert to numpy later.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing named counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        """Add a value/sample."""
+        self.value += amount
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Running:
+    """Streaming mean/variance via Welford's algorithm."""
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, x: float) -> None:
+        """Add a value/sample."""
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of observations."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of observations."""
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "Running") -> None:
+        """Fold another accumulator into this one (Chan's method)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+
+class Histogram:
+    """Fixed-width-bin histogram over [lo, hi); out-of-range values clamp
+    into the first/last bin so totals are preserved."""
+
+    def __init__(self, lo: float, hi: float, bins: int):
+        if hi <= lo:
+            raise ValueError("histogram needs hi > lo")
+        if bins < 1:
+            raise ValueError("histogram needs at least one bin")
+        self.lo = lo
+        self.hi = hi
+        self.bins = bins
+        self.counts: List[int] = [0] * bins
+        self.total = 0
+
+    def add(self, x: float) -> None:
+        """Add a value/sample."""
+        idx = int((x - self.lo) / (self.hi - self.lo) * self.bins)
+        idx = min(max(idx, 0), self.bins - 1)
+        self.counts[idx] += 1
+        self.total += 1
+
+    def fraction_above(self, threshold: float) -> float:
+        """Approximate fraction of samples at or above ``threshold``,
+        resolved at bin granularity."""
+        if self.total == 0:
+            return 0.0
+        idx = int((threshold - self.lo) / (self.hi - self.lo) * self.bins)
+        idx = min(max(idx, 0), self.bins)
+        return sum(self.counts[idx:]) / self.total
+
+    def bin_edges(self) -> List[Tuple[float, float]]:
+        """(lo, hi) bounds of every bin."""
+        width = (self.hi - self.lo) / self.bins
+        return [(self.lo + i * width, self.lo + (i + 1) * width) for i in range(self.bins)]
+
+
+class StatSet:
+    """A named bag of counters and running accumulators."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._running: Dict[str, Running] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the named counter."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def running(self, name: str) -> Running:
+        """Get or create the named accumulator."""
+        if name not in self._running:
+            self._running[name] = Running()
+        return self._running[name]
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Increment the named counter."""
+        self.counter(name).add(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        """Add a sample to the named accumulator."""
+        self.running(name).add(value)
+
+    def value(self, name: str) -> float:
+        """Current value of a counter (0 if absent)."""
+        return self._counters[name].value if name in self._counters else 0.0
+
+    def mean(self, name: str) -> float:
+        """Arithmetic mean of observations."""
+        return self._running[name].mean if name in self._running else 0.0
+
+    def names(self) -> Iterable[str]:
+        """All counter and accumulator names."""
+        yield from self._counters
+        yield from self._running
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat dict of all counter values and running means."""
+        out: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, running in self._running.items():
+            out[f"{name}.mean"] = running.mean
+            out[f"{name}.count"] = float(running.count)
+        return out

@@ -1,0 +1,91 @@
+"""Event tracing: a structured record of what the schedulers did.
+
+A :class:`Tracer` collects typed, timestamped records (kernel launches,
+preemption plans, SM hand-overs, kernel completions, deadline events).
+Experiments attach one to the kernel scheduler to debug scheduling
+decisions or to dump a timeline; the default is no tracer, costing
+nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+#: Well-known categories, used for filtering.
+LAUNCH = "launch"
+FINISH = "finish"
+KILL = "kill"
+PREEMPT = "preempt"
+RELEASE = "release"
+ASSIGN = "assign"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    time: float
+    category: str
+    message: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def format(self, clock_mhz: float = 1400.0) -> str:
+        """Render the record as one log line."""
+        extra = " ".join(f"{k}={v}" for k, v in sorted(self.payload.items()))
+        stamp = self.time / clock_mhz
+        return f"[{stamp:12.2f}us] {self.category:8s} {self.message}" + (
+            f"  ({extra})" if extra else "")
+
+
+class Tracer:
+    """Bounded in-memory event trace."""
+
+    def __init__(self, capacity: int = 100_000,
+                 categories: Optional[Iterable[str]] = None):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.categories = set(categories) if categories is not None else None
+        self.records: List[TraceRecord] = []
+        self.dropped = 0
+
+    def emit(self, time: float, category: str, message: str,
+             **payload: Any) -> None:
+        """Append a record (subject to category filter and capacity)."""
+        if self.categories is not None and category not in self.categories:
+            return
+        if len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time, category, message, payload))
+
+    def filter(self, category: Optional[str] = None,
+               predicate: Optional[Callable[[TraceRecord], bool]] = None
+               ) -> List[TraceRecord]:
+        """Records matching a category and/or predicate."""
+        out = self.records
+        if category is not None:
+            out = [r for r in out if r.category == category]
+        if predicate is not None:
+            out = [r for r in out if predicate(r)]
+        return list(out)
+
+    def counts(self) -> Dict[str, int]:
+        """Record counts per category."""
+        out: Dict[str, int] = {}
+        for record in self.records:
+            out[record.category] = out.get(record.category, 0) + 1
+        return out
+
+    def to_text(self, clock_mhz: float = 1400.0,
+                category: Optional[str] = None) -> str:
+        """The whole trace as formatted lines."""
+        lines = [r.format(clock_mhz) for r in self.filter(category)]
+        if self.dropped:
+            lines.append(f"... {self.dropped} records dropped (capacity "
+                         f"{self.capacity})")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.records)

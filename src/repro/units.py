@@ -1,0 +1,39 @@
+"""Unit conversions between wall time and GPU cycles.
+
+The simulator's native time unit is the GPU core cycle. The paper's
+machine (Table 1) clocks SMs at 1400 MHz, so 1 microsecond is 1400
+cycles. Helpers here keep the conversion in one place; everything that
+reports in microseconds goes through these functions.
+"""
+
+from __future__ import annotations
+
+#: Default core clock in MHz (Table 1).
+DEFAULT_CLOCK_MHZ = 1400.0
+
+#: Bytes per kilobyte as the paper uses it (binary).
+KB = 1024
+
+
+def us_to_cycles(us: float, clock_mhz: float = DEFAULT_CLOCK_MHZ) -> float:
+    """Convert microseconds to cycles at the given core clock."""
+    return us * clock_mhz
+
+
+def cycles_to_us(cycles: float, clock_mhz: float = DEFAULT_CLOCK_MHZ) -> float:
+    """Convert cycles to microseconds at the given core clock."""
+    return cycles / clock_mhz
+
+
+def ms_to_cycles(ms: float, clock_mhz: float = DEFAULT_CLOCK_MHZ) -> float:
+    """Convert milliseconds to cycles at the given core clock."""
+    return us_to_cycles(ms * 1000.0, clock_mhz)
+
+
+def bytes_per_cycle(bandwidth_gbps: float, clock_mhz: float = DEFAULT_CLOCK_MHZ) -> float:
+    """Convert a bandwidth in GB/s into bytes per core cycle.
+
+    1 GB/s = 1e9 bytes / 1e6 us = 1000 bytes/us; divide by cycles/us to
+    get bytes/cycle.
+    """
+    return bandwidth_gbps * 1000.0 / clock_mhz

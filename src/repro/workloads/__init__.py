@@ -1,0 +1,31 @@
+"""Workloads: Table 2 benchmark specs, synthetic kernels, scenarios."""
+
+from repro.workloads.specs import (
+    BenchmarkSpec,
+    KernelSpec,
+    TABLE2,
+    benchmark,
+    benchmark_labels,
+    all_kernel_specs,
+    kernel_spec,
+)
+from repro.workloads.synthetic import SyntheticKernelFactory
+from repro.workloads.periodic import PeriodicTaskSpec, synthetic_rt_kernel_spec
+from repro.workloads.multiprogram import MultiprogramWorkload, pair_with_lud
+from repro.workloads.lud import lud_launch_plan
+
+__all__ = [
+    "BenchmarkSpec",
+    "KernelSpec",
+    "TABLE2",
+    "benchmark",
+    "benchmark_labels",
+    "all_kernel_specs",
+    "kernel_spec",
+    "SyntheticKernelFactory",
+    "PeriodicTaskSpec",
+    "synthetic_rt_kernel_spec",
+    "MultiprogramWorkload",
+    "pair_with_lud",
+    "lud_launch_plan",
+]

@@ -1,0 +1,54 @@
+"""LUD's multi-kernel launch structure (paper §4.4 case study).
+
+Rodinia's LU decomposition on a 512x512 matrix with 16x16 tiles runs 32
+iterations; iteration ``i`` launches ``lud_diagonal`` on one block,
+``lud_perimeter`` on the remaining row/column blocks, and
+``lud_internal`` on the remaining interior square. The grid therefore
+shrinks every iteration, which makes the number of SMs LUD can use
+oscillate — the property the paper exploits to generate many preemption
+requests in the case study.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigError
+from repro.workloads.specs import BenchmarkSpec, KernelSpec, benchmark
+
+#: 512x512 matrix, 16x16 tiles (Table 2's LUD input).
+DEFAULT_MATRIX_BLOCKS = 32
+
+
+def lud_launch_plan(bench: BenchmarkSpec | None = None,
+                    matrix_blocks: int = DEFAULT_MATRIX_BLOCKS
+                    ) -> List[Tuple[KernelSpec, int]]:
+    """Return LUD's (kernel spec, grid size) launch sequence.
+
+    Kernel index 0 is ``lud_diagonal`` (always 1 TB), index 1 is
+    ``lud_perimeter`` (one TB per remaining border tile pair) and index
+    2 is ``lud_internal`` (one TB per remaining interior tile).
+    """
+    if matrix_blocks < 2:
+        raise ConfigError("LUD needs at least a 2x2 block matrix")
+    bench = bench or benchmark("LUD")
+    if len(bench.kernels) != 3:
+        raise ConfigError("LUD benchmark spec must have 3 kernels")
+    diagonal, perimeter, internal = bench.kernels
+    plan: List[Tuple[KernelSpec, int]] = []
+    for i in range(matrix_blocks - 1):
+        remaining = matrix_blocks - i - 1
+        plan.append((diagonal, 1))
+        plan.append((perimeter, remaining))
+        plan.append((internal, remaining * remaining))
+    plan.append((diagonal, 1))
+    return plan
+
+
+def lud_total_tbs(matrix_blocks: int = DEFAULT_MATRIX_BLOCKS) -> int:
+    """Total thread blocks across one LUD execution (testing helper)."""
+    total = 0
+    for i in range(matrix_blocks - 1):
+        remaining = matrix_blocks - i - 1
+        total += 1 + remaining + remaining * remaining
+    return total + 1

@@ -1,0 +1,253 @@
+"""The paper's Table 2: benchmark and kernel characteristics.
+
+Each kernel is described by the five quantities the paper reports —
+average drain time, per-thread-block context size, maximum resident
+thread blocks per SM, estimated context-switch time, and kernel-level
+idempotence — plus synthetic parameters (SM-aggregate IPC, per-TB
+variance, non-idempotent-point distribution) documented in DESIGN.md §5.
+
+The drain-time column is the expected drain latency under a uniformly
+random preemption point, i.e. half the mean thread-block execution time,
+so ``mean_tb_exec_us = 2 * avg_drain_us``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.units import KB
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Static description of one kernel (one Table 2 row)."""
+
+    benchmark: str
+    index: int
+    name: str
+    source: str
+    avg_drain_us: float
+    context_kb_per_tb: float
+    tbs_per_sm: int
+    switch_time_us: float
+    idempotent: bool
+
+    #: SM-aggregate instructions-per-cycle at full occupancy (synthetic;
+    #: GPGPU-Sim would measure this, we assign a plausible value).
+    sm_ipc: float = 4.0
+
+    #: Coefficient of variation of per-TB instruction counts. Kernels
+    #: with irregular control flow (e.g. MUM) get a large value; this is
+    #: what makes drain estimates imprecise (paper §4.4).
+    tb_cv: float = 0.10
+
+    #: Per-TB realized-CPI jitter CV (execution-time noise on top of the
+    #: instruction-count draw).
+    cpi_cv: float = 0.03
+
+    #: Beta distribution (alpha, beta) of the first non-idempotent
+    #: point, as a fraction of TB progress. Only meaningful when
+    #: ``idempotent`` is False. The paper observes these points cluster
+    #: near the end of a thread block (the final write-back phase), so
+    #: long-TB kernels get a sharply late Beta(k, 1); the kernels the
+    #: paper singles out as flush-hostile (BT, FWT) overwrite global
+    #: memory mid-execution and get mid-range points plus heavy-tailed
+    #: durations.
+    nonidem_beta: Tuple[float, float] = (8.0, 2.0)
+
+    #: Default number of thread blocks in the grid when the synthetic
+    #: factory builds an open-ended instance (restartable benchmarks
+    #: relaunch until the experiment's instruction budget is consumed).
+    grid_tbs: int = 0  # 0 means "auto" (sized by the factory)
+
+    def __post_init__(self) -> None:
+        if self.avg_drain_us <= 0:
+            raise ConfigError(f"{self.label}: avg_drain_us must be positive")
+        if self.context_kb_per_tb <= 0:
+            raise ConfigError(f"{self.label}: context size must be positive")
+        if not (1 <= self.tbs_per_sm <= 16):
+            raise ConfigError(f"{self.label}: tbs_per_sm out of range")
+        if self.switch_time_us <= 0:
+            raise ConfigError(f"{self.label}: switch_time_us must be positive")
+        if self.sm_ipc <= 0:
+            raise ConfigError(f"{self.label}: sm_ipc must be positive")
+
+    @property
+    def label(self) -> str:
+        """Paper-style kernel label, e.g. ``BS.0``."""
+        return f"{self.benchmark}.{self.index}"
+
+    @property
+    def mean_tb_exec_us(self) -> float:
+        """Mean thread-block execution time.
+
+        Expected drain latency under a uniform preemption point equals
+        half the TB execution time, so invert that relation.
+        """
+        return 2.0 * self.avg_drain_us
+
+    @property
+    def context_bytes_per_tb(self) -> int:
+        """Per-block context size in bytes."""
+        return int(self.context_kb_per_tb * KB)
+
+    @property
+    def context_bytes_per_sm(self) -> int:
+        """Full-occupancy per-SM context footprint."""
+        return self.context_bytes_per_tb * self.tbs_per_sm
+
+    @property
+    def tb_rate(self) -> float:
+        """Per-TB progress rate in instructions/cycle (fluid model)."""
+        return self.sm_ipc / self.tbs_per_sm
+
+    def mean_tb_instructions(self, clock_mhz: float = 1400.0) -> float:
+        """Mean instructions per thread block implied by the spec."""
+        return self.mean_tb_exec_us * clock_mhz * self.tb_rate
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """A benchmark: an ordered list of kernels launched back-to-back."""
+
+    label: str
+    name: str
+    source: str
+    input_desc: str
+    kernels: Tuple[KernelSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.kernels:
+            raise ConfigError(f"benchmark {self.label} has no kernels")
+        for i, k in enumerate(self.kernels):
+            if k.index != i or k.benchmark != self.label:
+                raise ConfigError(f"benchmark {self.label}: kernel {k.name} mislabelled")
+
+    @property
+    def idempotent_kernels(self) -> int:
+        """How many of the benchmark's kernels are idempotent."""
+        return sum(1 for k in self.kernels if k.idempotent)
+
+
+def _k(bench: str, idx: int, name: str, source: str, drain: float, ctx_kb: float,
+       tbs: int, switch: float, idem: bool, sm_ipc: float, tb_cv: float = 0.10,
+       nonidem_beta: Tuple[float, float] = (8.0, 2.0)) -> KernelSpec:
+    return KernelSpec(
+        benchmark=bench, index=idx, name=name, source=source,
+        avg_drain_us=drain, context_kb_per_tb=ctx_kb, tbs_per_sm=tbs,
+        switch_time_us=switch, idempotent=idem, sm_ipc=sm_ipc, tb_cv=tb_cv,
+        nonidem_beta=nonidem_beta,
+    )
+
+
+_SDK = "Nvidia SDK"
+_ROD = "Rodinia"
+_PAR = "Parboil"
+
+#: All 14 benchmarks / 27 kernels of the paper's Table 2. The sm_ipc and
+#: tb_cv columns are synthetic (see module docstring); compute-bound
+#: kernels (CP, SAD) get high IPC, memory/divergent kernels (MUM, BT)
+#: get low IPC and high variance.
+TABLE2: Dict[str, BenchmarkSpec] = {
+    spec.label: spec for spec in [
+        BenchmarkSpec("BS", "BlackScholes", _SDK, "4M Options", (
+            _k("BS", 0, "BlackScholesGPU", _SDK, 60.9, 24, 4, 17.0, True, 5.0, 0.05),
+        )),
+        BenchmarkSpec("BT", "B+ Tree", _ROD, "1M Nodes", (
+            _k("BT", 0, "findRangeK", _ROD, 3.5, 46, 2, 15.9, False, 1.5, 0.90,
+               nonidem_beta=(2.0, 1.5)),
+            _k("BT", 1, "findK", _ROD, 2.8, 36, 3, 18.7, False, 1.5, 0.90,
+               nonidem_beta=(2.0, 1.5)),
+        )),
+        BenchmarkSpec("BP", "Back Propagation", _ROD, "128K Nodes", (
+            _k("BP", 0, "bpnn_layerforward", _ROD, 3.1, 12, 6, 12.5, False, 3.0, 0.10),
+            _k("BP", 1, "bpnn_adjust_weights", _ROD, 1.8, 22, 5, 19.0, False, 3.0, 0.10),
+        )),
+        BenchmarkSpec("CP", "Coulombic Potential", _PAR, "2K Atoms on 256x256 Grid", (
+            _k("CP", 0, "cenergy", _PAR, 746.9, 7, 8, 10.4, False, 6.0, 0.05,
+               nonidem_beta=(200.0, 1.0)),
+        )),
+        BenchmarkSpec("FWT", "Fast Walsh Transform", _SDK, "8M", (
+            _k("FWT", 0, "fwtBatch2Kernel", _SDK, 2.3, 21, 5, 18.2, False, 3.5, 0.90,
+               nonidem_beta=(2.0, 1.5)),
+            _k("FWT", 1, "fwtBatch1Kernel", _SDK, 7.2, 28, 3, 14.5, False, 3.5, 0.90,
+               nonidem_beta=(2.0, 1.5)),
+            _k("FWT", 2, "modulateKernel", _SDK, 321.8, 18, 6, 18.7, False, 4.0, 0.05,
+               nonidem_beta=(60.0, 1.0)),
+        )),
+        BenchmarkSpec("HW", "Heart Wall Tracking", _ROD, "656x744 Pixels/Frame", (
+            _k("HW", 0, "kernel", _ROD, 5.2, 67, 2, 23.4, False, 2.5, 0.15),
+        )),
+        BenchmarkSpec("HS", "HotSpot", _ROD, "1024x1024 Data Points", (
+            _k("HS", 0, "calculate_temp", _ROD, 4.5, 38, 3, 19.7, True, 4.0, 0.08),
+        )),
+        BenchmarkSpec("KM", "Kmeans", _ROD, "0.5M Data Points, 34 Features", (
+            _k("KM", 0, "invert_mapping", _ROD, 424.3, 10, 6, 10.4, True, 3.0, 0.05),
+            _k("KM", 1, "kmeansPoint", _ROD, 118.8, 12, 6, 12.5, True, 3.5, 0.05),
+        )),
+        BenchmarkSpec("LC", "Leukocyte Tracking", _ROD, "640x480 Pixels/Frame", (
+            _k("LC", 0, "GICOV_kernel", _ROD, 1162.0, 17, 7, 20.9, True, 4.5, 0.08),
+            _k("LC", 1, "dilate_kernel", _ROD, 391.7, 9, 8, 13.5, True, 4.5, 0.05),
+            _k("LC", 2, "IMGVF_kernel", _ROD, 10173.2, 87, 1, 15.2, False, 2.0, 0.20,
+               nonidem_beta=(5000.0, 1.0)),
+        )),
+        BenchmarkSpec("LUD", "LU Decomposition", _ROD, "512x512 Data Points", (
+            _k("LUD", 0, "lud_diagonal", _ROD, 17.4, 4, 8, 5.6, False, 2.0, 0.10,
+               nonidem_beta=(20.0, 1.0)),
+            _k("LUD", 1, "lud_perimeter", _ROD, 26.2, 5, 8, 8.1, False, 3.0, 0.10,
+               nonidem_beta=(20.0, 1.0)),
+            _k("LUD", 2, "lud_internal", _ROD, 3.5, 16, 6, 16.6, False, 4.0, 0.08),
+        )),
+        BenchmarkSpec("MUM", "MUMmer", _ROD, "50000 25-character Queries", (
+            _k("MUM", 0, "mummergpuKernel", _ROD, 10212.8, 18, 6, 18.7, True, 1.0, 0.40),
+            _k("MUM", 1, "printKernel", _ROD, 76.4, 24, 5, 20.8, True, 1.5, 0.30),
+        )),
+        BenchmarkSpec("NW", "Needleman-Wunsch", _ROD, "4096x4096 Data Points", (
+            _k("NW", 0, "needle_cuda_shared_1", _ROD, 18.2, 8, 8, 11.1, False, 2.5, 0.10,
+               nonidem_beta=(20.0, 1.0)),
+            _k("NW", 1, "needle_cuda_shared_2", _ROD, 18.7, 8, 8, 11.1, False, 2.5, 0.10,
+               nonidem_beta=(20.0, 1.0)),
+        )),
+        BenchmarkSpec("SAD", "SAD", _PAR, "1920x1072 Pixels", (
+            _k("SAD", 0, "mb_sad_calc", _PAR, 42.3, 7, 8, 10.1, True, 5.5, 0.05),
+            _k("SAD", 1, "larger_sad_calc_8", _PAR, 82.9, 8, 8, 11.1, True, 5.5, 0.20),
+            _k("SAD", 2, "larger_sad_calc_16", _PAR, 19.7, 2, 8, 2.8, True, 5.5, 0.05),
+        )),
+        BenchmarkSpec("ST", "Stencil", _PAR, "512x512x64 Grid", (
+            _k("ST", 0, "block2D_hybrid_coarsen_x", _PAR, 122.3, 11, 8, 15.9, True, 4.0, 0.05),
+        )),
+    ]
+}
+
+
+def benchmark(label: str) -> BenchmarkSpec:
+    """Look up a benchmark spec by its paper label (e.g. ``"LUD"``)."""
+    try:
+        return TABLE2[label]
+    except KeyError:
+        raise ConfigError(f"unknown benchmark {label!r}; known: {sorted(TABLE2)}") from None
+
+
+def benchmark_labels() -> List[str]:
+    """All benchmark labels in the paper's Table 2 order."""
+    return list(TABLE2.keys())
+
+
+def all_kernel_specs() -> List[KernelSpec]:
+    """All 27 kernel specs in Table 2 order."""
+    out: List[KernelSpec] = []
+    for spec in TABLE2.values():
+        out.extend(spec.kernels)
+    return out
+
+
+def kernel_spec(label: str) -> KernelSpec:
+    """Look up a kernel spec by its ``BENCH.i`` label."""
+    bench, _, idx = label.partition(".")
+    spec = benchmark(bench)
+    try:
+        return spec.kernels[int(idx)]
+    except (ValueError, IndexError):
+        raise ConfigError(f"unknown kernel label {label!r}") from None

@@ -1,0 +1,87 @@
+"""Synthetic kernel factory: Table 2 specs -> runnable kernel instances.
+
+GPGPU-Sim runs real CUDA kernels; we synthesize kernels whose timing
+behaviour matches the five Table 2 characteristics (DESIGN.md §2). The
+factory sizes grids automatically: long-thread-block kernels get a few
+waves, short ones get many, so every kernel's standalone duration is in
+the same ballpark and multiprogrammed runs generate sustained contention.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.gpu.config import GPUConfig
+from repro.gpu.kernel import Kernel
+from repro.sim.rng import RngStreams
+from repro.workloads.specs import BenchmarkSpec, KernelSpec, benchmark
+
+
+#: Default target standalone duration of one kernel launch, in us.
+DEFAULT_TARGET_KERNEL_US = 2000.0
+
+#: Grid sizing bounds, in full-GPU waves.
+MIN_WAVES = 1
+MAX_WAVES = 120
+
+
+class SyntheticKernelFactory:
+    """Builds :class:`~repro.gpu.kernel.Kernel` instances from specs."""
+
+    def __init__(self, config: GPUConfig, rng: RngStreams,
+                 target_kernel_us: float = DEFAULT_TARGET_KERNEL_US):
+        if target_kernel_us <= 0:
+            raise ConfigError("target_kernel_us must be positive")
+        self.config = config
+        self.rng = rng
+        self.target_kernel_us = target_kernel_us
+
+    def waves_for(self, spec: KernelSpec) -> int:
+        """Number of full-GPU waves needed to hit the target duration."""
+        waves = round(self.target_kernel_us / spec.mean_tb_exec_us)
+        return max(MIN_WAVES, min(MAX_WAVES, waves))
+
+    def grid_for(self, spec: KernelSpec) -> int:
+        """Auto grid size: waves x (SMs x TBs/SM), unless the spec pins one."""
+        if spec.grid_tbs > 0:
+            return spec.grid_tbs
+        return self.waves_for(spec) * self.config.num_sms * spec.tbs_per_sm
+
+    def build(self, spec: KernelSpec, grid_tbs: Optional[int] = None,
+              name: Optional[str] = None) -> Kernel:
+        """Instantiate one launch of ``spec``."""
+        grid = grid_tbs if grid_tbs is not None else self.grid_for(spec)
+        return Kernel(spec, grid, self.rng, name=name,
+                      clock_mhz=self.config.clock_mhz)
+
+    def launch_plan(self, bench: BenchmarkSpec) -> List[Tuple[KernelSpec, int]]:
+        """The sequence of (kernel spec, grid size) one execution of the
+        benchmark launches. LUD gets its iteration-structured plan; all
+        other benchmarks launch each Table 2 kernel once, in order."""
+        if bench.label == "LUD":
+            from repro.workloads.lud import lud_launch_plan
+            return lud_launch_plan(bench)
+        return [(spec, self.grid_for(spec)) for spec in bench.kernels]
+
+    def launch_plan_for_label(self, label: str) -> List[Tuple[KernelSpec, int]]:
+        """Launch plan for a benchmark by its label."""
+        return self.launch_plan(benchmark(label))
+
+    def total_insts_one_execution(self, label: str) -> float:
+        """Expected useful instructions in one full benchmark execution."""
+        total = 0.0
+        for spec, grid in self.launch_plan_for_label(label):
+            total += grid * spec.mean_tb_instructions(self.config.clock_mhz)
+        return total
+
+
+def plan_duration_us(plan: Sequence[Tuple[KernelSpec, int]],
+                     config: GPUConfig) -> float:
+    """Rough standalone duration of a launch plan on the whole GPU."""
+    total = 0.0
+    for spec, grid in plan:
+        slots = config.num_sms * spec.tbs_per_sm
+        waves = max(1.0, grid / slots)
+        total += waves * spec.mean_tb_exec_us
+    return total

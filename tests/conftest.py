@@ -1,0 +1,93 @@
+"""Shared fixtures for the Chimera reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.gpu import GPU
+from repro.gpu.kernel import Kernel
+from repro.sched.kernel_scheduler import KernelScheduler, SchedulerMode
+from repro.sched.tb_scheduler import ThreadBlockScheduler
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.workloads.specs import KernelSpec
+
+
+@pytest.fixture
+def config() -> GPUConfig:
+    return GPUConfig()
+
+
+@pytest.fixture
+def small_config() -> GPUConfig:
+    """A 4-SM machine for fast, easily hand-checked scheduler tests."""
+    return GPUConfig(num_sms=4, num_memory_partitions=2,
+                     memory_bandwidth_gbps=177.4 * 4 / 30)
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def rng() -> RngStreams:
+    return RngStreams(999)
+
+
+def make_spec(**overrides) -> KernelSpec:
+    """A deterministic kernel spec for unit tests (no randomness)."""
+    defaults = dict(
+        benchmark="TK", index=0, name="test_kernel", source="test",
+        avg_drain_us=50.0, context_kb_per_tb=16.0, tbs_per_sm=4,
+        switch_time_us=10.0, idempotent=True, sm_ipc=4.0,
+        tb_cv=0.0, cpi_cv=0.0,
+    )
+    defaults.update(overrides)
+    return KernelSpec(**defaults)
+
+
+@pytest.fixture
+def spec() -> KernelSpec:
+    return make_spec()
+
+
+def make_kernel(spec: KernelSpec, grid: int, seed: int = 7,
+                clock_mhz: float = 1400.0) -> Kernel:
+    return Kernel(spec, grid, RngStreams(seed), clock_mhz=clock_mhz)
+
+
+class StubListener:
+    """Records SM callbacks without scheduling anything new."""
+
+    def __init__(self) -> None:
+        self.completed = []
+        self.preempted = []
+        self.released = []
+
+    def on_tb_complete(self, sm, tb) -> None:
+        self.completed.append((sm.sm_id, tb.index))
+
+    def on_tb_preempted(self, tb) -> None:
+        self.preempted.append(tb)
+
+    def on_sm_released(self, sm, record) -> None:
+        self.released.append((sm.sm_id, record))
+
+
+@pytest.fixture
+def stub_listener() -> StubListener:
+    return StubListener()
+
+
+def build_system(config: GPUConfig, engine: Engine, policy,
+                 mode: SchedulerMode = SchedulerMode.SPATIAL,
+                 latency_limit_us: float = 30.0):
+    """Wire a TB scheduler + kernel scheduler + GPU for tests."""
+    tb_sched = ThreadBlockScheduler()
+    ks = KernelScheduler(engine, config, tb_sched, policy, mode,
+                         latency_limit_us)
+    gpu = GPU(config, engine, tb_sched)
+    ks.attach_gpu(gpu)
+    return tb_sched, ks, gpu

@@ -1,0 +1,154 @@
+"""Tests for the affine address refinement of the idempotence analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IRError
+from repro.functional.machine import FunctionalBlockRun, GlobalMemory
+from repro.idempotence.affine import Affine, refine_analysis
+from repro.idempotence.analysis import analyze
+from repro.idempotence.instrument import instrument, mark_count
+from repro.idempotence.ir import Op, program
+from repro.idempotence.kernels import (
+    compact_nonzero,
+    histogram_atomic,
+    late_writeback,
+    saxpy_inplace,
+    shift_halves,
+    vector_add,
+    vector_scale_inplace,
+)
+
+N, TPB = 64, 16
+BLOCKS = (N // 2) // TPB  # shift_halves launches n/2 threads total
+
+
+class TestAffineAlgebra:
+    def test_interval_of_global_index(self):
+        # tid + ctaid*16 over 16 threads x 4 blocks -> [0, 63]
+        expr = Affine(tid=1) + Affine(ctaid=1).scale(16)
+        assert expr.interval(16, 4) == (0, 63)
+
+    def test_interval_with_offset(self):
+        expr = Affine(tid=1, const=32)
+        assert expr.interval(16, 4) == (32, 47)
+
+    def test_negative_coefficient(self):
+        expr = Affine(tid=-1, const=10)
+        assert expr.interval(4, 1) == (7, 10)
+
+    def test_arithmetic(self):
+        a = Affine(tid=2, ctaid=1, const=3)
+        b = Affine(tid=1, const=1)
+        assert a + b == Affine(tid=3, ctaid=1, const=4)
+        assert a - b == Affine(tid=1, ctaid=1, const=2)
+        assert b.scale(5) == Affine(tid=5, const=5)
+        assert Affine(const=7).is_const
+
+
+class TestRefinement:
+    def test_shift_halves_base_is_conservative(self):
+        prog = shift_halves(N)
+        assert not analyze(prog).idempotent
+
+    def test_shift_halves_refined_is_idempotent(self):
+        prog = shift_halves(N)
+        refined = refine_analysis(prog, num_threads=TPB, num_blocks=BLOCKS)
+        assert refined.idempotent
+        assert refined.nonidempotent_indices == ()
+
+    def test_inplace_scale_stays_nonidempotent(self):
+        prog = vector_scale_inplace(N)
+        refined = refine_analysis(prog, TPB, N // TPB)
+        assert not refined.idempotent
+        assert any("overlaps" in r for r in refined.reasons)
+
+    def test_saxpy_stays_nonidempotent(self):
+        refined = refine_analysis(saxpy_inplace(N), TPB, N // TPB)
+        assert not refined.idempotent
+
+    def test_atomics_never_refined_away(self):
+        refined = refine_analysis(histogram_atomic(N, 8), TPB, N // TPB)
+        assert not refined.idempotent
+        assert refined.has_atomics
+
+    def test_loops_fall_back_to_base(self):
+        prog = late_writeback(N, loop_iters=4)
+        base = analyze(prog)
+        refined = refine_analysis(prog, TPB, N // TPB)
+        assert refined.nonidempotent_indices == base.nonidempotent_indices
+
+    def test_data_dependent_store_falls_back(self):
+        # compact_nonzero stores at an atomic-returned cursor: unknown.
+        prog = compact_nonzero(N)
+        refined = refine_analysis(prog, TPB, N // TPB)
+        assert not refined.idempotent
+
+    def test_idempotent_kernel_passes_through(self):
+        prog = vector_add(N)
+        refined = refine_analysis(prog, TPB, N // TPB)
+        assert refined.idempotent
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(IRError):
+            refine_analysis(vector_add(N), 0, 1)
+
+    def test_geometry_matters(self):
+        """With too many threads the halves collide and the refinement
+        must keep the store flagged."""
+        prog = shift_halves(N)
+        # 2x the intended threads: indices run into the write half.
+        refined = refine_analysis(prog, num_threads=N, num_blocks=1)
+        assert not refined.idempotent
+
+    def test_overlapping_shift_detected(self):
+        """A shift smaller than the read range overlaps and must stay
+        non-idempotent."""
+        n = 64
+        prog = (
+            program("shift_quarter", num_regs=16)
+            .buffer("buf", n + n // 4)
+            .tid(0)
+            .ldg(1, "buf", 0)
+            .movi(2, n // 4)
+            .alu(Op.ADD, 3, 0, 2)
+            .stg("buf", 3, 1)
+            .exit()
+            .build()
+        )
+        refined = refine_analysis(prog, num_threads=n, num_blocks=1)
+        assert not refined.idempotent
+
+
+class TestRefinedFlushSafety:
+    """The refinement's claim, executed: a kernel it proves idempotent
+    really can be flushed anywhere."""
+
+    def _expected(self, prog, init):
+        g = GlobalMemory(dict(prog.buffers), init=init)
+        for b in range(BLOCKS):
+            FunctionalBlockRun(prog, b, TPB, g).run()
+        return g.snapshot()
+
+    @pytest.mark.parametrize("stop", [1, 10, 33, 70, 200])
+    def test_shift_halves_flush_anywhere(self, stop):
+        base_prog = shift_halves(N)
+        refined = refine_analysis(base_prog, TPB, BLOCKS)
+        assert refined.idempotent
+        # Instrument with the REFINED report: no marks are planted.
+        prog = instrument(base_prog, refined)
+        assert mark_count(prog) == 0
+        init = {"buf": [i + 1 for i in range(N // 2)] + [0] * (N // 2)}
+        expected = self._expected(prog, init)
+        g = GlobalMemory(dict(prog.buffers), init=init)
+        victim = FunctionalBlockRun(prog, 0, TPB, g)
+        victim.run(max_instructions=stop)
+        FunctionalBlockRun(prog, 0, TPB, g).run()  # flush + rerun
+        for b in range(1, BLOCKS):
+            FunctionalBlockRun(prog, b, TPB, g).run()
+        assert g.snapshot() == expected
+
+    def test_base_instrumentation_would_have_marked(self):
+        prog = shift_halves(N)
+        assert mark_count(instrument(prog)) == 1  # conservative marks

@@ -1,0 +1,121 @@
+"""Tests for the IR assembler/disassembler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IRError
+from repro.functional.machine import GlobalMemory, run_grid
+from repro.idempotence.asm import assemble, disassemble
+from repro.idempotence.instrument import instrument
+from repro.idempotence.kernels import all_sample_kernels, tiled_matmul
+from repro.idempotence.ir import Op
+
+SAXPY_TEXT = """
+.kernel saxpy
+.regs 16
+.buffer x 64
+.buffer y 64
+
+    tid   r0
+    ctaid r1
+    ntid  r2
+    mul   r3, r1, r2
+    add   r0, r0, r3
+    movi  r4, #2
+    ldg   r5, x[r0]
+    ldg   r6, y[r0]
+    mul   r7, r5, r4
+    add   r8, r7, r6
+    stg   y[r0], r8
+    exit
+"""
+
+
+class TestAssemble:
+    def test_saxpy_assembles_and_runs(self):
+        prog = assemble(SAXPY_TEXT)
+        assert prog.name == "saxpy"
+        assert prog.buffers == {"x": 64, "y": 64}
+        g = GlobalMemory(dict(prog.buffers),
+                         init={"x": [1] * 64, "y": list(range(64))})
+        run_grid(prog, 4, 16, g)
+        assert g["y"] == [2 + i for i in range(64)]
+
+    def test_labels_and_branches(self):
+        text = """
+.kernel looper
+.buffer out 4
+    movi r0, #0
+    movi r1, #5
+loop:
+    movi r2, #1
+    add  r0, r0, r2
+    setlt r3, r0, r1
+    cbra r3, loop
+    tid  r4
+    stg  out[r4], r0
+    exit
+"""
+        prog = assemble(text)
+        g = GlobalMemory(dict(prog.buffers))
+        run_grid(prog, 1, 4, g)
+        assert g["out"] == [5, 5, 5, 5]
+
+    def test_comments_and_blank_lines_ignored(self):
+        prog = assemble("""
+.kernel c // trailing comment
+// full-line comment
+
+    tid r0
+    exit
+""")
+        assert prog.name == "c"
+        assert len(prog.instrs) == 2
+
+    def test_hex_immediates(self):
+        prog = assemble(".kernel h\n    movi r0, #0x10\n    exit\n")
+        assert prog.instrs[0].imm == 16
+
+    @pytest.mark.parametrize("bad,msg", [
+        ("    frobnicate r0\n    exit", "unknown op"),
+        ("    movi r0\n    exit", "expects 2 operands"),
+        ("    movi r0, r1\n    exit", "immediate"),
+        ("    ldg r0, nowhere\n    exit", "buffer"),
+        ("    add x0, r1, r2\n    exit", "register"),
+        (".bogus 3\n    exit", "directive"),
+        ("dup:\ndup:\n    exit", "duplicate label"),
+        ("    bra nowhere\n    exit", "unknown label"),
+    ])
+    def test_errors(self, bad, msg):
+        with pytest.raises(IRError, match=msg):
+            assemble(f".kernel bad\n.buffer b 4\n{bad}\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(all_sample_kernels()))
+    def test_sample_kernels_round_trip(self, name):
+        prog = all_sample_kernels()[name]
+        text = disassemble(prog)
+        back = assemble(text)
+        assert back.name == prog.name
+        assert back.buffers == prog.buffers
+        assert back.num_regs == prog.num_regs
+        assert back.shared_words == prog.shared_words
+        assert back.instrs == prog.instrs
+        assert back.labels == prog.labels
+
+    def test_matmul_round_trips(self):
+        prog = tiled_matmul(8, 4)
+        assert assemble(disassemble(prog)).instrs == prog.instrs
+
+    def test_instrumented_kernel_round_trips(self):
+        prog = instrument(all_sample_kernels()["saxpy_inplace"])
+        back = assemble(disassemble(prog))
+        assert back.instrs == prog.instrs
+        assert any(i.op is Op.MARK for i in back.instrs)
+
+    def test_disassembly_is_stable(self):
+        prog = all_sample_kernels()["block_reduce_sum"]
+        text = disassemble(prog)
+        assert disassemble(assemble(text)) == text

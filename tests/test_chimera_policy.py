@@ -1,0 +1,133 @@
+"""Unit tests for the Chimera policy and single-technique baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chimera import (
+    ChimeraPolicy,
+    POLICY_NAMES,
+    SingleTechniquePolicy,
+    make_policy,
+)
+from repro.core.techniques import Technique
+from repro.errors import ConfigError
+from tests.test_selection import build_sms
+from tests.conftest import make_spec
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize("name", ["switch", "drain", "flush",
+                                      "flush-strict", "chimera",
+                                      "chimera-strict", "chimera-oracle"])
+    def test_known_names(self, config, name):
+        policy = make_policy(name, config)
+        assert policy.name == name
+
+    def test_unknown_name_rejected(self, config):
+        with pytest.raises(ConfigError):
+            make_policy("best-effort", config)
+
+    def test_policy_names_constant_is_paper_order(self):
+        assert POLICY_NAMES == ("switch", "drain", "flush", "chimera")
+
+
+class TestSingleTechnique:
+    def test_switch_plans_all_switch(self, config):
+        _, _, sms = build_sms(config)
+        policy = SingleTechniquePolicy(config, Technique.SWITCH)
+        plans = policy.plan(sms, 2, config.us(15.0))
+        for plan in plans:
+            assert set(plan.assignments.values()) == {Technique.SWITCH}
+
+    def test_drain_plans_all_drain(self, config):
+        _, _, sms = build_sms(config)
+        policy = SingleTechniquePolicy(config, Technique.DRAIN)
+        plans = policy.plan(sms, 2, config.us(15.0))
+        for plan in plans:
+            assert set(plan.assignments.values()) == {Technique.DRAIN}
+
+    def test_flush_plans_flush_when_idempotent(self, config):
+        _, _, sms = build_sms(config, spec=make_spec(idempotent=True))
+        policy = SingleTechniquePolicy(config, Technique.FLUSH)
+        plans = policy.plan(sms, 2, config.us(15.0))
+        for plan in plans:
+            assert set(plan.assignments.values()) == {Technique.FLUSH}
+
+    def test_flush_degrades_to_drain_past_nonidem_point(self, config):
+        spec = make_spec(idempotent=False, nonidem_beta=(1.0, 10_000.0),
+                         avg_drain_us=1000.0)
+        _, _, sms = build_sms(config, spec=spec, advance=500_000.0)
+        policy = SingleTechniquePolicy(config, Technique.FLUSH)
+        plans = policy.plan(sms, 1, config.us(15.0))
+        assert set(plans[0].assignments.values()) == {Technique.DRAIN}
+
+    def test_flush_strict_drains_nonidempotent_kernels_entirely(self, config):
+        # Relaxed would allow flushing early blocks; strict may not.
+        spec = make_spec(idempotent=False, nonidem_beta=(10_000.0, 1.0),
+                         avg_drain_us=1000.0)
+        _, _, sms = build_sms(config, spec=spec, advance=10.0)
+        strict = SingleTechniquePolicy(config, Technique.FLUSH,
+                                       strict_idempotence=True)
+        plans = strict.plan(sms, 1, config.us(15.0))
+        assert set(plans[0].assignments.values()) == {Technique.DRAIN}
+        relaxed = SingleTechniquePolicy(config, Technique.FLUSH)
+        plans = relaxed.plan(sms, 1, config.us(15.0))
+        assert set(plans[0].assignments.values()) == {Technique.FLUSH}
+
+
+class TestChimera:
+    def test_mixes_techniques_under_tight_limit(self, config):
+        """A long-TB idempotent kernel with a big context cannot switch
+        every block within 15 us; Chimera must mix."""
+        spec = make_spec(idempotent=True, avg_drain_us=10_000.0,
+                         context_kb_per_tb=18.0, tbs_per_sm=6, sm_ipc=1.0,
+                         tb_cv=0.0)
+        _, _, sms = build_sms(config, n_sms=4, spec=spec, tbs_each=6,
+                              advance=100_000.0)
+        policy = ChimeraPolicy(config)
+        plans = policy.plan(sms, 2, config.us(15.0))
+        techniques = set()
+        for plan in plans:
+            techniques |= set(plan.assignments.values())
+            assert plan.latency_cycles <= config.us(15.0)
+        assert Technique.SWITCH in techniques
+        assert Technique.FLUSH in techniques
+
+    def test_plans_respect_latency_constraint_estimate(self, config):
+        _, _, sms = build_sms(config, n_sms=6)
+        policy = ChimeraPolicy(config)
+        for limit_us in (5.0, 10.0, 15.0, 20.0):
+            plans = policy.plan(sms, 3, config.us(limit_us))
+            assert len(plans) == 3
+
+    def test_oracle_name(self, config):
+        assert ChimeraPolicy(config, oracle=True).name == "chimera-oracle"
+        assert ChimeraPolicy(config, strict_idempotence=True).name == \
+            "chimera-strict"
+
+    def test_strict_chimera_never_flushes_nonidempotent(self, config):
+        spec = make_spec(idempotent=False, nonidem_beta=(10_000.0, 1.0))
+        _, _, sms = build_sms(config, spec=spec, advance=10.0)
+        policy = ChimeraPolicy(config, strict_idempotence=True)
+        plans = policy.plan(sms, len(sms), config.us(15.0))
+        for plan in plans:
+            assert Technique.FLUSH not in plan.assignments.values()
+
+    def test_protects_progressed_blocks_from_flush(self, config):
+        """With identical switch costs, the tie-break shields the blocks
+        with the most executed work; the flushed ones are the youngest."""
+        spec = make_spec(idempotent=True, avg_drain_us=10_000.0,
+                         context_kb_per_tb=18.0, tbs_per_sm=6, sm_ipc=1.0,
+                         tb_cv=0.5)
+        _, _, sms = build_sms(config, n_sms=1, spec=spec, tbs_each=6,
+                              advance=100_000.0)
+        policy = ChimeraPolicy(config)
+        plans = policy.plan(sms, 1, config.us(15.0))
+        plan = plans[0]
+        flushed = [tb.executed_insts for tb, t in plan.assignments.items()
+                   if t is Technique.FLUSH]
+        switched = [tb.executed_insts for tb, t in plan.assignments.items()
+                    if t is Technique.SWITCH]
+        if flushed and switched:
+            assert max(flushed) <= min(switched) + 1e-6

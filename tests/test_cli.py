@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_table1(capsys):
+    code, out = run_cli(capsys, "table1")
+    assert code == 0
+    assert "30 SMs" in out
+    assert "177.4 GB/s" in out
+
+
+def test_table2(capsys):
+    code, out = run_cli(capsys, "table2")
+    assert code == 0
+    assert "BS.0" in out and "ST.0" in out
+    assert out.count("\n") >= 28
+
+
+def test_estimate(capsys):
+    code, out = run_cli(capsys, "estimate")
+    assert code == 0
+    assert "average" in out
+    assert "30.7%" in out  # flush overhead constant
+
+
+def test_analyze(capsys):
+    code, out = run_cli(capsys, "analyze")
+    assert code == 0
+    assert "vector_add" in out
+    assert "histogram_atomic" in out
+    assert "atomic" in out  # a reason string
+
+
+def test_periodic(capsys):
+    code, out = run_cli(capsys, "periodic", "--bench", "BS",
+                        "--policy", "chimera", "--periods", "3",
+                        "--seed", "1")
+    assert code == 0
+    assert "violations" in out
+    assert "technique mix" in out
+
+
+def test_periodic_rejects_unknown_bench(capsys):
+    with pytest.raises(SystemExit):
+        main(["periodic", "--bench", "NOPE"])
+
+
+def test_pair(capsys):
+    code, out = run_cli(capsys, "pair", "--benchmarks", "LUD", "BS",
+                        "--policies", "chimera", "--budget", "1e6",
+                        "--seed", "1")
+    assert code == 0
+    assert "fcfs" in out
+    assert "chimera" in out
+    assert "ANTT" in out
+
+
+def test_requires_command(capsys):
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,202 @@
+"""Unit tests for the preemption cost model (paper §3.2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.cost import CONSERVATIVE, CostEstimator, OnlineKernelStats
+from repro.core.techniques import Technique
+from repro.gpu.memory import MemorySubsystem
+from repro.gpu.sm import StreamingMultiprocessor
+from repro.sim.engine import Engine
+from tests.conftest import StubListener, make_kernel, make_spec
+
+
+@pytest.fixture
+def estimator(config):
+    return CostEstimator(config)
+
+
+def run_sm(config, spec=None, n_tbs=2, until=100.0):
+    """An SM with n running blocks advanced to `until` cycles."""
+    engine = Engine()
+    memory = MemorySubsystem(config)
+    sm = StreamingMultiprocessor(0, config, engine, memory, StubListener())
+    kernel = make_kernel(spec or make_spec(), grid=max(n_tbs, 8))
+    sm.assign(kernel)
+    tbs = [kernel.make_tb() for _ in range(n_tbs)]
+    for tb in tbs:
+        sm.dispatch(tb)
+    engine.run(until=until)
+    sm.advance()
+    return engine, sm, kernel, tbs
+
+
+def complete_blocks(kernel, n):
+    """Retire n synthetic blocks so online statistics exist."""
+    for _ in range(n):
+        tb = kernel.make_tb()
+        kernel.note_resident(tb)
+        tb.start_running(0.0)
+        tb.mark_done(tb.total_insts / tb.rate)
+        kernel.note_completed(tb)
+
+
+class TestSwitchCost:
+    def test_latency_is_context_over_share(self, config, estimator):
+        _, _, kernel, tbs = run_sm(config)
+        stats = OnlineKernelStats(kernel)
+        cost = estimator.switch_cost(tbs[0], stats)
+        assert cost.latency_cycles == pytest.approx(
+            config.context_switch_cycles(tbs[0].context_bytes))
+
+    def test_overhead_is_double_latency_times_rate(self, config, estimator):
+        _, _, kernel, tbs = run_sm(config)
+        stats = OnlineKernelStats(kernel)
+        cost = estimator.switch_cost(tbs[0], stats)
+        assert cost.overhead_insts == pytest.approx(
+            2 * cost.latency_cycles * tbs[0].rate, rel=1e-6)
+
+    def test_overhead_conservative_without_cpi(self, config, estimator):
+        kernel = make_kernel(make_spec(), grid=8)
+        tb = kernel.make_tb()  # never ran: no cpi measurable
+        stats = OnlineKernelStats(kernel)
+        cost = estimator.switch_cost(tb, stats)
+        assert cost.overhead_insts == CONSERVATIVE
+
+
+class TestDrainCost:
+    def test_conservative_before_min_samples(self, config, estimator):
+        _, _, kernel, tbs = run_sm(config)
+        complete_blocks(kernel, OnlineKernelStats.MIN_SAMPLES - 2)
+        stats = OnlineKernelStats(kernel)
+        assert kernel.stats.tbs_completed < OnlineKernelStats.MIN_SAMPLES
+        cost = estimator.drain_cost(tbs[0], stats, tbs[0].executed_insts)
+        assert cost.latency_cycles == CONSERVATIVE
+
+    def test_latency_from_estimated_remaining(self, config, estimator):
+        spec = make_spec(tb_cv=0.0)
+        _, _, kernel, tbs = run_sm(config, spec, n_tbs=2, until=1000.0)
+        big = make_kernel(spec, grid=64)
+        complete_blocks(big, 16)
+        # Use the big kernel's stats against its own fresh running block.
+        running = big.make_tb()
+        big.note_resident(running)
+        running.start_running(0.0)
+        running.advance_to(1000.0)
+        stats = OnlineKernelStats(big)
+        cost = estimator.drain_cost(running, stats, running.executed_insts)
+        # With cv=0 the conservative estimate equals the true total.
+        expected = (running.total_insts - running.executed_insts) / running.rate
+        assert cost.latency_cycles == pytest.approx(expected, rel=1e-6)
+
+    def test_outlier_block_is_conservative(self, config, estimator):
+        spec = make_spec(tb_cv=0.0)
+        big = make_kernel(spec, grid=64)
+        complete_blocks(big, 16)
+        running = big.make_tb()
+        big.note_resident(running)
+        running.start_running(0.0)
+        running.advance_to(running.total_insts / running.rate - 1e-6)
+        # Push executed beyond the conservative bound artificially.
+        running.executed_insts = big.observed_max_tb_insts() + 1.0
+        stats = OnlineKernelStats(big)
+        cost = estimator.drain_cost(running, stats, running.executed_insts)
+        assert cost.latency_cycles == CONSERVATIVE
+
+    def test_overhead_is_spread_below_leader(self, config, estimator):
+        _, _, kernel, tbs = run_sm(config)
+        stats = OnlineKernelStats(kernel)
+        cost = estimator.drain_cost(tbs[0], stats, tbs[0].executed_insts + 500)
+        assert cost.overhead_insts == pytest.approx(500)
+
+    def test_oracle_uses_true_remaining(self, config):
+        est = CostEstimator(config, oracle=True)
+        _, _, kernel, tbs = run_sm(config, until=1000.0)
+        stats = OnlineKernelStats(kernel, oracle=True)
+        cost = est.drain_cost(tbs[0], stats, tbs[0].executed_insts)
+        assert cost.latency_cycles == pytest.approx(tbs[0].remaining_cycles)
+
+
+class TestFlushCost:
+    def test_flush_zero_latency_overhead_executed(self, config, estimator):
+        _, _, kernel, tbs = run_sm(config, until=700.0)
+        cost = estimator.flush_cost(tbs[0])
+        assert cost is not None
+        assert cost.latency_cycles == 0.0
+        assert cost.overhead_insts == pytest.approx(tbs[0].executed_insts)
+
+    def test_flush_unavailable_past_nonidem_point(self, config, estimator):
+        spec = make_spec(idempotent=False, nonidem_beta=(1.0, 10_000.0))
+        _, _, kernel, tbs = run_sm(config, spec, until=50_000.0)
+        # With the point essentially at 0, any progress disables flush.
+        assert not tbs[0].idempotent_now
+        assert estimator.flush_cost(tbs[0]) is None
+
+    def test_strict_mode_gates_on_kernel_flag(self, config):
+        est = CostEstimator(config, strict_idempotence=True)
+        spec = make_spec(idempotent=False, nonidem_beta=(10_000.0, 1.0))
+        _, _, kernel, tbs = run_sm(config, spec, until=10.0)
+        assert tbs[0].idempotent_now  # relaxed condition would allow it
+        assert est.flush_cost(tbs[0]) is None
+
+    def test_strict_mode_allows_idempotent_kernels(self, config):
+        est = CostEstimator(config, strict_idempotence=True)
+        _, _, kernel, tbs = run_sm(config, until=10.0)
+        assert est.flush_cost(tbs[0]) is not None
+
+
+class TestPlanForSM:
+    def test_plan_covers_all_residents(self, config, estimator):
+        _, sm, kernel, tbs = run_sm(config, n_tbs=4)
+        plan = estimator.plan_for_sm(sm, config.us(15.0), list(Technique))
+        assert set(plan.assignments) == set(tbs)
+
+    def test_empty_sm_gives_empty_plan(self, config, estimator):
+        engine = Engine()
+        memory = MemorySubsystem(config)
+        sm = StreamingMultiprocessor(0, config, engine, memory, StubListener())
+        plan = estimator.plan_for_sm(sm, 1000.0, list(Technique))
+        assert plan.assignments == {}
+        assert plan.latency_cycles == 0.0
+
+    def test_cumulative_switch_budget_respected(self, config, estimator):
+        """With a tight limit, only as many switches as the serialized
+        DMA budget allows may be selected; the rest must flush."""
+        spec = make_spec(context_kb_per_tb=46.0, tbs_per_sm=4,
+                         idempotent=True, avg_drain_us=10_000.0)
+        _, sm, kernel, tbs = run_sm(config, spec, n_tbs=4, until=100.0)
+        limit = config.us(15.0)
+        plan = estimator.plan_for_sm(sm, limit, list(Technique))
+        per_tb = config.context_switch_cycles(tbs[0].context_bytes)
+        n_switch = sum(1 for t in plan.assignments.values()
+                       if t is Technique.SWITCH)
+        assert n_switch * per_tb <= limit
+        assert plan.latency_cycles <= limit
+
+    def test_flush_unavailable_forces_switch_or_drain(self, config, estimator):
+        spec = make_spec(idempotent=False, nonidem_beta=(1.0, 10_000.0),
+                         avg_drain_us=10_000.0)
+        _, sm, kernel, tbs = run_sm(config, spec, n_tbs=2, until=50_000.0)
+        plan = estimator.plan_for_sm(sm, config.us(15.0), list(Technique))
+        assert Technique.FLUSH not in plan.assignments.values()
+
+    def test_sm_latency_is_max_of_components(self, config, estimator):
+        _, sm, kernel, tbs = run_sm(config, n_tbs=3, until=100.0)
+        plan = estimator.plan_for_sm(sm, config.us(30.0), list(Technique))
+        # Latency must be consistent with the per-technique aggregation.
+        switch_total = sum(
+            config.context_switch_cycles(tb.context_bytes)
+            for tb, tech in plan.assignments.items() if tech is Technique.SWITCH)
+        assert plan.latency_cycles >= switch_total - 1e-9
+
+    def test_combine_adds_overheads(self, config, estimator):
+        _, sm, kernel, tbs = run_sm(config, n_tbs=2, until=100.0)
+        stats = OnlineKernelStats(kernel)
+        chosen = {tb: estimator.flush_cost(tb) for tb in tbs}
+        plan = estimator.combine(sm, chosen)
+        assert plan.overhead_insts == pytest.approx(
+            sum(c.overhead_insts for c in chosen.values()))
+        assert plan.technique_counts() == {Technique.FLUSH: 2}

@@ -1,0 +1,144 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    fired = []
+    engine.schedule(30, lambda: fired.append("c"))
+    engine.schedule(10, lambda: fired.append("a"))
+    engine.schedule(20, lambda: fired.append("b"))
+    engine.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    engine = Engine()
+    fired = []
+    for name in "abcde":
+        engine.schedule(5.0, lambda n=name: fired.append(n))
+    engine.run()
+    assert fired == list("abcde")
+
+
+def test_now_advances_to_event_time():
+    engine = Engine()
+    seen = []
+    engine.schedule(12.5, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [12.5]
+    assert engine.now == 12.5
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    engine = Engine()
+    fired = []
+    event = engine.schedule(10, lambda: fired.append("x"))
+    event.cancel()
+    engine.run()
+    assert fired == []
+    assert engine.fired_events == 0
+
+
+def test_cancel_one_of_many():
+    engine = Engine()
+    fired = []
+    engine.schedule(1, lambda: fired.append(1))
+    middle = engine.schedule(2, lambda: fired.append(2))
+    engine.schedule(3, lambda: fired.append(3))
+    middle.cancel()
+    engine.run()
+    assert fired == [1, 3]
+
+
+def test_run_until_stops_before_later_events():
+    engine = Engine()
+    fired = []
+    engine.schedule(10, lambda: fired.append("early"))
+    engine.schedule(100, lambda: fired.append("late"))
+    engine.run(until=50)
+    assert fired == ["early"]
+    assert engine.now == 50
+    engine.run()
+    assert fired == ["early", "late"]
+
+
+def test_events_scheduled_during_callbacks():
+    engine = Engine()
+    fired = []
+
+    def first():
+        fired.append("first")
+        engine.schedule(5, lambda: fired.append("nested"))
+
+    engine.schedule(10, first)
+    engine.schedule(12, lambda: fired.append("second"))
+    engine.run()
+    assert fired == ["first", "second", "nested"]
+
+
+def test_schedule_at_absolute_time():
+    engine = Engine()
+    seen = []
+    engine.schedule(10, lambda: engine.schedule_at(25, lambda: seen.append(engine.now)))
+    engine.run()
+    assert seen == [25]
+
+
+def test_stop_predicate_halts_run():
+    engine = Engine()
+    fired = []
+    for i in range(10):
+        engine.schedule(i + 1, lambda i=i: fired.append(i))
+    engine.run(stop=lambda: len(fired) >= 3)
+    assert len(fired) == 3
+
+
+def test_max_events_bound():
+    engine = Engine()
+    fired = []
+    for i in range(10):
+        engine.schedule(i + 1, lambda i=i: fired.append(i))
+    engine.run(max_events=4)
+    assert len(fired) == 4
+
+
+def test_peek_time_skips_cancelled():
+    engine = Engine()
+    first = engine.schedule(1, lambda: None)
+    engine.schedule(2, lambda: None)
+    first.cancel()
+    assert engine.peek_time() == 2
+
+
+def test_pending_events_counts_live_only():
+    engine = Engine()
+    engine.schedule(1, lambda: None)
+    cancelled = engine.schedule(2, lambda: None)
+    cancelled.cancel()
+    assert engine.pending_events == 1
+
+
+def test_step_returns_false_on_empty_queue():
+    engine = Engine()
+    assert engine.step() is False
+
+
+def test_zero_delay_event_fires_at_current_time():
+    engine = Engine()
+    seen = []
+    engine.schedule(10, lambda: engine.schedule(0, lambda: seen.append(engine.now)))
+    engine.run()
+    assert seen == [10]

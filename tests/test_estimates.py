@@ -1,0 +1,133 @@
+"""Tests for the analytic Figure 2 / Figure 3 cost estimates."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.estimates import (
+    FLUSH_OVERHEAD_CONSTANT,
+    estimate_drain_latency_us,
+    estimate_drain_overhead,
+    estimate_flush_latency_us,
+    estimate_flush_overhead,
+    estimate_latency_us,
+    estimate_overhead,
+    estimate_switch_latency_us,
+    estimate_switch_overhead,
+    figure2_rows,
+    figure3_rows,
+)
+from repro.core.techniques import Technique
+from repro.gpu.config import GPUConfig
+from repro.workloads.specs import all_kernel_specs, kernel_spec
+
+
+@pytest.fixture(scope="module")
+def config():
+    return GPUConfig()
+
+
+class TestFigure2:
+    def test_switch_latency_reproduces_table2_column(self, config):
+        """Our analytic switch latency must reproduce the paper's own
+        switching-time column to within rounding for every kernel."""
+        for spec in all_kernel_specs():
+            est = estimate_switch_latency_us(spec, config)
+            assert est == pytest.approx(spec.switch_time_us, abs=1.5), spec.label
+
+    def test_drain_latency_is_table_column(self, config):
+        for spec in all_kernel_specs():
+            assert estimate_drain_latency_us(spec, config) == spec.avg_drain_us
+
+    def test_flush_latency_is_zero(self, config):
+        for spec in all_kernel_specs():
+            assert estimate_flush_latency_us(spec, config) == 0.0
+
+    def test_average_switch_latency_near_paper(self, config):
+        """Paper: 14.5 us average for context switching."""
+        rows = figure2_rows(config)
+        avg = rows[-1]
+        assert avg["kernel"] == "average"
+        assert avg["switch"] == pytest.approx(14.5, abs=0.5)
+
+    def test_average_drain_latency_near_paper(self, config):
+        """Paper: 830.4 us average for draining (we land within ~10%
+        because the paper averages its own measured values)."""
+        avg = figure2_rows(config)[-1]
+        assert 700 < avg["drain"] < 1000
+
+    def test_rows_cover_all_kernels_plus_average(self, config):
+        rows = figure2_rows(config)
+        assert len(rows) == 28
+        assert [r["kernel"] for r in rows[:3]] == ["BS.0", "BT.0", "BT.1"]
+
+    def test_drain_latency_spans_orders_of_magnitude(self, config):
+        rows = figure2_rows(config)[:-1]
+        drains = [r["drain"] for r in rows]
+        assert max(drains) / min(drains) > 1000
+
+
+class TestFigure3:
+    def test_flush_overhead_constant_is_one_minus_ln2(self):
+        assert FLUSH_OVERHEAD_CONSTANT == pytest.approx(1 - math.log(2))
+        assert FLUSH_OVERHEAD_CONSTANT == pytest.approx(0.307, abs=0.001)
+
+    def test_flush_overhead_kernel_independent(self, config):
+        values = {estimate_flush_overhead(s, config) for s in all_kernel_specs()}
+        assert len(values) == 1
+
+    def test_drain_overhead_zero_under_sync_assumption(self, config):
+        for spec in all_kernel_specs():
+            assert estimate_drain_overhead(spec, config) == 0.0
+
+    def test_switch_overhead_formula(self, config):
+        spec = kernel_spec("BS.0")
+        latency = estimate_switch_latency_us(spec, config)
+        expected = 2 * latency / spec.mean_tb_exec_us
+        assert estimate_switch_overhead(spec, config) == pytest.approx(expected)
+
+    def test_switch_overhead_caps_at_one(self, config):
+        # BT.0: switch 15.9us vs TB time 7us -> uncapped ratio > 4
+        spec = kernel_spec("BT.0")
+        assert estimate_switch_overhead(spec, config) == 1.0
+
+    def test_average_switch_overhead_near_paper(self, config):
+        """Paper: 47.7% average switch overhead; our Table-2-derived
+        estimate lands within a few points."""
+        avg = figure3_rows(config)[-1]
+        assert 0.40 < avg["switch"] < 0.55
+
+    def test_average_flush_overhead_matches_paper(self, config):
+        avg = figure3_rows(config)[-1]
+        assert avg["flush"] == pytest.approx(0.307, abs=0.001)
+
+
+class TestDispatchers:
+    def test_latency_dispatch(self, config):
+        spec = kernel_spec("BS.0")
+        assert estimate_latency_us(spec, Technique.SWITCH, config) == \
+            estimate_switch_latency_us(spec, config)
+        assert estimate_latency_us(spec, Technique.DRAIN, config) == \
+            estimate_drain_latency_us(spec, config)
+        assert estimate_latency_us(spec, Technique.FLUSH, config) == 0.0
+
+    def test_overhead_dispatch(self, config):
+        spec = kernel_spec("BS.0")
+        for tech in Technique:
+            assert estimate_overhead(spec, tech, config) == \
+                pytest.approx(estimate_overhead(spec, tech, config))
+
+    def test_ordering_motivates_collaboration(self, config):
+        """The paper's Figure 4 story: flushing is cheapest early,
+        draining cheapest late, switching constant — verify at least
+        that the latency ordering flush < switch < drain holds for
+        long-TB kernels and reverses for drain on short ones."""
+        long_spec = kernel_spec("MUM.0")
+        assert estimate_flush_latency_us(long_spec, config) < \
+            estimate_switch_latency_us(long_spec, config) < \
+            estimate_drain_latency_us(long_spec, config)
+        short_spec = kernel_spec("BP.1")
+        assert estimate_drain_latency_us(short_spec, config) < \
+            estimate_switch_latency_us(short_spec, config)

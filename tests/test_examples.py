@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs end-to-end."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=280)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "chimera" in out
+    assert "30 SMs" in out
+
+
+def test_realtime_task():
+    out = run_example("realtime_task.py", "BS", "3")
+    assert "violation rate" in out
+    assert "chimera" in out
+
+
+def test_multiprogram_case_study():
+    out = run_example("multiprogram_case_study.py", "BS", "1e6")
+    assert "fcfs" in out
+    assert "ANTT" in out
+
+
+def test_idempotence_tour():
+    out = run_example("idempotence_tour.py")
+    assert "rerun matches: OK" in out
+    assert "MISMATCH" not in out.replace("memory corrupted", "")
+    assert "True" in out  # the negative control corrupted memory
+
+
+def test_ir_kernel_to_simulator():
+    out = run_example("ir_kernel_to_simulator.py")
+    assert "stencil3" in out
+    assert "deadline misses" in out
+
+
+def test_cycle_level_flush():
+    out = run_example("cycle_level_flush.py")
+    assert "memory: OK" in out
+    assert "MISMATCH" not in out
+
+
+def test_bad_arguments_fail_cleanly():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "realtime_task.py"), "NOPE"],
+        capture_output=True, text=True, timeout=60)
+    assert result.returncode != 0
+    assert "unknown benchmark" in result.stderr

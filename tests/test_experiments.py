@@ -1,0 +1,116 @@
+"""Tests for the figure-level experiment drivers (scaled-down)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.techniques import Technique
+from repro.harness.experiments import (
+    CaseStudyResult,
+    PeriodicSweepResult,
+    figure6_7,
+    figure8,
+    figure9,
+    figure10_11,
+)
+from repro.workloads.multiprogram import MultiprogramWorkload
+
+LABELS = ("BS", "KM")  # small, well-behaved subset
+PERIODS = 3
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return figure6_7(labels=LABELS, policies=("drain", "chimera"),
+                     periods=PERIODS, seed=5)
+
+
+class TestFigure67:
+    def test_covers_requested_grid(self, sweep):
+        assert set(sweep.results) == set(LABELS)
+        assert set(sweep.policies()) == {"drain", "chimera"}
+
+    def test_rates_are_probabilities(self, sweep):
+        for label in LABELS:
+            for policy in sweep.policies():
+                assert 0.0 <= sweep.violation_rate(label, policy) <= 1.0
+                assert sweep.overhead(label, policy) >= 0.0
+
+    def test_averages_are_means(self, sweep):
+        rates = [sweep.violation_rate(label, "drain") for label in LABELS]
+        assert sweep.average_violation_rate("drain") == pytest.approx(
+            sum(rates) / len(rates))
+
+    def test_chimera_beats_drain_on_violations(self, sweep):
+        assert sweep.average_violation_rate("chimera") <= \
+            sweep.average_violation_rate("drain")
+
+    def test_technique_fractions_sum_to_one(self, sweep):
+        fracs = sweep.technique_fractions("chimera")
+        assert sum(fracs.values()) == pytest.approx(1.0)
+
+    def test_drain_policy_mix_is_pure(self, sweep):
+        fracs = sweep.technique_fractions("drain")
+        assert fracs[Technique.DRAIN] == pytest.approx(1.0)
+
+
+class TestFigure8:
+    def test_sweep_keys_are_constraints(self):
+        out = figure8(labels=("BS",), constraints_us=(5.0, 20.0),
+                      periods=PERIODS, seed=5)
+        assert set(out) == {5.0, 20.0}
+        for constraint, sweep in out.items():
+            assert sweep.constraint_us == constraint
+
+    def test_looser_constraint_never_more_violations(self):
+        out = figure8(labels=("BS", "KM"), constraints_us=(5.0, 20.0),
+                      periods=PERIODS, seed=5)
+        assert out[20.0].average_violation_rate("chimera") <= \
+            out[5.0].average_violation_rate("chimera") + 1e-9
+
+
+class TestFigure9:
+    def test_strict_vs_relaxed(self):
+        sweep = figure9(labels=("KM", "CP"), periods=PERIODS, seed=5)
+        assert set(sweep.policies()) == {"flush-strict", "flush"}
+        # CP is non-idempotent: strict flushing cannot help there, so
+        # strict violations must be at least relaxed ones.
+        assert sweep.average_violation_rate("flush-strict") >= \
+            sweep.average_violation_rate("flush")
+
+    def test_chimera_variant(self):
+        sweep = figure9(labels=("KM",), periods=PERIODS, seed=5,
+                        policies=("chimera-strict", "chimera"))
+        assert set(sweep.policies()) == {"chimera-strict", "chimera"}
+
+
+class TestFigure1011:
+    @pytest.fixture(scope="class")
+    def result(self) -> CaseStudyResult:
+        wl = MultiprogramWorkload(("LUD", "BS"), budget_insts=2e6)
+        return figure10_11(wl, policies=("drain", "chimera"), seed=5)
+
+    def test_ntts_for_every_policy_and_label(self, result):
+        for policy in ("fcfs", "drain", "chimera"):
+            assert set(result.ntts[policy]) == {"LUD", "BS"}
+            for ntt in result.ntts[policy].values():
+                assert ntt > 0
+
+    def test_antt_improvement_over_fcfs(self, result):
+        assert result.antt_improvement("chimera") > 1.0
+
+    def test_stp_improvement_over_fcfs(self, result):
+        assert result.stp_improvement("chimera") > 0.0
+
+    def test_fcfs_baseline_improvement_is_identity(self, result):
+        assert result.antt_improvement("fcfs") == pytest.approx(1.0)
+        assert result.stp_improvement("fcfs") == pytest.approx(0.0)
+
+    def test_solo_cache_reused(self):
+        cache = {}
+        wl = MultiprogramWorkload(("LUD", "BS"), budget_insts=2e6)
+        figure10_11(wl, policies=("chimera",), seed=5, solo_cache=cache)
+        assert set(cache) == {"LUD", "BS"}
+        first = dict(cache)
+        figure10_11(wl, policies=("chimera",), seed=5, solo_cache=cache)
+        assert cache == first

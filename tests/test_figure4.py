@@ -1,0 +1,61 @@
+"""Unit tests for the Figure 4 theoretical cost curves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.estimates import figure4_crossovers, figure4_curves
+from repro.gpu.config import GPUConfig
+from repro.workloads.specs import all_kernel_specs, kernel_spec
+
+
+def test_curve_endpoints():
+    curves = figure4_curves(kernel_spec("KM.0"), points=11)
+    assert curves[0]["progress"] == 0.0
+    assert curves[-1]["progress"] == 1.0
+    assert curves[0]["flush"] == 0.0
+    assert curves[-1]["drain"] == 0.0
+
+
+def test_switch_is_flat():
+    curves = figure4_curves(kernel_spec("BS.0"))
+    assert len({r["switch"] for r in curves}) == 1
+
+
+def test_flush_and_drain_are_symmetric():
+    spec = kernel_spec("KM.0")
+    curves = figure4_curves(spec, points=11)
+    for row, mirrored in zip(curves, reversed(curves)):
+        assert row["flush"] == pytest.approx(mirrored["drain"])
+
+
+def test_optimal_is_lower_envelope():
+    for label in ("KM.0", "BT.0", "MUM.0"):
+        for row in figure4_curves(kernel_spec(label)):
+            assert row["optimal"] == pytest.approx(
+                min(row["switch"], row["drain"], row["flush"]))
+
+
+def test_crossovers_bound_optimal_regions():
+    spec = kernel_spec("MUM.0")  # long block: switch wins most of it
+    cross = figure4_crossovers(spec)
+    assert 0 < cross["flush_to_switch"] < cross["switch_to_drain"] < 1
+    config = GPUConfig()
+    block = config.us(spec.mean_tb_exec_us)
+    switch_cost = 2 * config.context_switch_cycles(spec.context_bytes_per_tb)
+    # At the first crossover, flush cost equals switch cost.
+    assert cross["flush_to_switch"] * block == pytest.approx(switch_cost)
+
+
+def test_short_blocks_have_no_switch_window():
+    cross = figure4_crossovers(kernel_spec("BT.0"))
+    assert cross["switch_window"] == 0.0
+    assert cross["flush_to_switch"] == cross["switch_to_drain"] == 0.5
+
+
+def test_every_kernel_has_consistent_crossovers():
+    for spec in all_kernel_specs():
+        cross = figure4_crossovers(spec)
+        assert 0.0 <= cross["flush_to_switch"] <= 1.0
+        assert 0.0 <= cross["switch_to_drain"] <= 1.0
+        assert cross["switch_window"] >= 0.0

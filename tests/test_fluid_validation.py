@@ -1,0 +1,147 @@
+"""Validation of the fluid-timing model against closed-form arithmetic.
+
+The fluid model is exact by construction for deterministic kernels
+(cv = 0): solo execution times, preemption latencies and waste figures
+all have closed forms. These tests pin the simulator to that arithmetic
+so regressions in event handling, progress accounting or DMA timing
+cannot hide in statistical noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chimera import SingleTechniquePolicy
+from repro.core.techniques import Technique
+from repro.gpu.config import GPUConfig
+from repro.gpu.kernel import Kernel
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.units import cycles_to_us
+from repro.workloads.specs import kernel_spec
+from tests.conftest import build_system, make_spec
+
+
+def det_spec(**overrides):
+    defaults = dict(tb_cv=0.0, cpi_cv=0.0)
+    defaults.update(overrides)
+    return make_spec(**defaults)
+
+
+class TestSoloTiming:
+    @pytest.mark.parametrize("waves", [1, 2, 5])
+    def test_kernel_duration_is_waves_times_block_time(self, small_config,
+                                                       waves):
+        spec = det_spec(tbs_per_sm=2)
+        engine = Engine()
+        from repro.core.chimera import ChimeraPolicy
+        _, ks, gpu = build_system(small_config, engine,
+                                  ChimeraPolicy(small_config))
+        slots = small_config.num_sms * spec.tbs_per_sm
+        kernel = Kernel(spec, waves * slots, RngStreams(1))
+        ks.launch_kernel(kernel)
+        engine.run()
+        block_cycles = small_config.us(spec.mean_tb_exec_us)
+        assert engine.now == pytest.approx(waves * block_cycles, rel=1e-9)
+
+    def test_partial_last_wave_costs_a_full_block(self, small_config):
+        spec = det_spec(tbs_per_sm=2)
+        engine = Engine()
+        from repro.core.chimera import ChimeraPolicy
+        _, ks, gpu = build_system(small_config, engine,
+                                  ChimeraPolicy(small_config))
+        slots = small_config.num_sms * spec.tbs_per_sm
+        kernel = Kernel(spec, slots + 1, RngStreams(1))
+        ks.launch_kernel(kernel)
+        engine.run()
+        block_cycles = small_config.us(spec.mean_tb_exec_us)
+        assert engine.now == pytest.approx(2 * block_cycles, rel=1e-9)
+
+
+class TestPreemptionLatencyArithmetic:
+    def _two_kernel_system(self, small_config, policy, spec_a):
+        engine = Engine()
+        _, ks, gpu = build_system(small_config, engine, policy)
+        a = Kernel(spec_a, 64, RngStreams(1), name="victim")
+        ks.launch_kernel(a)
+        return engine, ks, gpu, a
+
+    def test_switch_latency_equals_context_over_share(self, small_config):
+        spec = det_spec(avg_drain_us=5000.0, tbs_per_sm=3,
+                        context_kb_per_tb=20.0)
+        policy = SingleTechniquePolicy(small_config, Technique.SWITCH)
+        engine, ks, gpu, a = self._two_kernel_system(small_config, policy,
+                                                     spec)
+        engine.run(until=100_000.0)
+        b = Kernel(make_spec(benchmark="NK", tbs_per_sm=2), 8, RngStreams(2))
+        ks.launch_kernel(b)
+        engine.run(until=300_000.0)
+        expected = small_config.context_switch_cycles(3 * 20 * 1024)
+        for record in ks.records:
+            assert record.realized_latency == pytest.approx(expected, rel=1e-9)
+
+    def test_drain_latency_equals_remaining_time(self, small_config):
+        spec = det_spec(avg_drain_us=500.0, tbs_per_sm=1)
+        policy = SingleTechniquePolicy(small_config, Technique.DRAIN)
+        engine, ks, gpu, a = self._two_kernel_system(small_config, policy,
+                                                     spec)
+        t_preempt = 100_000.0
+        engine.run(until=t_preempt)
+        b = Kernel(make_spec(benchmark="NK", tbs_per_sm=2), 8, RngStreams(2))
+        ks.launch_kernel(b)
+        engine.run(until=3_000_000.0)
+        # All blocks started at 0 with duration 1000us; preemption at
+        # t_preempt leaves exactly block_time - t_preempt remaining.
+        block_cycles = small_config.us(spec.mean_tb_exec_us)
+        expected = block_cycles - t_preempt
+        assert ks.records
+        for record in ks.records:
+            assert record.realized_latency == pytest.approx(expected, rel=1e-6)
+
+    def test_flush_latency_is_zero_and_waste_equals_progress(self,
+                                                             small_config):
+        spec = det_spec(avg_drain_us=2000.0, tbs_per_sm=2, idempotent=True)
+        policy = SingleTechniquePolicy(small_config, Technique.FLUSH)
+        engine, ks, gpu, a = self._two_kernel_system(small_config, policy,
+                                                     spec)
+        t_preempt = 70_000.0
+        engine.run(until=t_preempt)
+        b = Kernel(make_spec(benchmark="NK", tbs_per_sm=2), 8, RngStreams(2))
+        ks.launch_kernel(b)
+        # Flush happens synchronously inside the launch.
+        n_flushed = a.stats.flushes
+        assert n_flushed > 0
+        expected_discard = n_flushed * t_preempt * a.spec.tb_rate
+        assert a.stats.insts_discarded == pytest.approx(expected_discard,
+                                                        rel=1e-9)
+        for record in ks.records:
+            assert record.realized_latency == 0.0
+
+    def test_switch_stall_accounting(self, small_config):
+        spec = det_spec(avg_drain_us=5000.0, tbs_per_sm=2,
+                        context_kb_per_tb=10.0)
+        policy = SingleTechniquePolicy(small_config, Technique.SWITCH)
+        engine, ks, gpu, a = self._two_kernel_system(small_config, policy,
+                                                     spec)
+        engine.run(until=50_000.0)
+        b = Kernel(make_spec(benchmark="NK", tbs_per_sm=2), 8, RngStreams(2))
+        ks.launch_kernel(b)
+        engine.run(until=100_000.0)
+        # Each switched block stalls for the whole serialized save DMA.
+        save = small_config.context_switch_cycles(2 * 10 * 1024)
+        expected = a.stats.switches * save * a.spec.tb_rate
+        assert a.stats.stall_insts == pytest.approx(expected, rel=1e-9)
+
+
+class TestTable2Consistency:
+    def test_fluid_block_times_match_spec(self):
+        """A Table 2 kernel's simulated block duration equals twice its
+        drain-time column (cv jitter aside, checked at cv=0)."""
+        import dataclasses
+        config = GPUConfig()
+        base = kernel_spec("BS.0")
+        spec = dataclasses.replace(base, tb_cv=0.0, cpi_cv=0.0)
+        kernel = Kernel(spec, 4, RngStreams(1), clock_mhz=config.clock_mhz)
+        tb = kernel.make_tb()
+        duration_us = cycles_to_us(tb.total_insts / tb.rate, config.clock_mhz)
+        assert duration_us == pytest.approx(2 * base.avg_drain_us, rel=1e-9)

@@ -1,0 +1,294 @@
+"""Functional-interpreter tests, including the flush-correctness
+property at the heart of the paper's SM flushing technique.
+
+The key invariant (paper §2.3/§3.4): a thread block interrupted while
+still idempotent — i.e. before its first MARK executed — can be dropped
+and re-executed from scratch on the partially written global memory,
+and the final memory is identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExecutionError
+from repro.functional.machine import (
+    FunctionalBlockRun,
+    GlobalMemory,
+    run_grid,
+)
+from repro.idempotence.instrument import instrument
+from repro.idempotence.kernels import (
+    all_sample_kernels,
+    block_reduce_sum,
+    compact_nonzero,
+    histogram_atomic,
+    late_writeback,
+    saxpy_inplace,
+    stencil3,
+    vector_add,
+    vector_scale_inplace,
+)
+from repro.idempotence.monitor import IdempotenceMonitor
+
+N = 64
+TPB = 16
+BLOCKS = N // TPB
+
+
+def init_memory(prog, **values):
+    return GlobalMemory(dict(prog.buffers), init=values or None)
+
+
+class TestFunctionalCorrectness:
+    def test_vector_add(self):
+        prog = vector_add(N)
+        g = init_memory(prog, a=list(range(N)), b=[10] * N, c=[0] * N)
+        results = run_grid(prog, BLOCKS, TPB, g)
+        assert all(r.finished for r in results)
+        assert g["c"] == [i + 10 for i in range(N)]
+
+    def test_inplace_scale(self):
+        prog = vector_scale_inplace(N, factor=3)
+        g = init_memory(prog, buf=list(range(N)))
+        run_grid(prog, BLOCKS, TPB, g)
+        assert g["buf"] == [3 * i for i in range(N)]
+
+    def test_saxpy(self):
+        prog = saxpy_inplace(N, a=2)
+        g = init_memory(prog, x=[1] * N, y=list(range(N)))
+        run_grid(prog, BLOCKS, TPB, g)
+        assert g["y"] == [2 + i for i in range(N)]
+
+    def test_stencil(self):
+        prog = stencil3(N)
+        data = list(range(N))
+        g = init_memory(prog, **{"in": data, "out": [0] * N})
+        run_grid(prog, BLOCKS, TPB, g)
+        for i in range(N):
+            lo, hi = max(0, i - 1), min(N - 1, i + 1)
+            assert g["out"][i] == data[lo] + data[i] + data[hi]
+
+    def test_block_reduce(self):
+        prog = block_reduce_sum(TPB, BLOCKS)
+        data = list(range(N))
+        g = init_memory(prog, **{"in": data, "out": [0] * BLOCKS})
+        run_grid(prog, BLOCKS, TPB, g)
+        for b in range(BLOCKS):
+            assert g["out"][b] == sum(data[b * TPB:(b + 1) * TPB])
+
+    def test_histogram(self):
+        prog = histogram_atomic(N, 8)
+        data = [i % 5 for i in range(N)]
+        g = init_memory(prog, data=data, hist=[0] * 8)
+        run_grid(prog, BLOCKS, TPB, g)
+        for v in range(8):
+            assert g["hist"][v] == data.count(v)
+
+    def test_compaction_collects_all_nonzero(self):
+        prog = compact_nonzero(N)
+        data = [i % 3 for i in range(N)]
+        g = init_memory(prog, **{"in": data, "out": [0] * N,
+                                 "cursor": [0]})
+        run_grid(prog, BLOCKS, TPB, g)
+        count = g["cursor"][0]
+        assert count == sum(1 for v in data if v != 0)
+        assert sorted(g["out"][:count]) == sorted(v for v in data if v)
+
+    def test_late_writeback(self):
+        prog = late_writeback(N, loop_iters=4)
+        g = init_memory(prog, buf=[2] * N)
+        run_grid(prog, BLOCKS, TPB, g)
+        # acc = 4 * v, result = v + acc = 5v
+        assert g["buf"] == [10] * N
+
+
+class TestInterruption:
+    def test_partial_run_reports_unfinished(self):
+        prog = vector_add(N)
+        g = init_memory(prog)
+        run = FunctionalBlockRun(prog, 0, TPB, g)
+        result = run.run(max_instructions=10)
+        assert not result.finished
+        assert result.executed_instructions == 10
+
+    def test_resume_completes(self):
+        prog = vector_add(N)
+        g = init_memory(prog, a=[1] * N, b=[2] * N, c=[0] * N)
+        run = FunctionalBlockRun(prog, 0, TPB, g)
+        run.run(max_instructions=25)
+        result = run.run()
+        assert result.finished
+        assert g["c"][:TPB] == [3] * TPB
+
+    def test_mark_sets_dynamic_point(self):
+        prog = instrument(vector_scale_inplace(N))
+        g = init_memory(prog, buf=list(range(N)))
+        run = FunctionalBlockRun(prog, 0, TPB, g)
+        result = run.run()
+        assert result.first_mark_at is not None
+        assert result.marks_executed == TPB  # one mark per thread
+        assert not result.idempotent_at_stop
+
+    def test_monitor_receives_mark(self):
+        monitor = IdempotenceMonitor(2)
+        prog = instrument(histogram_atomic(N, 4))
+        g = init_memory(prog, data=[1] * N, hist=[0] * 4)
+        run = FunctionalBlockRun(prog, 0, TPB, g, monitor=monitor,
+                                 sm_id=1, block_key=9)
+        run.run()
+        assert not monitor.block_flushable(1, 9)
+        assert monitor.sm_flushable(0)
+
+
+def final_memory_uninterrupted(prog, init):
+    g = GlobalMemory(dict(prog.buffers), init=init)
+    for b in range(BLOCKS):
+        FunctionalBlockRun(prog, b, TPB, g).run()
+    return g.snapshot()
+
+
+def flush_and_rerun(prog, init, victim_block, stop_after):
+    """Run `victim_block` for `stop_after` instructions, flush it, rerun
+    from scratch, then run the other blocks. Returns (memory,
+    idempotent_at_stop)."""
+    g = GlobalMemory(dict(prog.buffers), init=init)
+    partial = FunctionalBlockRun(prog, victim_block, TPB, g)
+    result = partial.run(max_instructions=stop_after)
+    flushable = result.idempotent_at_stop
+    # Flush: drop all block-private state, rerun from scratch.
+    FunctionalBlockRun(prog, victim_block, TPB, g).run()
+    for b in range(BLOCKS):
+        if b != victim_block:
+            FunctionalBlockRun(prog, b, TPB, g).run()
+    return g.snapshot(), flushable
+
+
+IDEMPOTENT_CASES = [
+    ("vector_add", lambda: vector_add(N),
+     {"a": list(range(N)), "b": [7] * N, "c": [0] * N}),
+    ("stencil3", lambda: stencil3(N),
+     {"in": list(range(N)), "out": [0] * N}),
+    ("block_reduce_sum", lambda: block_reduce_sum(TPB, BLOCKS),
+     {"in": list(range(N)), "out": [0] * BLOCKS}),
+]
+
+NONIDEMPOTENT_CASES = [
+    ("vector_scale_inplace", lambda: vector_scale_inplace(N),
+     {"buf": list(range(1, N + 1))}),
+    ("saxpy_inplace", lambda: saxpy_inplace(N),
+     {"x": [1] * N, "y": list(range(N))}),
+    ("histogram_atomic", lambda: histogram_atomic(N, 8),
+     {"data": [i % 5 for i in range(N)], "hist": [0] * 8}),
+    ("late_writeback", lambda: late_writeback(N, loop_iters=4),
+     {"buf": [2] * N}),
+]
+
+
+class TestFlushCorrectness:
+    """The paper's core safety argument, executed for real."""
+
+    @pytest.mark.parametrize("name,make,init", IDEMPOTENT_CASES)
+    @pytest.mark.parametrize("stop_after", [1, 5, 17, 60, 200])
+    def test_idempotent_kernels_always_flushable(self, name, make, init,
+                                                 stop_after):
+        prog = instrument(make())
+        expected = final_memory_uninterrupted(prog, init)
+        memory, flushable = flush_and_rerun(prog, init, victim_block=1,
+                                            stop_after=stop_after)
+        assert flushable
+        assert memory == expected
+
+    @pytest.mark.parametrize("name,make,init", NONIDEMPOTENT_CASES)
+    def test_relaxed_condition_flushable_before_mark(self, name, make, init):
+        """Interrupting before the first MARK: flush must be safe."""
+        prog = instrument(make())
+        expected = final_memory_uninterrupted(prog, init)
+        # Find the dynamic non-idempotent point of the victim block.
+        probe = GlobalMemory(dict(prog.buffers), init=init)
+        mark_at = FunctionalBlockRun(prog, 1, TPB, probe).run().first_mark_at
+        assert mark_at is not None
+        for stop in {1, mark_at // 2, mark_at - 1}:
+            if stop < 1:
+                continue
+            memory, flushable = flush_and_rerun(prog, init, 1, stop)
+            assert flushable, f"{name}: stop={stop} (mark at {mark_at})"
+            assert memory == expected, f"{name}: stop={stop}"
+
+    def test_flush_past_mark_corrupts_inplace_scale(self):
+        """Negative control: ignoring the monitor and flushing past the
+        non-idempotent point produces wrong results (double scaling)."""
+        prog = instrument(vector_scale_inplace(N))
+        init = {"buf": list(range(1, N + 1))}
+        expected = final_memory_uninterrupted(prog, init)
+        probe = GlobalMemory(dict(prog.buffers), init=init)
+        mark_at = FunctionalBlockRun(prog, 1, TPB, probe).run().first_mark_at
+        # Threads advance round-robin, so the marked thread's store
+        # lands one full round (TPB instructions) after its MARK.
+        memory, flushable = flush_and_rerun(prog, init, 1, mark_at + TPB + 1)
+        assert not flushable  # the monitor would forbid this flush
+        assert memory != expected  # and rightly so
+
+    def test_flush_past_mark_corrupts_histogram(self):
+        prog = instrument(histogram_atomic(N, 8))
+        init = {"data": [i % 5 for i in range(N)], "hist": [0] * 8}
+        expected = final_memory_uninterrupted(prog, init)
+        probe = GlobalMemory(dict(prog.buffers), init=init)
+        mark_at = FunctionalBlockRun(prog, 1, TPB, probe).run().first_mark_at
+        memory, flushable = flush_and_rerun(prog, init, 1, mark_at + TPB + 1)
+        assert not flushable
+        assert memory != expected  # double-counted bins
+
+    @settings(max_examples=30, deadline=None)
+    @given(stop=st.integers(min_value=1, max_value=400))
+    def test_property_monitor_clean_implies_safe_flush(self, stop):
+        """For ANY interruption point: if the monitor says the block is
+        still idempotent, flush + rerun is bit-identical."""
+        prog = instrument(late_writeback(N, loop_iters=4))
+        init = {"buf": [3] * N}
+        expected = final_memory_uninterrupted(prog, init)
+        memory, flushable = flush_and_rerun(prog, init, 0, stop)
+        if flushable:
+            assert memory == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(stop=st.integers(min_value=1, max_value=300),
+           victim=st.integers(min_value=0, max_value=BLOCKS - 1))
+    def test_property_idempotent_kernel_any_victim(self, stop, victim):
+        prog = instrument(vector_add(N))
+        init = {"a": list(range(N)), "b": [5] * N, "c": [0] * N}
+        expected = final_memory_uninterrupted(prog, init)
+        memory, flushable = flush_and_rerun(prog, init, victim, stop)
+        assert flushable
+        assert memory == expected
+
+
+class TestMachineSafety:
+    def test_out_of_range_access_raises(self):
+        prog = vector_add(4)  # 4-element buffers, 16 threads: overflow
+        g = init_memory(prog)
+        with pytest.raises(ExecutionError):
+            FunctionalBlockRun(prog, 1, TPB, g).run()
+
+    def test_unknown_buffer_raises(self):
+        g = GlobalMemory({"a": 4})
+        with pytest.raises(ExecutionError):
+            g.load("b", 0)
+
+    def test_init_length_mismatch_rejected(self):
+        with pytest.raises(ExecutionError):
+            GlobalMemory({"a": 4}, init={"a": [1, 2]})
+
+    def test_zero_threads_rejected(self):
+        prog = vector_add(N)
+        with pytest.raises(ExecutionError):
+            FunctionalBlockRun(prog, 0, 0, init_memory(prog))
+
+    def test_memory_copy_is_deep(self):
+        g = GlobalMemory({"a": 2}, init={"a": [1, 2]})
+        g2 = g.copy()
+        g.store("a", 0, 99)
+        assert g2["a"] == [1, 2]
+        assert g != g2

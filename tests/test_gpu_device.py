@@ -1,0 +1,89 @@
+"""Unit tests for the top-level GPU device container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.gpu import GPU
+from repro.gpu.sm import SMState
+from repro.sim.engine import Engine
+from tests.conftest import StubListener, make_kernel, make_spec
+
+
+@pytest.fixture
+def device(small_config):
+    engine = Engine()
+    listener = StubListener()
+    gpu = GPU(small_config, engine, listener)
+    return engine, gpu
+
+
+def test_builds_one_sm_per_config(small_config, device):
+    _, gpu = device
+    assert len(gpu.sms) == small_config.num_sms
+    assert [sm.sm_id for sm in gpu.sms] == list(range(small_config.num_sms))
+
+
+def test_sm_lookup_bounds(device):
+    _, gpu = device
+    assert gpu.sm(0) is gpu.sms[0]
+    with pytest.raises(ConfigError):
+        gpu.sm(99)
+    with pytest.raises(ConfigError):
+        gpu.sm(-1)
+
+
+def test_all_sms_share_memory_subsystem(device):
+    _, gpu = device
+    assert len({id(sm.memory) for sm in gpu.sms}) == 1
+    assert gpu.sms[0].memory is gpu.memory
+
+
+def test_idle_and_occupancy_tracking(device):
+    engine, gpu = device
+    kernel = make_kernel(make_spec(tbs_per_sm=2), grid=8)
+    assert len(gpu.idle_sms()) == len(gpu.sms)
+    gpu.sm(0).assign(kernel)
+    gpu.sm(1).assign(kernel)
+    assert gpu.occupancy() == {kernel.name: 2}
+    assert gpu.sms_of(kernel) == [gpu.sm(0), gpu.sm(1)]
+    assert len(gpu.idle_sms()) == len(gpu.sms) - 2
+
+
+def test_total_useful_insts(device):
+    engine, gpu = device
+    kernel = make_kernel(make_spec(tbs_per_sm=2, tb_cv=0.0), grid=8)
+    sm = gpu.sm(0)
+    sm.assign(kernel)
+    tb = kernel.make_tb()
+    sm.dispatch(tb)
+    engine.run(until=100.0)
+    assert gpu.total_useful_insts([kernel]) == pytest.approx(100.0 * tb.rate)
+
+
+def test_advance_all_touches_every_resident_block(device):
+    engine, gpu = device
+    kernel = make_kernel(make_spec(tbs_per_sm=2, tb_cv=0.0), grid=8)
+    for sm_id in (0, 1):
+        gpu.sm(sm_id).assign(kernel)
+        gpu.sm(sm_id).dispatch(kernel.make_tb())
+    engine.run(until=50.0)
+    gpu.advance_all()
+    for sm_id in (0, 1):
+        for tb in gpu.sm(sm_id).resident:
+            assert tb.executed_insts == pytest.approx(50.0 * tb.rate)
+
+
+def test_occupancy_counts_preempting_sms_for_victim(device):
+    from repro.core.techniques import Technique
+    engine, gpu = device
+    kernel = make_kernel(make_spec(tbs_per_sm=1, avg_drain_us=1000.0,
+                                   tb_cv=0.0), grid=8)
+    sm = gpu.sm(0)
+    sm.assign(kernel)
+    sm.dispatch(kernel.make_tb())
+    engine.run(until=10.0)
+    sm.preempt({sm.resident[0]: Technique.DRAIN})
+    assert sm.state is SMState.PREEMPTING
+    assert gpu.occupancy() == {kernel.name: 1}

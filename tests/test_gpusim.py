@@ -1,0 +1,153 @@
+"""Tests for the cycle-level multi-SM GPU with flush preemption."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.functional.gpusim import CycleGPU
+from repro.functional.machine import FunctionalBlockRun, GlobalMemory
+from repro.idempotence.instrument import instrument
+from repro.idempotence.kernels import (
+    histogram_atomic,
+    late_writeback,
+    vector_add,
+    vector_scale_inplace,
+)
+
+N, TPB, BLOCKS = 64, 16, 4
+
+
+def reference_memory(prog, init):
+    g = GlobalMemory(dict(prog.buffers), init=init)
+    for b in range(BLOCKS):
+        FunctionalBlockRun(prog, b, TPB, g).run()
+    return g
+
+
+def make_gpu(prog, init, **kwargs):
+    g = GlobalMemory(dict(prog.buffers), init=init)
+    gpu = CycleGPU(prog, BLOCKS, TPB, gmem=g, **kwargs)
+    return gpu, g
+
+
+VEC_INIT = {"a": list(range(N)), "b": [7] * N, "c": [0] * N}
+
+
+class TestPlainExecution:
+    def test_grid_completes_with_correct_memory(self):
+        prog = instrument(vector_add(N))
+        ref = reference_memory(prog, VEC_INIT)
+        gpu, g = make_gpu(prog, VEC_INIT, num_sms=2, blocks_per_sm=1)
+        result = gpu.run()
+        assert result.blocks_completed == BLOCKS
+        assert g == ref
+        assert result.total_instructions > 0
+
+    def test_more_sms_finish_sooner(self):
+        prog = instrument(vector_add(N))
+        slow, _ = make_gpu(prog, VEC_INIT, num_sms=1, blocks_per_sm=1)
+        fast, _ = make_gpu(prog, VEC_INIT, num_sms=4, blocks_per_sm=1)
+        assert fast.run().cycles < slow.run().cycles
+
+    def test_invalid_geometry_rejected(self):
+        prog = vector_add(N)
+        with pytest.raises(ConfigError):
+            CycleGPU(prog, 0, TPB)
+        with pytest.raises(ConfigError):
+            CycleGPU(prog, 4, TPB, num_sms=0)
+
+
+class TestFlushing:
+    def test_flush_idempotent_sm_and_still_correct(self):
+        prog = instrument(vector_add(N))
+        ref = reference_memory(prog, VEC_INIT)
+        gpu, g = make_gpu(prog, VEC_INIT, num_sms=2, blocks_per_sm=1)
+        gpu.step(300)  # mid-flight
+        assert gpu.try_flush(0)
+        result = gpu.run()
+        assert result.blocks_requeued >= 1
+        assert result.blocks_completed == BLOCKS
+        assert g == ref
+
+    def test_flush_denied_past_nonidempotent_point(self):
+        prog = instrument(vector_scale_inplace(N))
+        init = {"buf": list(range(N))}
+        gpu, g = make_gpu(prog, init, num_sms=1, blocks_per_sm=1)
+        # Drive until the monitor reports the SM dirty, then flush must
+        # be denied and execution must still complete correctly.
+        denied = False
+        for _ in range(200):
+            gpu.step(50)
+            if gpu.done:
+                break
+            if not gpu.monitor.sm_flushable(0):
+                denied = not gpu.try_flush(0)
+                break
+        assert denied
+        gpu.run()
+        assert g["buf"] == [3 * i for i in range(N)]
+
+    def test_flush_empty_sm_is_trivially_granted(self):
+        prog = instrument(vector_add(N))
+        gpu, _ = make_gpu(prog, VEC_INIT, num_sms=4, blocks_per_sm=1)
+        gpu.run()
+        assert gpu.try_flush(0)
+
+    def test_repeated_flushes_still_converge(self):
+        prog = instrument(late_writeback(N, loop_iters=4))
+        init = {"buf": [2] * N}
+        ref = reference_memory(prog, init)
+        gpu, g = make_gpu(prog, init, num_sms=2, blocks_per_sm=1)
+        flushes = 0
+        while not gpu.done and flushes < 5:
+            gpu.step(150)
+            if gpu.try_flush(flushes % 2):
+                flushes += 1
+        gpu.run()
+        assert g == ref
+
+    def test_flush_stats_tracked(self):
+        prog = instrument(vector_add(N))
+        gpu, _ = make_gpu(prog, VEC_INIT, num_sms=2, blocks_per_sm=1)
+        gpu.step(100)
+        gpu.try_flush(0)
+        gpu.try_flush(1)
+        result_now = gpu.result()
+        assert result_now.flush_attempts == 2
+        assert result_now.flushes_granted + result_now.flushes_denied == 2
+
+    def test_bad_sm_id_rejected(self):
+        prog = vector_add(N)
+        gpu, _ = make_gpu(prog, VEC_INIT)
+        with pytest.raises(ConfigError):
+            gpu.try_flush(99)
+
+    @settings(max_examples=10, deadline=None)
+    @given(flush_at=st.integers(min_value=10, max_value=2000),
+           victim=st.integers(min_value=0, max_value=1))
+    def test_property_granted_flush_preserves_results(self, flush_at, victim):
+        """Whenever the reset circuit is allowed to fire, the final
+        memory matches an uninterrupted run — for an always-idempotent
+        kernel, at any cycle, on any SM."""
+        prog = instrument(vector_add(N))
+        ref = reference_memory(prog, VEC_INIT)
+        gpu, g = make_gpu(prog, VEC_INIT, num_sms=2, blocks_per_sm=1)
+        gpu.step(flush_at)
+        if not gpu.done:
+            assert gpu.try_flush(victim)
+        gpu.run()
+        assert g == ref
+
+
+class TestAtomicsAcrossSMs:
+    def test_histogram_correct_with_concurrent_sms(self):
+        prog = instrument(histogram_atomic(N, 8))
+        data = [i % 5 for i in range(N)]
+        init = {"data": data, "hist": [0] * 8}
+        gpu, g = make_gpu(prog, init, num_sms=4, blocks_per_sm=1)
+        gpu.run()
+        for v in range(8):
+            assert g["hist"][v] == data.count(v)

@@ -1,0 +1,174 @@
+"""Tests for static idempotence analysis + instrumentation + monitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.idempotence.analysis import analyze, classify_instruction
+from repro.idempotence.instrument import instrument, mark_count
+from repro.idempotence.ir import Op, program
+from repro.idempotence.kernels import all_sample_kernels
+from repro.idempotence.monitor import MAILBOX_BASE, IdempotenceMonitor
+
+
+KERNELS = all_sample_kernels()
+
+#: Ground truth for the sample set.
+EXPECTED_IDEMPOTENT = {
+    "vector_add": True,
+    "vector_scale": True,
+    "vector_scale_inplace": False,
+    "saxpy_inplace": False,
+    "stencil3": True,
+    "block_reduce_sum": True,
+    "histogram_atomic": False,
+    "compact_nonzero": False,
+    "late_writeback": False,
+}
+
+
+class TestAnalysis:
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_sample_kernel_classification(self, name):
+        report = analyze(KERNELS[name])
+        assert report.idempotent == EXPECTED_IDEMPOTENT[name], name
+
+    def test_atomics_detected(self):
+        report = analyze(KERNELS["histogram_atomic"])
+        assert report.has_atomics
+        assert report.nonidempotent_indices
+        assert any("atomic" in r for r in report.reasons)
+
+    def test_overwrite_buffers_detected(self):
+        report = analyze(KERNELS["saxpy_inplace"])
+        assert report.overwrite_buffers == ("y",)
+        assert any("overwrite" in r for r in report.reasons)
+
+    def test_write_only_buffer_is_not_overwrite(self):
+        report = analyze(KERNELS["vector_scale"])
+        assert report.overwrite_buffers == ()
+
+    def test_first_nonidempotent_index(self):
+        prog = KERNELS["vector_scale_inplace"]
+        report = analyze(prog)
+        first = report.first_nonidempotent_index
+        assert prog.instrs[first].op is Op.STG
+        assert analyze(KERNELS["vector_add"]).first_nonidempotent_index is None
+
+    def test_classify_instruction(self):
+        prog = KERNELS["histogram_atomic"]
+        report = analyze(prog)
+        hot = report.nonidempotent_indices[0]
+        assert classify_instruction(prog, hot, report)
+        assert not classify_instruction(prog, 0, report)
+
+    def test_paper_ratio_on_archetypes(self):
+        """Sanity: both classes are populated, as in the paper's 12/27."""
+        idem = sum(1 for k in KERNELS.values() if analyze(k).idempotent)
+        assert 0 < idem < len(KERNELS)
+
+
+class TestInstrument:
+    def test_idempotent_kernels_get_no_marks(self):
+        for name in ("vector_add", "stencil3", "block_reduce_sum"):
+            assert mark_count(instrument(KERNELS[name])) == 0
+
+    def test_one_mark_per_nonidempotent_instruction(self):
+        for name in ("saxpy_inplace", "histogram_atomic", "late_writeback"):
+            prog = KERNELS[name]
+            report = analyze(prog)
+            assert mark_count(instrument(prog, report)) == \
+                len(report.nonidempotent_indices)
+
+    def test_mark_directly_precedes_hot_instruction(self):
+        prog = KERNELS["late_writeback"]
+        inst = instrument(prog)
+        for i, instr in enumerate(inst.instrs):
+            if instr.op is Op.MARK:
+                nxt = inst.instrs[i + 1]
+                assert nxt.op in (Op.STG, Op.ATOM)
+
+    def test_branch_targets_remapped(self):
+        """A loop over a non-idempotent store must land on the MARK."""
+        prog = (program("loopy", num_regs=8)
+                .buffer("buf", 16)
+                .tid(0)
+                .movi(1, 0)
+                .label("loop")
+                .ldg(2, "buf", 0)
+                .stg("buf", 0, 2)
+                .movi(3, 1)
+                .emit(Op.ADD, dst=1, src0=1, src1=3)
+                .movi(4, 3)
+                .emit(Op.SETLT, dst=5, src0=1, src1=4)
+                .cbra(5, "loop")
+                .build())
+        inst = instrument(prog)
+        target = inst.labels["loop"]
+        # Loop body contains the STG; re-entering must not skip a MARK
+        # that guards it.
+        ops_from_target = [i.op for i in inst.instrs[target:]]
+        assert ops_from_target.index(Op.MARK) < ops_from_target.index(Op.STG)
+
+    def test_instrumented_program_still_validates(self):
+        for prog in KERNELS.values():
+            inst = instrument(prog)
+            inst.validate()
+
+    def test_instrument_preserves_instruction_order(self):
+        prog = KERNELS["saxpy_inplace"]
+        inst = instrument(prog)
+        stripped = [i for i in inst.instrs if i.op is not Op.MARK]
+        assert [i.op for i in stripped] == [i.op for i in prog.instrs]
+
+
+class TestMonitor:
+    def test_mailbox_addresses_are_per_sm(self):
+        monitor = IdempotenceMonitor(4)
+        addrs = {monitor.mailbox_address(i) for i in range(4)}
+        assert len(addrs) == 4
+        assert min(addrs) == MAILBOX_BASE
+
+    def test_notify_marks_block_unflushable(self):
+        monitor = IdempotenceMonitor(2)
+        assert monitor.block_flushable(0, 7)
+        monitor.notify(0, 7)
+        assert not monitor.block_flushable(0, 7)
+        assert monitor.block_flushable(0, 8)
+        assert monitor.block_flushable(1, 7)
+
+    def test_sm_flushable_requires_all_blocks_clean(self):
+        monitor = IdempotenceMonitor(2)
+        assert monitor.sm_flushable(0)
+        monitor.notify(0, 1)
+        assert not monitor.sm_flushable(0)
+        assert monitor.sm_flushable(1)
+
+    def test_clear_block_restores_flushability(self):
+        monitor = IdempotenceMonitor(1)
+        monitor.notify(0, 1)
+        monitor.clear_block(0, 1)
+        assert monitor.sm_flushable(0)
+
+    def test_clear_sm(self):
+        monitor = IdempotenceMonitor(2)
+        monitor.notify(0, 1)
+        monitor.notify(0, 2)
+        monitor.notify(1, 3)
+        monitor.clear_sm(0)
+        assert monitor.sm_flushable(0)
+        assert not monitor.sm_flushable(1)
+
+    def test_notification_counts(self):
+        monitor = IdempotenceMonitor(1)
+        monitor.notify(0, 1)
+        monitor.notify(0, 1)
+        assert monitor.notifications[0] == 2
+
+    def test_bad_sm_rejected(self):
+        monitor = IdempotenceMonitor(2)
+        with pytest.raises(SimulationError):
+            monitor.notify(5, 0)
+        with pytest.raises(SimulationError):
+            IdempotenceMonitor(0)

@@ -1,0 +1,83 @@
+"""Unit tests for the kernel IR and program builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IRError
+from repro.idempotence.ir import Instr, KernelProgram, Op, program
+
+
+def test_builder_appends_exit():
+    prog = program("p").buffer("x", 4).tid(0).build()
+    assert prog.instrs[-1].op is Op.EXIT
+
+
+def test_builder_keeps_explicit_exit():
+    prog = program("p").tid(0).exit().build()
+    assert sum(1 for i in prog.instrs if i.op is Op.EXIT) == 1
+
+
+def test_labels_resolve_to_indices():
+    prog = (program("p")
+            .movi(0, 1)
+            .label("loop")
+            .movi(1, 2)
+            .bra("loop")
+            .build())
+    assert prog.labels["loop"] == 1
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(IRError):
+        program("p").label("a").label("a")
+
+
+def test_unknown_branch_target_rejected():
+    with pytest.raises(IRError):
+        program("p").bra("nowhere").build()
+
+
+def test_unknown_buffer_rejected():
+    with pytest.raises(IRError):
+        program("p").ldg(0, "missing", 1).build()
+
+
+def test_register_out_of_range_rejected():
+    with pytest.raises(IRError):
+        program("p", num_regs=4).movi(4, 0).build()
+
+
+def test_shared_ops_require_declaration():
+    with pytest.raises(IRError):
+        program("p").lds(0, 1).build()
+    prog = program("p", shared_words=8).lds(0, 1).build()
+    assert prog.shared_words == 8
+
+
+def test_empty_program_rejected():
+    with pytest.raises(IRError):
+        KernelProgram("p", [])
+
+
+def test_zero_size_buffer_rejected():
+    with pytest.raises(IRError):
+        program("p").buffer("x", 0)
+
+
+def test_read_write_buffer_sets():
+    prog = (program("p")
+            .buffer("a", 4).buffer("b", 4).buffer("h", 4)
+            .movi(0, 0)
+            .ldg(1, "a", 0)
+            .stg("b", 0, 1)
+            .atom(2, "h", 0, 1)
+            .build())
+    assert prog.global_read_buffers == {"a"}
+    assert prog.global_write_buffers == {"b"}  # atomics tracked separately
+    assert prog.has_atomics
+
+
+def test_instr_repr_is_informative():
+    text = repr(Instr(Op.LDG, dst=1, src0=0, buffer="a"))
+    assert "ldg" in text and "r1" in text and "@a" in text

@@ -1,0 +1,137 @@
+"""Unit tests for kernel runtime instances."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.kernel import Kernel
+from repro.sim.rng import RngStreams
+from repro.workloads.specs import kernel_spec
+from tests.conftest import make_kernel, make_spec
+
+
+class TestGridGeneration:
+    def test_make_tb_sequential_indices(self):
+        kernel = make_kernel(make_spec(), grid=3)
+        tbs = [kernel.make_tb() for _ in range(3)]
+        assert [tb.index for tb in tbs] == [0, 1, 2]
+        assert kernel.undispatched_tbs == 0
+
+    def test_grid_exhaustion_raises(self):
+        kernel = make_kernel(make_spec(), grid=1)
+        kernel.make_tb()
+        with pytest.raises(SimulationError):
+            kernel.make_tb()
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(SimulationError):
+            Kernel(make_spec(), 0, RngStreams(1))
+
+    def test_deterministic_tb_sizes_without_cv(self):
+        kernel = make_kernel(make_spec(tb_cv=0.0, cpi_cv=0.0), grid=2)
+        a, b = kernel.make_tb(), kernel.make_tb()
+        assert a.total_insts == b.total_insts == pytest.approx(kernel.mean_tb_insts)
+        assert a.rate == b.rate == pytest.approx(kernel.spec.tb_rate)
+
+    def test_tb_sizes_vary_with_cv(self):
+        kernel = make_kernel(make_spec(tb_cv=0.5), grid=20)
+        sizes = {round(kernel.make_tb().total_insts) for _ in range(20)}
+        assert len(sizes) > 10
+
+    def test_same_seed_same_grid(self):
+        spec = make_spec(tb_cv=0.3)
+        a = make_kernel(spec, grid=10, seed=5)
+        b = make_kernel(spec, grid=10, seed=5)
+        assert [t.total_insts for t in (a.make_tb() for _ in range(10))] == \
+               [t.total_insts for t in (b.make_tb() for _ in range(10))]
+
+    def test_idempotent_kernel_blocks_never_expire(self):
+        kernel = make_kernel(make_spec(idempotent=True), grid=5)
+        for _ in range(5):
+            assert kernel.make_tb().nonidem_at == math.inf
+
+    def test_non_idempotent_blocks_have_finite_points(self):
+        kernel = make_kernel(make_spec(idempotent=False), grid=5)
+        for _ in range(5):
+            tb = kernel.make_tb()
+            assert 0 <= tb.nonidem_at <= tb.total_insts
+
+    def test_real_spec_mean_tb_instructions(self):
+        spec = kernel_spec("BS.0")
+        kernel = Kernel(spec, 10, RngStreams(1))
+        assert kernel.mean_tb_insts == pytest.approx(
+            spec.mean_tb_instructions(1400.0))
+
+
+class TestAccounting:
+    def _run_one(self, kernel):
+        tb = kernel.make_tb()
+        kernel.note_resident(tb)
+        tb.start_running(0.0)
+        tb.mark_done(tb.total_insts / tb.rate)
+        kernel.note_completed(tb)
+        return tb
+
+    def test_completion_updates_stats(self):
+        kernel = make_kernel(make_spec(), grid=2)
+        tb = self._run_one(kernel)
+        assert kernel.stats.tbs_completed == 1
+        assert kernel.stats.insts_retired == pytest.approx(tb.total_insts)
+        assert kernel.stats.cycles_retired == pytest.approx(tb.executed_cycles)
+        assert not kernel.finished
+
+    def test_finished_after_all_tbs(self):
+        kernel = make_kernel(make_spec(), grid=2)
+        self._run_one(kernel)
+        self._run_one(kernel)
+        assert kernel.finished
+
+    def test_observed_mean_and_max(self):
+        kernel = make_kernel(make_spec(tb_cv=0.4), grid=8)
+        assert kernel.observed_mean_tb_insts() is None
+        assert kernel.observed_max_tb_insts() is None
+        sizes = [self._run_one(kernel).total_insts for _ in range(8)]
+        assert kernel.observed_mean_tb_insts() == pytest.approx(
+            sum(sizes) / len(sizes))
+        assert kernel.observed_max_tb_insts() == pytest.approx(max(sizes))
+
+    def test_observed_std(self):
+        kernel = make_kernel(make_spec(tb_cv=0.4), grid=8)
+        self._run_one(kernel)
+        assert kernel.observed_std_tb_insts() is None  # needs two samples
+        sizes = [self._run_one(kernel).total_insts for _ in range(7)]
+        assert kernel.observed_std_tb_insts() is not None
+        assert kernel.observed_std_tb_insts() > 0
+
+    def test_live_progress(self):
+        kernel = make_kernel(make_spec(), grid=2)
+        tb = kernel.make_tb()
+        kernel.note_resident(tb)
+        tb.start_running(0.0)
+        assert kernel.live_progress_insts(100.0) == pytest.approx(100.0 * tb.rate)
+        assert kernel.useful_insts(100.0) == pytest.approx(100.0 * tb.rate)
+
+    def test_useful_includes_retired_and_live(self):
+        kernel = make_kernel(make_spec(), grid=2)
+        done = self._run_one(kernel)
+        live = kernel.make_tb()
+        kernel.note_resident(live)
+        live.start_running(0.0)
+        useful = kernel.useful_insts(50.0)
+        assert useful == pytest.approx(done.total_insts + 50.0 * live.rate)
+
+    def test_note_off_sm_unknown_block_raises(self):
+        kernel = make_kernel(make_spec(), grid=2)
+        tb = kernel.make_tb()
+        with pytest.raises(SimulationError):
+            kernel.note_off_sm(tb)
+
+    def test_wasted_insts_aggregates(self):
+        kernel = make_kernel(make_spec(), grid=1)
+        kernel.stats.insts_discarded = 10
+        kernel.stats.stall_insts = 20
+        kernel.stats.idle_slot_insts = 30
+        assert kernel.stats.wasted_insts == 60

@@ -1,0 +1,62 @@
+"""Unit tests for the memory subsystem model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.config import GPUConfig
+from repro.gpu.memory import MemorySubsystem
+
+
+@pytest.fixture
+def memory(config):
+    return MemorySubsystem(config)
+
+
+def test_dma_cycles_scale_linearly(memory):
+    one = memory.dma_cycles(1024)
+    assert memory.dma_cycles(2048) == pytest.approx(2 * one)
+
+
+def test_dma_zero_bytes_free(memory):
+    assert memory.dma_cycles(0) == 0.0
+
+
+def test_dma_negative_rejected(memory):
+    with pytest.raises(ConfigError):
+        memory.dma_cycles(-1)
+
+
+def test_dma_uses_sm_bandwidth_share(config, memory):
+    nbytes = 96 * 1024
+    assert memory.dma_cycles(nbytes) == pytest.approx(
+        nbytes / config.sm_bandwidth_bytes_per_cycle)
+
+
+def test_record_dma_accounts_traffic(config, memory):
+    memory.record_dma(1000, home_sm=0)
+    memory.record_dma(2000, home_sm=1)
+    assert memory.total_context_bytes == 3000
+    assert memory.dma_count == 2
+    assert memory.partition_bytes[0] == 1000
+    assert memory.partition_bytes[1] == 2000
+
+
+def test_record_dma_wraps_partitions(config, memory):
+    memory.record_dma(500, home_sm=config.num_memory_partitions)
+    assert memory.partition_bytes[0] == 500
+
+
+def test_reset(memory):
+    memory.record_dma(1000, home_sm=0)
+    memory.reset()
+    assert memory.total_context_bytes == 0
+    assert memory.dma_count == 0
+    assert all(b == 0 for b in memory.partition_bytes)
+
+
+def test_bs_context_switch_time_matches_paper(config, memory):
+    """Full BS.0 per-SM context (24 kB x 4) should take ~17 us."""
+    cycles = memory.dma_cycles(24 * 1024 * 4)
+    assert cycles / config.clock_mhz == pytest.approx(17.0, abs=0.8)

@@ -1,0 +1,159 @@
+"""Unit + property tests for ANTT/STP and report formatting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.techniques import Technique
+from repro.errors import ConfigError
+from repro.metrics.metrics import (
+    TechniqueMix,
+    ViolationSummary,
+    antt,
+    normalized_turnaround,
+    stp,
+)
+from repro.metrics.report import format_percent, format_table
+
+
+class TestEyermanMetrics:
+    def test_normalized_turnaround(self):
+        assert normalized_turnaround(10.0, 25.0) == 2.5
+
+    def test_times_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            normalized_turnaround(0.0, 1.0)
+        with pytest.raises(ConfigError):
+            normalized_turnaround(1.0, 0.0)
+
+    def test_antt_is_mean(self):
+        assert antt([1.0, 3.0]) == 2.0
+
+    def test_stp_is_sum_of_reciprocals(self):
+        assert stp([2.0, 4.0]) == pytest.approx(0.75)
+
+    def test_perfect_sharing_gives_stp_n(self):
+        assert stp([1.0, 1.0, 1.0]) == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            antt([])
+        with pytest.raises(ConfigError):
+            stp([])
+
+    def test_nonpositive_ntt_rejected(self):
+        with pytest.raises(ConfigError):
+            stp([0.0])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(1.0, 100.0), min_size=1, max_size=8))
+    def test_stp_bounded_by_n_for_slowdowns(self, ntts):
+        """With every NTT >= 1 (multi never faster than solo), STP can
+        never exceed the number of programs."""
+        assert stp(ntts) <= len(ntts) + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(0.5, 100.0), min_size=2, max_size=8))
+    def test_antt_between_min_and_max(self, ntts):
+        assert min(ntts) <= antt(ntts) <= max(ntts)
+
+
+class TestViolationSummary:
+    def test_counts(self):
+        v = ViolationSummary()
+        v.record(10.0, violated=False)
+        v.record(30.0, violated=True)
+        assert v.requests == 2
+        assert v.violations == 1
+        assert v.violation_rate == 0.5
+        assert v.mean_latency_us == 20.0
+        assert v.max_latency_us == 30.0
+
+    def test_empty_rates(self):
+        v = ViolationSummary()
+        assert v.violation_rate == 0.0
+        assert v.mean_latency_us == 0.0
+        assert v.max_latency_us == 0.0
+
+
+class TestTechniqueMix:
+    def test_add_and_fraction(self):
+        mix = TechniqueMix()
+        mix.add(Technique.FLUSH, 3)
+        mix.add(Technique.DRAIN)
+        assert mix.total == 4
+        assert mix.fraction(Technique.FLUSH) == 0.75
+        assert mix.fraction(Technique.SWITCH) == 0.0
+
+    def test_merge(self):
+        a, b = TechniqueMix(), TechniqueMix()
+        a.add(Technique.FLUSH, 1)
+        b.add(Technique.FLUSH, 2)
+        b.add(Technique.SWITCH, 3)
+        a.merge(b)
+        assert a.counts[Technique.FLUSH] == 3
+        assert a.counts[Technique.SWITCH] == 3
+
+    def test_fractions_sum_to_one(self):
+        mix = TechniqueMix()
+        mix.add(Technique.FLUSH, 5)
+        mix.add(Technique.DRAIN, 5)
+        fracs = mix.fractions()
+        assert sum(fracs.values()) == pytest.approx(1.0)
+
+    def test_empty_fractions(self):
+        assert TechniqueMix().fractions() == {t: 0.0 for t in Technique}
+
+
+class TestReport:
+    def test_format_percent(self):
+        assert format_percent(0.123) == "12.3%"
+        assert format_percent(0.5, digits=0) == "50%"
+
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"],
+                             [["a", 1.0], ["long-name", 123456.0]],
+                             title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert len({len(line) for line in lines[2:]}) <= 2
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [[0.1234567], [1234.5], [12.3], [0]])
+        assert "0.1235" in table
+        assert "1234" in table
+        assert "12.30" in table
+
+
+class TestLatencyDistribution:
+    def _summary(self):
+        v = ViolationSummary()
+        for lat in (1.0, 2.0, 3.0, 4.0, 100.0):
+            v.record(lat, violated=lat > 10)
+        return v
+
+    def test_percentiles(self):
+        v = self._summary()
+        assert v.percentile_latency_us(0.0) == 1.0
+        assert v.percentile_latency_us(0.5) == pytest.approx(3.0, abs=1.0)
+        assert v.percentile_latency_us(1.0) == 100.0
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ConfigError):
+            self._summary().percentile_latency_us(1.5)
+
+    def test_percentile_empty(self):
+        assert ViolationSummary().percentile_latency_us(0.5) == 0.0
+
+    def test_fraction_above(self):
+        v = self._summary()
+        assert v.fraction_above(10.0) == pytest.approx(0.2)
+        assert v.fraction_above(0.0) == 1.0
+        assert ViolationSummary().fraction_above(1.0) == 0.0

@@ -1,0 +1,172 @@
+"""Unit + property tests for the SM partition policy."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchedulingError
+from repro.sched.policy import KernelDemand, compute_partition
+
+
+def test_even_split_two_kernels():
+    demands = [KernelDemand(1, 30), KernelDemand(2, 30)]
+    assert compute_partition(demands, 30) == {1: 15, 2: 15}
+
+
+def test_single_kernel_takes_what_it_needs():
+    assert compute_partition([KernelDemand(1, 12)], 30) == {1: 12}
+
+
+def test_size_bound_kernel_leaves_sms_for_others():
+    """Paper: a size-bound kernel requests fewer than the even split;
+    the remainder goes to the other kernel."""
+    demands = [KernelDemand(1, 4), KernelDemand(2, 30)]
+    assert compute_partition(demands, 30) == {1: 4, 2: 26}
+
+
+def test_both_size_bound_leaves_idle():
+    demands = [KernelDemand(1, 3), KernelDemand(2, 5)]
+    targets = compute_partition(demands, 30)
+    assert targets == {1: 3, 2: 5}
+    assert sum(targets.values()) < 30
+
+
+def test_fixed_demand_served_first():
+    demands = [KernelDemand(1, 30, fixed_demand=15), KernelDemand(2, 30)]
+    assert compute_partition(demands, 30) == {1: 15, 2: 15}
+
+
+def test_fixed_demand_capped_by_need():
+    demands = [KernelDemand(1, 3, fixed_demand=15), KernelDemand(2, 30)]
+    assert compute_partition(demands, 30) == {1: 3, 2: 27}
+
+
+def test_fixed_demand_capped_by_machine():
+    demands = [KernelDemand(1, 40, fixed_demand=40)]
+    assert compute_partition(demands, 30) == {1: 30}
+
+
+def test_odd_split_distributes_remainder():
+    demands = [KernelDemand(1, 30), KernelDemand(2, 30), KernelDemand(3, 30)]
+    targets = compute_partition(demands, 31)
+    assert sum(targets.values()) == 31
+    assert sorted(targets.values()) == [10, 10, 11]
+
+
+def test_no_kernels():
+    assert compute_partition([], 30) == {}
+
+
+def test_zero_sms():
+    assert compute_partition([KernelDemand(1, 5)], 0) == {1: 0}
+
+
+def test_duplicate_keys_rejected():
+    with pytest.raises(SchedulingError):
+        compute_partition([KernelDemand(1, 5), KernelDemand(1, 3)], 30)
+
+
+def test_negative_need_rejected():
+    with pytest.raises(SchedulingError):
+        KernelDemand(1, -1)
+
+
+def test_negative_num_sms_rejected():
+    with pytest.raises(SchedulingError):
+        compute_partition([KernelDemand(1, 5)], -1)
+
+
+def test_every_kernel_gets_at_least_one_sm_when_possible():
+    """Starvation avoidance (paper §2.1): with enough SMs, every kernel
+    that has work receives at least one."""
+    demands = [KernelDemand(i, 30) for i in range(5)]
+    targets = compute_partition(demands, 30)
+    assert all(v >= 1 for v in targets.values())
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    needs=st.lists(st.integers(0, 64), min_size=1, max_size=8),
+    num_sms=st.integers(0, 64),
+)
+def test_partition_invariants(needs, num_sms):
+    demands = [KernelDemand(i, n) for i, n in enumerate(needs)]
+    targets = compute_partition(demands, num_sms)
+    # Never allocate more than available or more than needed.
+    assert sum(targets.values()) <= num_sms
+    for demand in demands:
+        assert 0 <= targets[demand.key] <= demand.needed_sms
+    # Work-conserving: if SMs stay idle, every kernel is saturated.
+    if sum(targets.values()) < num_sms:
+        for demand in demands:
+            assert targets[demand.key] == demand.needed_sms
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    needs=st.lists(st.integers(1, 64), min_size=2, max_size=6),
+    num_sms=st.integers(2, 64),
+)
+def test_partition_fairness(needs, num_sms):
+    """No kernel ends more than one SM below another that is not
+    saturated (even split up to size-bound caps)."""
+    demands = [KernelDemand(i, n) for i, n in enumerate(needs)]
+    targets = compute_partition(demands, num_sms)
+    unsaturated = [d for d in demands if targets[d.key] < d.needed_sms]
+    for a in unsaturated:
+        for b in unsaturated:
+            assert abs(targets[a.key] - targets[b.key]) <= 1
+
+
+class TestWeightedPartition:
+    """Priority-proportional sharing (weight=1 reproduces even split)."""
+
+    def test_equal_weights_match_even_split(self):
+        even = compute_partition(
+            [KernelDemand(1, 30), KernelDemand(2, 30)], 30)
+        weighted = compute_partition(
+            [KernelDemand(1, 30, weight=2.0), KernelDemand(2, 30, weight=2.0)],
+            30)
+        assert even == weighted
+
+    def test_double_weight_doubles_share(self):
+        targets = compute_partition(
+            [KernelDemand(1, 30, weight=2.0), KernelDemand(2, 30, weight=1.0)],
+            30)
+        assert targets == {1: 20, 2: 10}
+
+    def test_weighted_respects_size_bound(self):
+        targets = compute_partition(
+            [KernelDemand(1, 5, weight=10.0), KernelDemand(2, 30, weight=1.0)],
+            30)
+        assert targets == {1: 5, 2: 25}
+
+    def test_remainder_goes_to_heaviest(self):
+        targets = compute_partition(
+            [KernelDemand(1, 31, weight=3.0), KernelDemand(2, 31, weight=1.0)],
+            31)
+        assert targets[1] > targets[2]
+        assert sum(targets.values()) == 31
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(SchedulingError):
+            KernelDemand(1, 5, weight=0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        needs=st.lists(st.integers(0, 64), min_size=1, max_size=6),
+        weights=st.lists(st.floats(0.1, 10.0), min_size=6, max_size=6),
+        num_sms=st.integers(0, 64),
+    )
+    def test_weighted_invariants(self, needs, weights, num_sms):
+        demands = [KernelDemand(i, n, weight=weights[i])
+                   for i, n in enumerate(needs)]
+        targets = compute_partition(demands, num_sms)
+        assert sum(targets.values()) <= num_sms
+        for demand in demands:
+            assert 0 <= targets[demand.key] <= demand.needed_sms
+        if sum(targets.values()) < num_sms:
+            for demand in demands:
+                assert targets[demand.key] == demand.needed_sms

@@ -1,0 +1,122 @@
+"""Unit tests for benchmark processes (launch sequencing + budgets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.gpu.config import GPUConfig
+from repro.sched.process import BenchmarkProcess, ProcessState
+from repro.sim.rng import RngStreams
+from repro.workloads.synthetic import SyntheticKernelFactory
+
+
+@pytest.fixture
+def factory(config):
+    return SyntheticKernelFactory(config, RngStreams(3))
+
+
+def test_launch_sequence_follows_plan(factory):
+    process = BenchmarkProcess("FWT", factory, budget_insts=1e9, restart=False)
+    specs = []
+    for _ in range(3):
+        kernel = process.next_kernel()
+        specs.append(kernel.spec.index)
+        assert process.state is ProcessState.RUNNING
+        more = process.on_kernel_finished(kernel, now=100.0)
+    assert specs == [0, 1, 2]
+    assert more is False
+    assert process.state is ProcessState.FINISHED
+    assert process.first_execution_time == 100.0
+
+
+def test_restart_loops_plan(factory):
+    process = BenchmarkProcess("BS", factory, budget_insts=1e12, restart=True)
+    k1 = process.next_kernel()
+    assert process.on_kernel_finished(k1, now=50.0) is True
+    k2 = process.next_kernel()
+    assert k2.spec.index == 0
+    assert process.executions_completed == 1
+    assert k2 is not k1
+
+
+def test_cannot_launch_while_running(factory):
+    process = BenchmarkProcess("BS", factory, budget_insts=1e9)
+    process.next_kernel()
+    with pytest.raises(SchedulingError):
+        process.next_kernel()
+
+
+def test_wrong_kernel_finish_rejected(factory):
+    process = BenchmarkProcess("BS", factory, budget_insts=1e9)
+    process.next_kernel()
+    other = factory.build(process.plan[0][0])
+    with pytest.raises(SchedulingError):
+        process.on_kernel_finished(other, now=1.0)
+
+
+def test_finished_process_cannot_relaunch(factory):
+    process = BenchmarkProcess("BS", factory, budget_insts=1e9, restart=False)
+    kernel = process.next_kernel()
+    process.on_kernel_finished(kernel, now=1.0)
+    with pytest.raises(SchedulingError):
+        process.next_kernel()
+
+
+def test_metric_latches_at_first_execution(factory):
+    process = BenchmarkProcess("BS", factory, budget_insts=1e15, restart=True)
+    kernel = process.next_kernel()
+    process.on_kernel_finished(kernel, now=123.0)
+    assert process.metric_time == 123.0
+    # Later executions do not move it.
+    k2 = process.next_kernel()
+    process.on_kernel_finished(k2, now=999.0)
+    assert process.metric_time == 123.0
+
+
+def test_check_budget_latches_once(factory):
+    process = BenchmarkProcess("BS", factory, budget_insts=10.0)
+    kernel = process.next_kernel()
+    tb = kernel.make_tb()
+    kernel.note_resident(tb)
+    tb.start_running(0.0)
+    process.check_budget(0.0)
+    assert process.metric_time is None
+    tb.advance_to(100.0)  # well past 10 instructions
+    process.check_budget(100.0)
+    # Crossing is interpolated between the two samples: 10 insts at the
+    # block's rate.
+    assert process.metric_time == pytest.approx(10.0 / tb.rate)
+    first = process.metric_time
+    process.check_budget(200.0)
+    assert process.metric_time == first
+    assert process.done_recording
+
+
+def test_lud_plan_structure(factory):
+    process = BenchmarkProcess("LUD", factory, budget_insts=1e9)
+    plan = process.plan
+    # 32-block matrix: 31 iterations of 3 launches plus a final diagonal.
+    assert len(plan) == 31 * 3 + 1
+    assert plan[0][0].index == 0 and plan[0][1] == 1
+    assert plan[1][0].index == 1 and plan[1][1] == 31
+    assert plan[2][0].index == 2 and plan[2][1] == 31 * 31
+    assert plan[-1][0].index == 0
+
+
+def test_empty_plan_rejected(factory):
+    with pytest.raises(SchedulingError):
+        BenchmarkProcess("BS", factory, budget_insts=1e9, plan=[])
+
+
+def test_useful_and_wasted_aggregate_over_kernels(factory):
+    process = BenchmarkProcess("BS", factory, budget_insts=1e9, restart=True)
+    kernel = process.next_kernel()
+    kernel.stats.insts_retired = 100.0
+    kernel.stats.insts_discarded = 7.0
+    process.on_kernel_finished(kernel, now=1.0)
+    k2 = process.next_kernel()
+    k2.stats.insts_retired = 50.0
+    k2.stats.stall_insts = 3.0
+    assert process.useful_insts(now=1.0) == 150.0
+    assert process.wasted_insts() == 10.0

@@ -1,0 +1,141 @@
+"""Tests for iGPU-style replay (state reconstruction by re-execution),
+plus correctness tests for the tiled matrix-multiply kernel."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExecutionError
+from repro.functional.machine import FunctionalBlockRun, GlobalMemory, run_grid
+from repro.functional.replay import (
+    divergence_report,
+    replay_to,
+    run_and_interrupt,
+    states_equal,
+)
+from repro.functional.warpsim import clock_kernel
+from repro.idempotence.analysis import analyze
+from repro.idempotence.instrument import instrument
+from repro.idempotence.kernels import (
+    late_writeback,
+    tiled_matmul,
+    vector_add,
+    vector_scale_inplace,
+)
+
+N, TPB = 64, 16
+
+
+class TestTiledMatmul:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        dim, tile = 8, 4
+        prog = tiled_matmul(dim, tile)
+        rng = random.Random(7)
+        A = [rng.randrange(7) for _ in range(dim * dim)]
+        B = [rng.randrange(7) for _ in range(dim * dim)]
+        ref = [sum(A[i * dim + k] * B[k * dim + j] for k in range(dim))
+               for i in range(dim) for j in range(dim)]
+        return dim, tile, prog, A, B, ref
+
+    def test_is_idempotent(self, setup):
+        _, _, prog, *_ = setup
+        assert analyze(prog).idempotent
+
+    def test_functional_result(self, setup):
+        dim, tile, prog, A, B, ref = setup
+        g = GlobalMemory(dict(prog.buffers),
+                         init={"A": A, "B": B, "C": [0] * dim * dim})
+        run_grid(prog, (dim // tile) ** 2, tile * tile, g)
+        assert g["C"] == ref
+
+    def test_warpsim_result_matches(self, setup):
+        dim, tile, prog, A, B, ref = setup
+        g = GlobalMemory(dict(prog.buffers),
+                         init={"A": A, "B": B, "C": [0] * dim * dim})
+        clock_kernel(prog, tile * tile, resident_blocks=(dim // tile) ** 2,
+                     gmem=g)
+        assert g["C"] == ref
+
+    def test_flush_mid_matmul_is_safe(self, setup):
+        """Interrupt a block mid-reduction (shared memory half-written),
+        flush, rerun: identical product — shared state needs no saving."""
+        dim, tile, prog, A, B, ref = setup
+        blocks = (dim // tile) ** 2
+        g = GlobalMemory(dict(prog.buffers),
+                         init={"A": A, "B": B, "C": [0] * dim * dim})
+        victim = FunctionalBlockRun(prog, 1, tile * tile, g)
+        victim.run(max_instructions=700)  # deep inside the k-loop
+        FunctionalBlockRun(prog, 1, tile * tile, g).run()
+        for b in range(blocks):
+            if b != 1:
+                FunctionalBlockRun(prog, b, tile * tile, g).run()
+        assert g["C"] == ref
+
+    def test_dim_must_divide(self):
+        from repro.errors import IRError
+        with pytest.raises(IRError):
+            tiled_matmul(10, 4)
+
+
+class TestReplay:
+    def _gmem(self, prog, **init):
+        return GlobalMemory(dict(prog.buffers), init=init or None)
+
+    def test_reconstructs_interrupted_state_exactly(self):
+        prog = instrument(vector_add(N))
+        init = {"a": list(range(N)), "b": [3] * N, "c": [0] * N}
+        lost = self._gmem(prog, **init)
+        state, result = run_and_interrupt(prog, 0, TPB, lost, stop_after=37)
+        assert not result.finished
+        # The replay runs on the memory as the interruption left it.
+        rebuilt = replay_to(prog, 0, TPB, lost, 37)
+        assert states_equal(state, rebuilt)
+        assert divergence_report(state, rebuilt) == []
+
+    @settings(max_examples=25, deadline=None)
+    @given(stop=st.integers(min_value=1, max_value=120))
+    def test_property_replay_exact_while_idempotent(self, stop):
+        prog = instrument(late_writeback(N, loop_iters=3))
+        init = {"buf": [5] * N}
+        lost = self._gmem(prog, **init)
+        state, result = run_and_interrupt(prog, 2, TPB, lost, stop)
+        if result.finished or not result.idempotent_at_stop:
+            return  # replay contract only covers idempotent interrupts
+        rebuilt = replay_to(prog, 2, TPB, lost, stop)
+        assert states_equal(state, rebuilt)
+
+    def test_replay_diverges_past_nonidempotent_point(self):
+        """Negative control: replaying past the MARK re-reads the
+        block's own partial writes and reconstructs the wrong state."""
+        prog = instrument(vector_scale_inplace(N, factor=3))
+        init = {"buf": list(range(1, N + 1))}
+        lost = self._gmem(prog, **init)
+        probe = self._gmem(prog, **init)
+        mark_at = FunctionalBlockRun(prog, 0, TPB, probe).run().first_mark_at
+        stop = mark_at + TPB + 1  # at least one store landed
+        state, result = run_and_interrupt(prog, 0, TPB, lost, stop)
+        assert not result.idempotent_at_stop
+        rebuilt = replay_to(prog, 0, TPB, lost, stop)
+        assert not states_equal(state, rebuilt)
+        assert divergence_report(state, rebuilt)
+
+    def test_replay_rejects_finished_block(self):
+        prog = vector_add(N)
+        g = self._gmem(prog)
+        with pytest.raises(ExecutionError):
+            replay_to(prog, 0, TPB, g, 10_000_000)
+
+    def test_shared_memory_in_snapshot(self):
+        from repro.idempotence.kernels import block_reduce_sum
+        prog = block_reduce_sum(TPB, N // TPB)
+        g = self._gmem(prog, **{"in": [1] * N, "out": [0] * (N // TPB)})
+        # Each thread stores to shared on its 7th instruction; with
+        # round-robin interleaving 7 * TPB instructions guarantee every
+        # lane's STS has landed.
+        state, _ = run_and_interrupt(prog, 0, TPB, g, stop_after=7 * TPB + 1)
+        assert any(v != 0 for v in state.shared)

@@ -1,0 +1,106 @@
+"""Unit + property tests for the named RNG streams."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.rng import RngStreams
+
+
+def test_same_seed_same_stream_reproduces():
+    a = RngStreams(42).stream("x")
+    b = RngStreams(42).stream("x")
+    assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+
+def test_different_names_give_independent_streams():
+    streams = RngStreams(42)
+    xs = [streams.stream("x").random() for _ in range(5)]
+    ys = [streams.stream("y").random() for _ in range(5)]
+    assert xs != ys
+
+
+def test_different_seeds_differ():
+    a = RngStreams(1).stream("x").random()
+    b = RngStreams(2).stream("x").random()
+    assert a != b
+
+
+def test_adding_consumer_does_not_perturb_existing_stream():
+    plain = RngStreams(7)
+    seq = [plain.stream("work").random() for _ in range(10)]
+
+    mixed = RngStreams(7)
+    out = []
+    for i in range(10):
+        out.append(mixed.stream("work").random())
+        mixed.stream("other").random()  # interleaved consumer
+    assert out == seq
+
+
+def test_stream_is_cached():
+    streams = RngStreams(3)
+    assert streams.stream("a") is streams.stream("a")
+
+
+def test_lognormal_zero_cv_returns_mean():
+    assert RngStreams(1).lognormal("s", 100.0, 0.0) == 100.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(mean=st.floats(1.0, 1e7), cv=st.floats(0.01, 1.5))
+def test_lognormal_sample_mean_tracks_requested_mean(mean, cv):
+    streams = RngStreams(11)
+    n = 4000
+    total = sum(streams.lognormal("s", mean, cv) for _ in range(n))
+    observed = total / n
+    # Lognormal sample means converge slowly at high cv; just bound
+    # the error loosely and require positivity.
+    assert observed > 0
+    assert abs(observed - mean) / mean < 0.35 + cv * 0.35
+
+
+def test_beta_in_unit_interval():
+    streams = RngStreams(5)
+    for _ in range(100):
+        x = streams.beta("b", 8.0, 2.0)
+        assert 0.0 <= x <= 1.0
+
+
+def test_beta_skews_toward_one_for_late_params():
+    streams = RngStreams(5)
+    n = 2000
+    mean = sum(streams.beta("b", 8.0, 2.0) for _ in range(n)) / n
+    assert 0.75 < mean < 0.85  # Beta(8,2) mean is 0.8
+
+
+def test_fork_is_independent_and_deterministic():
+    a = RngStreams(9).fork("child").stream("s").random()
+    b = RngStreams(9).fork("child").stream("s").random()
+    c = RngStreams(9).stream("s").random()
+    assert a == b
+    assert a != c
+
+
+def test_uniform_range():
+    streams = RngStreams(13)
+    for _ in range(100):
+        x = streams.uniform("u", 3.0, 7.0)
+        assert 3.0 <= x < 7.0
+
+
+def test_lognormal_rejects_nonpositive_mean():
+    import pytest
+    with pytest.raises(ValueError):
+        RngStreams(1).lognormal("s", 0.0, 0.5)
+
+
+def test_lognormal_median_below_mean_for_positive_cv():
+    streams = RngStreams(17)
+    samples = sorted(streams.lognormal("s", 1000.0, 0.9) for _ in range(3001))
+    median = samples[1500]
+    assert median < 1000.0  # right-skew: median < mean
+    assert not math.isnan(median)

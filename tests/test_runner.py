@@ -1,0 +1,149 @@
+"""Integration tests for the scenario runners (solo / pair / periodic).
+
+These use a shrunken machine and short horizons so the whole file runs
+in a few seconds while still exercising every code path of the paper's
+three experimental protocols.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.harness.runner import SimSystem, run_pair, run_periodic, run_solo
+from repro.metrics.metrics import normalized_turnaround
+from repro.sched.kernel_scheduler import SchedulerMode
+from repro.workloads.multiprogram import MultiprogramWorkload
+
+BUDGET = 2e6
+
+
+class TestSolo:
+    def test_solo_reaches_budget(self):
+        result = run_solo("BS", BUDGET, seed=1)
+        assert result.metric_time_cycles > 0
+        assert result.useful_insts >= BUDGET * 0.9
+
+    def test_solo_deterministic(self):
+        a = run_solo("BS", BUDGET, seed=1)
+        b = run_solo("BS", BUDGET, seed=1)
+        assert a.metric_time_cycles == b.metric_time_cycles
+
+    def test_solo_seed_changes_timing(self):
+        a = run_solo("MUM", BUDGET, seed=1)
+        b = run_solo("MUM", BUDGET, seed=2)
+        assert a.metric_time_cycles != b.metric_time_cycles
+
+    def test_solo_short_benchmark_latches_at_first_execution(self):
+        result = run_solo("LUD", 1e12, seed=1)
+        assert result.metric_time_cycles > 0
+
+    def test_solo_time_scales_with_budget(self):
+        small = run_solo("BS", 1e6, seed=1)
+        large = run_solo("BS", 4e6, seed=1)
+        assert large.metric_time_cycles > small.metric_time_cycles
+
+
+class TestPair:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return MultiprogramWorkload(("LUD", "BS"), budget_insts=BUDGET)
+
+    def test_pair_runs_all_policies(self, workload):
+        for policy in ("switch", "drain", "flush", "chimera"):
+            result = run_pair(workload, policy, seed=1)
+            assert set(result.metric_time_cycles) == {"LUD", "BS"}
+            assert all(t > 0 for t in result.metric_time_cycles.values())
+
+    def test_fcfs_pair(self, workload):
+        result = run_pair(workload, None, mode=SchedulerMode.FCFS, seed=1)
+        assert result.preemption_records == 0
+        assert result.policy == "fcfs"
+
+    def test_sharing_slows_both_down(self, workload):
+        solo = {label: run_solo(label, BUDGET, seed=1).metric_time_cycles
+                for label in workload.labels}
+        shared = run_pair(workload, "chimera", seed=1)
+        for label in workload.labels:
+            ntt = normalized_turnaround(solo[label],
+                                        shared.metric_time_cycles[label])
+            assert ntt >= 0.95  # sharing can't be meaningfully faster
+
+    def test_preemptive_beats_fcfs_on_turnaround(self, workload):
+        solo = {label: run_solo(label, BUDGET, seed=1).metric_time_cycles
+                for label in workload.labels}
+        fcfs = run_pair(workload, None, mode=SchedulerMode.FCFS, seed=1)
+        chimera = run_pair(workload, "chimera", seed=1)
+        antt_of = lambda pair: sum(
+            pair.metric_time_cycles[l] / solo[l] for l in workload.labels) / 2
+        assert antt_of(chimera) < antt_of(fcfs)
+
+    def test_chimera_generates_preemptions(self, workload):
+        result = run_pair(workload, "chimera", seed=1)
+        assert result.preemption_records > 0
+        assert result.technique_mix.total > 0
+
+
+class TestPeriodic:
+    def test_periodic_counts_all_launches(self):
+        result = run_periodic("BS", "chimera", periods=3, seed=1)
+        assert result.violations.requests == 3
+        assert result.periods == 3
+
+    def test_flush_meets_deadlines_on_idempotent_kernel(self):
+        result = run_periodic("BS", "flush", constraint_us=15.0,
+                              periods=4, seed=1)
+        assert result.violations.violation_rate == 0.0
+
+    def test_switch_violates_when_context_too_big(self):
+        # BS.0 full-SM switch is ~17us > 15us: every needed preemption
+        # misses.
+        result = run_periodic("BS", "switch", constraint_us=15.0,
+                              periods=4, seed=1)
+        assert result.violations.violation_rate > 0.5
+
+    def test_switch_meets_looser_constraint(self):
+        result = run_periodic("BS", "switch", constraint_us=20.0,
+                              periods=4, seed=1)
+        assert result.violations.violation_rate == 0.0
+
+    def test_drain_violates_on_long_blocks(self):
+        result = run_periodic("MUM", "drain", constraint_us=15.0,
+                              periods=3, seed=1)
+        assert result.violations.violation_rate == 1.0
+
+    def test_chimera_tracks_best_technique(self):
+        for label in ("BS", "KM"):
+            result = run_periodic(label, "chimera", constraint_us=15.0,
+                                  periods=4, seed=1)
+            assert result.violations.violation_rate == 0.0
+
+    def test_overhead_accounting_nonnegative(self):
+        result = run_periodic("BS", "chimera", periods=3, seed=1)
+        assert result.throughput_overhead >= 0.0
+        assert result.useful_insts > 0
+        assert result.wasted_insts >= 0.0
+
+    def test_technique_mix_matches_policy(self):
+        result = run_periodic("BS", "drain", periods=3, seed=1)
+        from repro.core.techniques import Technique
+        assert set(result.technique_mix.counts) <= {Technique.DRAIN}
+
+
+class TestSimSystem:
+    def test_rejects_spatial_without_policy(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            SimSystem(policy_name=None, mode=SchedulerMode.SPATIAL)
+
+    def test_horizon_cap_enforced(self):
+        from repro.errors import ConfigError
+        system = SimSystem(policy_name="chimera")
+        with pytest.raises(ConfigError):
+            system.run(horizon_ms=100000.0)
+
+    def test_small_machine_runs(self):
+        config = GPUConfig(num_sms=6, memory_bandwidth_gbps=40.0)
+        result = run_periodic("BS", "chimera", periods=2, seed=1,
+                              config=config)
+        assert result.violations.requests == 2

@@ -1,0 +1,169 @@
+"""Unit tests for Algorithm 1 (preemption selection)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import CostEstimator
+from repro.core.selection import select_preemptions
+from repro.core.techniques import Technique
+from repro.errors import SchedulingError
+from repro.gpu.memory import MemorySubsystem
+from repro.gpu.sm import StreamingMultiprocessor
+from repro.sim.engine import Engine
+from tests.conftest import StubListener, make_kernel, make_spec
+
+
+def build_sms(config, n_sms=4, spec=None, tbs_each=2, advance=None):
+    """n SMs running one kernel, advanced to diverse progress points."""
+    engine = Engine()
+    memory = MemorySubsystem(config)
+    listener = StubListener()
+    spec = spec or make_spec()
+    kernel = make_kernel(spec, grid=n_sms * tbs_each + 16)
+    sms = []
+    for i in range(n_sms):
+        sm = StreamingMultiprocessor(i, config, engine, memory, listener)
+        sm.assign(kernel)
+        for _ in range(tbs_each):
+            sm.dispatch(kernel.make_tb())
+        sms.append(sm)
+    engine.run(until=advance if advance is not None else 100.0)
+    for sm in sms:
+        sm.advance()
+    return engine, kernel, sms
+
+
+def test_selects_requested_count(config):
+    _, _, sms = build_sms(config)
+    est = CostEstimator(config)
+    plans = select_preemptions(sms, est, config.us(30.0), 2)
+    assert len(plans) == 2
+    assert len({p.sm.sm_id for p in plans}) == 2
+
+
+def test_zero_preempts_returns_empty(config):
+    _, _, sms = build_sms(config)
+    plans = select_preemptions(sms, CostEstimator(config), 1000.0, 0)
+    assert plans == []
+
+
+def test_cannot_preempt_more_than_candidates(config):
+    _, _, sms = build_sms(config, n_sms=2)
+    with pytest.raises(SchedulingError):
+        select_preemptions(sms, CostEstimator(config), 1000.0, 3)
+
+
+def test_negative_count_rejected(config):
+    _, _, sms = build_sms(config)
+    with pytest.raises(SchedulingError):
+        select_preemptions(sms, CostEstimator(config), 1000.0, -1)
+
+
+def test_prefers_lower_overhead_sms(config):
+    """SMs whose blocks have made less progress are cheaper to flush, so
+    with an idempotent kernel and a tight limit they are picked first."""
+    engine = Engine()
+    memory = MemorySubsystem(config)
+    listener = StubListener()
+    spec = make_spec(idempotent=True, avg_drain_us=10_000.0,
+                     context_kb_per_tb=64.0)
+    kernel = make_kernel(spec, grid=64)
+    fresh, old = (StreamingMultiprocessor(i, config, engine, memory, listener)
+                  for i in range(2))
+    old.assign(kernel)
+    for _ in range(2):
+        old.dispatch(kernel.make_tb())
+    engine.run(until=200_000.0)  # old blocks accumulate progress
+    fresh.assign(kernel)
+    for _ in range(2):
+        fresh.dispatch(kernel.make_tb())
+    for sm in (fresh, old):
+        sm.advance()
+    est = CostEstimator(config)
+    plans = select_preemptions([old, fresh], est, config.us(15.0), 1)
+    assert plans[0].sm is fresh
+
+
+def test_latency_aware_skips_violating_sm(config):
+    """An SM whose best plan misses the limit is passed over when a
+    compliant one exists."""
+    engine = Engine()
+    memory = MemorySubsystem(config)
+    listener = StubListener()
+    # Non-idempotent kernel with point at 0: flush impossible; huge
+    # context: switch slow; long TBs: drain slow.
+    bad_spec = make_spec(idempotent=False, nonidem_beta=(1.0, 10_000.0),
+                         context_kb_per_tb=100.0, tbs_per_sm=4,
+                         avg_drain_us=10_000.0)
+    good_spec = make_spec(benchmark="OK", idempotent=True)
+    bad_kernel = make_kernel(bad_spec, grid=16)
+    good_kernel = make_kernel(good_spec, grid=16)
+    bad = StreamingMultiprocessor(0, config, engine, memory, listener)
+    good = StreamingMultiprocessor(1, config, engine, memory, listener)
+    bad.assign(bad_kernel)
+    for _ in range(4):
+        bad.dispatch(bad_kernel.make_tb())
+    good.assign(good_kernel)
+    good.dispatch(good_kernel.make_tb())
+    engine.run(until=50_000.0)
+    est = CostEstimator(config)
+    plans = select_preemptions([bad, good], est, config.us(15.0), 1)
+    assert plans[0].sm is good
+
+
+def test_fallback_picks_least_latency_when_none_meets(config):
+    """When every candidate violates, the least-bad one is still
+    returned (the SMs must be freed)."""
+    engine = Engine()
+    memory = MemorySubsystem(config)
+    listener = StubListener()
+    spec = make_spec(idempotent=False, nonidem_beta=(1.0, 10_000.0),
+                     context_kb_per_tb=100.0, tbs_per_sm=2,
+                     avg_drain_us=10_000.0)
+    kernel = make_kernel(spec, grid=16)
+    sms = []
+    for i in range(2):
+        sm = StreamingMultiprocessor(i, config, engine, memory, listener)
+        sm.assign(kernel)
+        for _ in range(2):
+            sm.dispatch(kernel.make_tb())
+        sms.append(sm)
+    engine.run(until=50_000.0)
+    est = CostEstimator(config)
+    plans = select_preemptions(sms, est, config.us(1.0), 1)
+    assert len(plans) == 1
+
+
+def test_latency_blind_mode_picks_cheapest(config):
+    _, _, sms = build_sms(config)
+    est = CostEstimator(config)
+    plans = select_preemptions(sms, est, config.us(0.001), 2,
+                               techniques=(Technique.DRAIN,),
+                               latency_aware=False)
+    assert len(plans) == 2
+    for plan in plans:
+        assert set(plan.assignments.values()) == {Technique.DRAIN}
+
+
+def test_single_technique_restriction_respected(config):
+    _, _, sms = build_sms(config)
+    est = CostEstimator(config)
+    for tech in (Technique.SWITCH, Technique.DRAIN):
+        plans = select_preemptions(sms, est, config.us(30.0), len(sms),
+                                   techniques=(tech,), latency_aware=False)
+        for plan in plans:
+            assert set(plan.assignments.values()) <= {tech}
+
+
+def test_complexity_is_near_linear_in_sms(config):
+    """Algorithm 1 is O(N T log T + N log N); verify the plan count
+    scales and runs fast for a realistic N."""
+    import time
+    _, _, sms = build_sms(config, n_sms=30, tbs_each=4)
+    est = CostEstimator(config)
+    t0 = time.perf_counter()
+    plans = select_preemptions(sms, est, config.us(15.0), 15)
+    elapsed = time.perf_counter() - t0
+    assert len(plans) == 15
+    assert elapsed < 0.5

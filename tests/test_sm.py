@@ -1,0 +1,312 @@
+"""Unit tests for the streaming multiprocessor model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.techniques import Technique
+from repro.errors import PreemptionError, SchedulingError
+from repro.gpu.memory import MemorySubsystem
+from repro.gpu.sm import SMState, StreamingMultiprocessor
+from repro.gpu.threadblock import TBState
+from repro.sim.engine import Engine
+from tests.conftest import StubListener, make_kernel, make_spec
+
+
+@pytest.fixture
+def setup(config):
+    engine = Engine()
+    memory = MemorySubsystem(config)
+    listener = StubListener()
+    sm = StreamingMultiprocessor(0, config, engine, memory, listener)
+    return engine, memory, listener, sm
+
+
+def start_kernel(sm, spec=None, grid=8):
+    kernel = make_kernel(spec or make_spec(), grid=grid)
+    sm.assign(kernel)
+    return kernel
+
+
+class TestDispatch:
+    def test_assign_and_dispatch(self, setup):
+        engine, _, _, sm = setup
+        kernel = start_kernel(sm)
+        tb = kernel.make_tb()
+        sm.dispatch(tb)
+        assert tb.state is TBState.RUNNING
+        assert sm.free_slots == kernel.spec.tbs_per_sm - 1
+
+    def test_dispatch_needs_assignment(self, setup):
+        _, _, _, sm = setup
+        kernel = make_kernel(make_spec(), grid=1)
+        with pytest.raises(SchedulingError):
+            sm.dispatch(kernel.make_tb())
+
+    def test_dispatch_foreign_kernel_rejected(self, setup):
+        _, _, _, sm = setup
+        start_kernel(sm)
+        other = make_kernel(make_spec(), grid=1)
+        with pytest.raises(SchedulingError):
+            sm.dispatch(other.make_tb())
+
+    def test_slot_limit_enforced(self, setup):
+        _, _, _, sm = setup
+        kernel = start_kernel(sm, make_spec(tbs_per_sm=2))
+        sm.dispatch(kernel.make_tb())
+        sm.dispatch(kernel.make_tb())
+        with pytest.raises(SchedulingError):
+            sm.dispatch(kernel.make_tb())
+
+    def test_max_slots_capped_by_config(self, config, setup):
+        _, _, _, sm = setup
+        kernel = start_kernel(sm, make_spec(tbs_per_sm=8))
+        assert sm.max_slots == min(8, config.max_tbs_per_sm)
+
+    def test_completion_fires_listener_and_frees_slot(self, setup):
+        engine, _, listener, sm = setup
+        kernel = start_kernel(sm, make_spec(tbs_per_sm=4))
+        tb = kernel.make_tb()
+        sm.dispatch(tb)
+        engine.run()
+        assert tb.state is TBState.DONE
+        assert listener.completed == [(0, 0)]
+        assert sm.free_slots == 4
+        assert kernel.stats.tbs_completed == 1
+
+    def test_completion_time_is_exact(self, setup):
+        engine, _, _, sm = setup
+        kernel = start_kernel(sm)
+        tb = kernel.make_tb()
+        sm.dispatch(tb)
+        expected = tb.total_insts / tb.rate
+        engine.run()
+        assert engine.now == pytest.approx(expected)
+
+    def test_assign_busy_sm_rejected(self, setup):
+        _, _, _, sm = setup
+        start_kernel(sm)
+        with pytest.raises(SchedulingError):
+            sm.assign(make_kernel(make_spec(), grid=1))
+
+    def test_unassign_with_resident_rejected(self, setup):
+        _, _, _, sm = setup
+        kernel = start_kernel(sm)
+        sm.dispatch(kernel.make_tb())
+        with pytest.raises(SchedulingError):
+            sm.unassign()
+
+    def test_unassign_idle(self, setup):
+        engine, _, _, sm = setup
+        kernel = start_kernel(sm)
+        sm.dispatch(kernel.make_tb())
+        engine.run()
+        sm.unassign()
+        assert sm.state is SMState.IDLE
+        assert sm.kernel is None
+
+
+class TestFlush:
+    def test_flush_releases_instantly(self, setup):
+        engine, _, listener, sm = setup
+        kernel = start_kernel(sm)
+        tbs = [kernel.make_tb() for _ in range(2)]
+        for tb in tbs:
+            sm.dispatch(tb)
+        engine.run(until=100.0)
+        record = sm.preempt({tb: Technique.FLUSH for tb in tbs})
+        assert sm.state is SMState.IDLE
+        assert record.realized_latency == 0.0
+        assert record.techniques[Technique.FLUSH] == 2
+        assert listener.released[0][0] == 0
+        assert set(listener.preempted) == set(tbs)
+        assert all(tb.state is TBState.PENDING for tb in tbs)
+        assert kernel.stats.insts_discarded > 0
+
+    def test_flush_counts_discarded_work(self, setup):
+        engine, _, _, sm = setup
+        kernel = start_kernel(sm)
+        tb = kernel.make_tb()
+        sm.dispatch(tb)
+        engine.run(until=100.0)
+        sm.advance()
+        executed = tb.executed_insts
+        sm.preempt({tb: Technique.FLUSH})
+        assert kernel.stats.insts_discarded == pytest.approx(executed)
+
+
+class TestSwitch:
+    def test_switch_latency_is_dma_time(self, setup):
+        engine, memory, listener, sm = setup
+        kernel = start_kernel(sm)
+        tbs = [kernel.make_tb() for _ in range(2)]
+        for tb in tbs:
+            sm.dispatch(tb)
+        engine.run(until=100.0)
+        sm.preempt({tb: Technique.SWITCH for tb in tbs})
+        assert sm.state is SMState.PREEMPTING
+        engine.run()
+        _, record = listener.released[0]
+        expected = memory.dma_cycles(sum(tb.context_bytes for tb in tbs))
+        assert record.realized_latency == pytest.approx(expected)
+        assert all(tb.state is TBState.SAVED for tb in tbs)
+        # Progress preserved.
+        assert all(tb.executed_insts > 0 for tb in tbs)
+
+    def test_switch_charges_stall(self, setup):
+        engine, memory, _, sm = setup
+        kernel = start_kernel(sm)
+        tb = kernel.make_tb()
+        sm.dispatch(tb)
+        engine.run(until=100.0)
+        sm.preempt({tb: Technique.SWITCH})
+        engine.run()
+        save = memory.dma_cycles(tb.context_bytes)
+        assert kernel.stats.stall_insts == pytest.approx(save * tb.rate)
+
+    def test_saved_block_reload_delays_start(self, setup):
+        engine, memory, listener, sm = setup
+        kernel = start_kernel(sm)
+        tb = kernel.make_tb()
+        sm.dispatch(tb)
+        engine.run(until=100.0)
+        sm.preempt({tb: Technique.SWITCH})
+        engine.run()
+        executed_before = tb.executed_insts
+        # Re-dispatch the saved block.
+        sm.assign(kernel)
+        t0 = engine.now
+        sm.dispatch(tb)
+        assert tb.state is TBState.LOADING
+        engine.run()
+        # Completion = load + remaining execution.
+        load = memory.dma_cycles(tb.context_bytes)
+        remaining = (tb.total_insts - executed_before) / tb.rate
+        assert engine.now == pytest.approx(t0 + load + remaining)
+        assert tb.state is TBState.DONE
+
+
+class TestDrain:
+    def test_drain_waits_for_completion(self, setup):
+        engine, _, listener, sm = setup
+        kernel = start_kernel(sm)
+        tbs = [kernel.make_tb() for _ in range(2)]
+        for tb in tbs:
+            sm.dispatch(tb)
+        engine.run(until=100.0)
+        sm.advance()
+        longest = max(tb.remaining_cycles for tb in tbs)
+        sm.preempt({tb: Technique.DRAIN for tb in tbs})
+        assert sm.state is SMState.PREEMPTING
+        engine.run()
+        _, record = listener.released[0]
+        assert record.realized_latency == pytest.approx(longest)
+        assert all(tb.state is TBState.DONE for tb in tbs)
+        assert kernel.stats.tbs_completed == 2
+
+    def test_drain_charges_idle_slots(self, setup):
+        engine, _, _, sm = setup
+        spec = make_spec(tb_cv=0.5)
+        kernel = start_kernel(sm, spec)
+        tbs = [kernel.make_tb() for _ in range(3)]
+        for tb in tbs:
+            sm.dispatch(tb)
+        engine.run(until=10.0)
+        sm.preempt({tb: Technique.DRAIN for tb in tbs})
+        engine.run()
+        finish_times = sorted(tb.finish_time for tb in tbs)
+        release = finish_times[-1]
+        expected = sum((release - t) * tb.rate
+                       for t, tb in zip(finish_times,
+                                        sorted(tbs, key=lambda x: x.finish_time)))
+        assert kernel.stats.idle_slot_insts == pytest.approx(expected)
+
+
+class TestMixedPreemption:
+    def test_mixed_plan(self, setup):
+        engine, memory, listener, sm = setup
+        kernel = start_kernel(sm)
+        a, b, c = (kernel.make_tb() for _ in range(3))
+        for tb in (a, b, c):
+            sm.dispatch(tb)
+        engine.run(until=50.0)
+        record = sm.preempt({a: Technique.FLUSH, b: Technique.SWITCH,
+                             c: Technique.DRAIN})
+        engine.run()
+        assert record.techniques == {Technique.FLUSH: 1, Technique.SWITCH: 1,
+                                     Technique.DRAIN: 1}
+        assert a.state is TBState.PENDING
+        assert b.state is TBState.SAVED
+        assert c.state is TBState.DONE
+        # Release waits for the drain (longer than the save here).
+        sm_release = listener.released[0][1]
+        assert sm_release.realized_latency > memory.dma_cycles(b.context_bytes)
+
+    def test_plan_must_cover_residents(self, setup):
+        engine, _, _, sm = setup
+        kernel = start_kernel(sm)
+        a, b = kernel.make_tb(), kernel.make_tb()
+        sm.dispatch(a)
+        sm.dispatch(b)
+        with pytest.raises(PreemptionError):
+            sm.preempt({a: Technique.FLUSH})
+
+    def test_preempt_idle_sm_rejected(self, setup):
+        _, _, _, sm = setup
+        with pytest.raises(PreemptionError):
+            sm.preempt({})
+
+    def test_double_preempt_rejected(self, setup):
+        engine, _, _, sm = setup
+        kernel = start_kernel(sm)
+        tb = kernel.make_tb()
+        sm.dispatch(tb)
+        engine.run(until=10.0)
+        sm.preempt({tb: Technique.DRAIN})
+        with pytest.raises(PreemptionError):
+            sm.preempt({tb: Technique.DRAIN})
+
+    def test_loading_block_reverts_to_saved_on_switch(self, setup):
+        engine, _, listener, sm = setup
+        kernel = start_kernel(sm)
+        tb = kernel.make_tb()
+        sm.dispatch(tb)
+        engine.run(until=50.0)
+        sm.preempt({tb: Technique.SWITCH})
+        engine.run()
+        executed = tb.executed_insts
+        sm.assign(kernel)
+        sm.dispatch(tb)  # starts reload
+        assert tb.state is TBState.LOADING
+        record = sm.preempt({tb: Technique.SWITCH})
+        assert tb.state is TBState.SAVED
+        assert sm.state is SMState.IDLE  # no new DMA needed
+        assert tb.executed_insts == executed
+        assert record.realized_latency == 0.0
+
+
+class TestAbort:
+    def test_abort_all_drops_blocks(self, setup):
+        engine, _, _, sm = setup
+        kernel = start_kernel(sm)
+        tbs = [kernel.make_tb() for _ in range(2)]
+        for tb in tbs:
+            sm.dispatch(tb)
+        engine.run(until=10.0)
+        dropped = sm.abort_all()
+        assert set(dropped) == set(tbs)
+        assert not sm.resident
+        sm.unassign()
+        engine.run()
+        # No completion events fire for aborted blocks.
+        assert kernel.stats.tbs_completed == 0
+
+    def test_abort_mid_preemption_rejected(self, setup):
+        engine, _, _, sm = setup
+        kernel = start_kernel(sm)
+        tb = kernel.make_tb()
+        sm.dispatch(tb)
+        engine.run(until=10.0)
+        sm.preempt({tb: Technique.DRAIN})
+        with pytest.raises(PreemptionError):
+            sm.abort_all()

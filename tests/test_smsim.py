@@ -1,0 +1,103 @@
+"""Tests for the IR timing model and the IR -> fluid-spec bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.functional.smsim import MeasuredKernel, measure_kernel, spec_from_ir
+from repro.gpu.config import GPUConfig
+from repro.idempotence.kernels import (
+    histogram_atomic,
+    late_writeback,
+    stencil3,
+    vector_add,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return GPUConfig()
+
+
+def test_measurement_fields_are_consistent(config):
+    m = measure_kernel(vector_add(64), 16, config)
+    assert m.thread_instructions > 0
+    assert m.warp_instructions == pytest.approx(
+        m.thread_instructions / config.simt_width)
+    assert m.cycles_per_block > 0
+    assert m.sm_ipc > 0
+    assert m.cpi == pytest.approx(m.cycles_per_block / m.warp_instructions)
+
+
+def test_longer_kernels_take_more_cycles(config):
+    short = measure_kernel(late_writeback(64, loop_iters=2), 16, config)
+    long_ = measure_kernel(late_writeback(64, loop_iters=64), 16, config)
+    assert long_.cycles_per_block > short.cycles_per_block
+    assert long_.thread_instructions > short.thread_instructions
+
+
+def test_memory_heavy_kernel_has_lower_ipc(config):
+    # stencil does 3 loads + 1 store per ~16 instructions; the compute
+    # loop of late_writeback is almost all ALU.
+    memory_bound = measure_kernel(stencil3(64), 16, config)
+    compute_bound = measure_kernel(late_writeback(64, loop_iters=64), 16,
+                                   config)
+    assert compute_bound.sm_ipc > memory_bound.sm_ipc
+
+
+def test_idempotence_travels_with_measurement(config):
+    assert measure_kernel(vector_add(64), 16, config).idempotent
+    assert not measure_kernel(histogram_atomic(64, 8), 16, config).idempotent
+
+
+def test_more_resident_blocks_raise_throughput(config):
+    low = measure_kernel(stencil3(64), 16, config, resident_blocks=1)
+    high = measure_kernel(stencil3(64), 16, config, resident_blocks=8)
+    assert high.sm_ipc > low.sm_ipc
+
+
+def test_invalid_params_rejected(config):
+    with pytest.raises(ConfigError):
+        measure_kernel(vector_add(64), 16, config, sample_blocks=0)
+    with pytest.raises(ConfigError):
+        measure_kernel(vector_add(64), 16, config, resident_blocks=0)
+
+
+class TestSpecBridge:
+    def test_spec_carries_idempotence(self, config):
+        spec = spec_from_ir(vector_add(64), 16, config=config)
+        assert spec.idempotent
+        spec = spec_from_ir(histogram_atomic(64, 8), 16, config=config)
+        assert not spec.idempotent
+
+    def test_spec_is_valid_and_timed(self, config):
+        spec = spec_from_ir(late_writeback(64, loop_iters=16), 16,
+                            config=config, tbs_per_sm=4,
+                            context_kb_per_tb=12.0)
+        assert spec.avg_drain_us > 0
+        assert spec.tbs_per_sm == 4
+        measured = measure_kernel(late_writeback(64, loop_iters=16), 16,
+                                  config, resident_blocks=4)
+        assert spec.mean_tb_exec_us == pytest.approx(
+            measured.cycles_per_block / config.clock_mhz)
+
+    def test_spec_runs_in_fluid_simulator(self, config):
+        """End-to-end bridge: an IR-derived spec drives the full
+        multitasking simulator."""
+        from repro.gpu.kernel import Kernel
+        from repro.sim.rng import RngStreams
+        from repro.core.chimera import ChimeraPolicy
+        from repro.sim.engine import Engine
+        from tests.conftest import build_system
+
+        spec = spec_from_ir(stencil3(64), 16, config=GPUConfig(num_sms=4),
+                            benchmark="IRK")
+        engine = Engine()
+        small = GPUConfig(num_sms=4)
+        _, ks, gpu = build_system(small, engine, ChimeraPolicy(small))
+        kernel = Kernel(spec, grid_tbs=16, rng=RngStreams(1))
+        done = []
+        ks.launch_kernel(kernel, on_finished=lambda k: done.append(k))
+        engine.run()
+        assert done == [kernel]

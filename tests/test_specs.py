@@ -1,0 +1,150 @@
+"""Tests for the Table 2 workload specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.specs import (
+    TABLE2,
+    all_kernel_specs,
+    benchmark,
+    benchmark_labels,
+    kernel_spec,
+)
+
+
+def test_fourteen_benchmarks():
+    assert len(TABLE2) == 14
+    assert benchmark_labels() == [
+        "BS", "BT", "BP", "CP", "FWT", "HW", "HS", "KM", "LC", "LUD",
+        "MUM", "NW", "SAD", "ST",
+    ]
+
+
+def test_twenty_seven_kernels():
+    assert len(all_kernel_specs()) == 27
+
+
+def test_twelve_idempotent_kernels():
+    """The paper: 12 of 27 studied kernels are idempotent."""
+    assert sum(1 for k in all_kernel_specs() if k.idempotent) == 12
+
+
+def test_kernel_labels_are_unique_and_well_formed():
+    labels = [k.label for k in all_kernel_specs()]
+    assert len(set(labels)) == 27
+    for label in labels:
+        bench, _, idx = label.partition(".")
+        assert bench in TABLE2
+        assert idx.isdigit()
+
+
+@pytest.mark.parametrize("label,drain,ctx,tbs,switch,idem", [
+    ("BS.0", 60.9, 24, 4, 17.0, True),
+    ("BT.0", 3.5, 46, 2, 15.9, False),
+    ("CP.0", 746.9, 7, 8, 10.4, False),
+    ("LC.2", 10173.2, 87, 1, 15.2, False),
+    ("LUD.0", 17.4, 4, 8, 5.6, False),
+    ("MUM.0", 10212.8, 18, 6, 18.7, True),
+    ("SAD.2", 19.7, 2, 8, 2.8, True),
+    ("ST.0", 122.3, 11, 8, 15.9, True),
+])
+def test_table2_rows(label, drain, ctx, tbs, switch, idem):
+    k = kernel_spec(label)
+    assert k.avg_drain_us == drain
+    assert k.context_kb_per_tb == ctx
+    assert k.tbs_per_sm == tbs
+    assert k.switch_time_us == switch
+    assert k.idempotent == idem
+
+
+def test_paper_average_switch_time():
+    """Paper §2.4: context switching averages 14.5 us across kernels."""
+    specs = all_kernel_specs()
+    avg = sum(k.switch_time_us for k in specs) / len(specs)
+    assert avg == pytest.approx(14.5, abs=0.1)
+
+
+def test_drain_latency_range_matches_paper():
+    """Paper §2.4: draining spans roughly 1-10212.8 us."""
+    drains = [k.avg_drain_us for k in all_kernel_specs()]
+    assert max(drains) == 10212.8
+    assert min(drains) < 2.0
+
+
+def test_mean_tb_exec_is_twice_drain():
+    k = kernel_spec("BS.0")
+    assert k.mean_tb_exec_us == pytest.approx(2 * 60.9)
+
+
+def test_context_bytes():
+    k = kernel_spec("BS.0")
+    assert k.context_bytes_per_tb == 24 * 1024
+    assert k.context_bytes_per_sm == 24 * 1024 * 4
+
+
+def test_tb_rate_and_instructions():
+    k = kernel_spec("BS.0")
+    assert k.tb_rate == pytest.approx(5.0 / 4)
+    insts = k.mean_tb_instructions(1400.0)
+    assert insts == pytest.approx(2 * 60.9 * 1400 * 5.0 / 4)
+
+
+def test_max_tbs_per_sm_respects_kepler_bound():
+    """The paper notes 8 is the largest TBs/SM among the simulated
+    benchmarks."""
+    assert max(k.tbs_per_sm for k in all_kernel_specs()) == 8
+    assert min(k.tbs_per_sm for k in all_kernel_specs()) == 1
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(ConfigError):
+        benchmark("NOPE")
+
+
+def test_unknown_kernel_label_rejected():
+    with pytest.raises(ConfigError):
+        kernel_spec("BS.7")
+    with pytest.raises(ConfigError):
+        kernel_spec("BS.x")
+
+
+def test_benchmark_kernel_counts():
+    assert len(benchmark("FWT").kernels) == 3
+    assert len(benchmark("LUD").kernels) == 3
+    assert len(benchmark("BS").kernels) == 1
+    assert len(benchmark("MUM").kernels) == 2
+
+
+def test_spec_validation_rejects_bad_values():
+    from tests.conftest import make_spec
+    with pytest.raises(ConfigError):
+        make_spec(avg_drain_us=0.0)
+    with pytest.raises(ConfigError):
+        make_spec(context_kb_per_tb=0.0)
+    with pytest.raises(ConfigError):
+        make_spec(tbs_per_sm=0)
+    with pytest.raises(ConfigError):
+        make_spec(sm_ipc=0.0)
+
+
+def test_nonidempotent_long_kernels_have_late_points():
+    """Long-TB non-idempotent kernels must keep the non-idempotent tail
+    short in absolute time, or the paper's Figure 6 flush shape (only
+    BT and FWT violate) breaks."""
+    for label in ("CP.0", "LC.2", "FWT.2"):
+        k = kernel_spec(label)
+        alpha, beta = k.nonidem_beta
+        mean_point = alpha / (alpha + beta)
+        tail_us = (1.0 - mean_point) * k.mean_tb_exec_us
+        assert tail_us < 20.0, label
+
+
+def test_flush_hostile_kernels_have_midrange_points():
+    for label in ("BT.0", "BT.1", "FWT.0", "FWT.1"):
+        k = kernel_spec(label)
+        alpha, beta = k.nonidem_beta
+        mean_point = alpha / (alpha + beta)
+        assert mean_point < 0.75, label
+        assert k.tb_cv >= 0.5, label

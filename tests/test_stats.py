@@ -1,0 +1,168 @@
+"""Unit + property tests for statistics primitives."""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.stats import Counter, Histogram, Running, StatSet
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value == 0.0
+
+    def test_add_default_one(self):
+        c = Counter("c")
+        c.add()
+        c.add()
+        assert c.value == 2.0
+
+    def test_add_amount_and_reset(self):
+        c = Counter("c")
+        c.add(3.5)
+        assert c.value == 3.5
+        c.reset()
+        assert c.value == 0.0
+
+
+class TestRunning:
+    def test_empty_running_is_safe(self):
+        r = Running()
+        assert r.mean == 0.0
+        assert r.variance == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=100))
+    def test_matches_statistics_module(self, xs):
+        r = Running()
+        for x in xs:
+            r.add(x)
+        assert r.count == len(xs)
+        assert r.mean == pytest.approx(statistics.fmean(xs), rel=1e-9, abs=1e-6)
+        assert r.variance == pytest.approx(statistics.pvariance(xs), rel=1e-6, abs=1e-3)
+        assert r.min == min(xs)
+        assert r.max == max(xs)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(-1e5, 1e5), min_size=1, max_size=40),
+           st.lists(st.floats(-1e5, 1e5), min_size=1, max_size=40))
+    def test_merge_equals_concatenation(self, xs, ys):
+        merged = Running()
+        for x in xs:
+            merged.add(x)
+        other = Running()
+        for y in ys:
+            other.add(y)
+        merged.merge(other)
+        direct = Running()
+        for v in xs + ys:
+            direct.add(v)
+        assert merged.count == direct.count
+        assert merged.mean == pytest.approx(direct.mean, rel=1e-9, abs=1e-6)
+        assert merged.variance == pytest.approx(direct.variance, rel=1e-6, abs=1e-3)
+
+    def test_merge_into_empty(self):
+        a = Running()
+        b = Running()
+        b.add(4.0)
+        b.add(6.0)
+        a.merge(b)
+        assert a.mean == 5.0
+        assert a.count == 2
+
+    def test_merge_empty_is_noop(self):
+        a = Running()
+        a.add(1.0)
+        a.merge(Running())
+        assert a.count == 1
+
+
+class TestHistogram:
+    def test_bins_and_total(self):
+        h = Histogram(0.0, 10.0, 10)
+        for x in (0.5, 1.5, 9.5):
+            h.add(x)
+        assert h.total == 3
+        assert h.counts[0] == 1
+        assert h.counts[1] == 1
+        assert h.counts[9] == 1
+
+    def test_out_of_range_clamps(self):
+        h = Histogram(0.0, 10.0, 5)
+        h.add(-5.0)
+        h.add(50.0)
+        assert h.counts[0] == 1
+        assert h.counts[-1] == 1
+        assert h.total == 2
+
+    def test_fraction_above(self):
+        h = Histogram(0.0, 100.0, 100)
+        for x in range(100):
+            h.add(x + 0.5)
+        assert h.fraction_above(50.0) == pytest.approx(0.5)
+        assert h.fraction_above(0.0) == 1.0
+
+    def test_fraction_above_empty(self):
+        assert Histogram(0, 1, 4).fraction_above(0.5) == 0.0
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(1.0, 1.0, 4)
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0, 0)
+
+    def test_bin_edges_cover_range(self):
+        h = Histogram(0.0, 10.0, 4)
+        edges = h.bin_edges()
+        assert edges[0][0] == 0.0
+        assert edges[-1][1] == pytest.approx(10.0)
+        assert len(edges) == 4
+
+
+class TestStatSet:
+    def test_count_and_value(self):
+        s = StatSet()
+        s.count("x")
+        s.count("x", 2.0)
+        assert s.value("x") == 3.0
+        assert s.value("missing") == 0.0
+
+    def test_observe_and_mean(self):
+        s = StatSet()
+        s.observe("lat", 10.0)
+        s.observe("lat", 20.0)
+        assert s.mean("lat") == 15.0
+        assert s.mean("missing") == 0.0
+
+    def test_snapshot_contains_all(self):
+        s = StatSet()
+        s.count("a", 5)
+        s.observe("b", 1.0)
+        snap = s.snapshot()
+        assert snap["a"] == 5
+        assert snap["b.mean"] == 1.0
+        assert snap["b.count"] == 1.0
+
+    def test_names_iterates_everything(self):
+        s = StatSet()
+        s.count("a")
+        s.observe("b", 2.0)
+        assert set(s.names()) == {"a", "b"}
+
+    def test_counters_are_cached_instances(self):
+        s = StatSet()
+        assert s.counter("a") is s.counter("a")
+        assert s.running("b") is s.running("b")
+
+
+def test_running_handles_identical_values():
+    r = Running()
+    for _ in range(10):
+        r.add(3.0)
+    assert r.variance == pytest.approx(0.0, abs=1e-12)
+    assert not math.isnan(r.stddev)

@@ -1,0 +1,154 @@
+"""Unit tests for the thread-block scheduler in isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.gpu.gpu import GPU
+from repro.gpu.threadblock import TBState
+from repro.sched.tb_scheduler import ThreadBlockScheduler
+from repro.sim.engine import Engine
+from tests.conftest import make_kernel, make_spec
+
+
+class RecordingKS:
+    """Minimal kernel-scheduler stand-in."""
+
+    def __init__(self) -> None:
+        self.finished = []
+        self.idle = []
+        self.released = []
+        self.fully_dispatched = []
+
+    def on_kernel_finished(self, kernel):
+        self.finished.append(kernel)
+
+    def on_sm_idle(self, sm):
+        self.idle.append(sm.sm_id)
+
+    def on_sm_released(self, sm, record):
+        self.released.append((sm.sm_id, record))
+
+    def note_fully_dispatched(self, kernel):
+        self.fully_dispatched.append(kernel)
+
+
+@pytest.fixture
+def setup(small_config):
+    engine = Engine()
+    tb_sched = ThreadBlockScheduler()
+    ks = RecordingKS()
+    tb_sched.attach(ks)
+    gpu = GPU(small_config, engine, tb_sched)
+    return engine, tb_sched, ks, gpu
+
+
+def test_unattached_scheduler_rejects_use(small_config):
+    tb_sched = ThreadBlockScheduler()
+    with pytest.raises(SchedulingError):
+        _ = tb_sched.kernel_scheduler
+
+
+def test_fill_packs_all_slots(setup):
+    engine, tb_sched, ks, gpu = setup
+    kernel = make_kernel(make_spec(tbs_per_sm=4), grid=16)
+    sm = gpu.sm(0)
+    sm.assign(kernel)
+    tb_sched.fill(sm)
+    assert len(sm.resident) == 4
+    assert kernel.undispatched_tbs == 12
+
+
+def test_fill_notes_full_dispatch(setup):
+    engine, tb_sched, ks, gpu = setup
+    kernel = make_kernel(make_spec(tbs_per_sm=4), grid=4)
+    sm = gpu.sm(0)
+    sm.assign(kernel)
+    tb_sched.fill(sm)
+    assert ks.fully_dispatched == [kernel]
+
+
+def test_fill_unassigned_sm_rejected(setup):
+    engine, tb_sched, ks, gpu = setup
+    with pytest.raises(SchedulingError):
+        tb_sched.fill(gpu.sm(0))
+
+
+def test_preempted_blocks_have_priority(setup):
+    engine, tb_sched, ks, gpu = setup
+    kernel = make_kernel(make_spec(tbs_per_sm=2, tb_cv=0.0), grid=8)
+    sm = gpu.sm(0)
+    sm.assign(kernel)
+    tb_sched.fill(sm)
+    engine.run(until=10.0)
+    victim = sm.resident[0]
+    from repro.core.techniques import Technique
+    sm.preempt({tb: Technique.FLUSH for tb in list(sm.resident)})
+    assert tb_sched.preempted_queue_len(kernel) == 2
+    # After release the SM is idle; reassign and refill: the flushed
+    # blocks must come back before any fresh block.
+    sm.assign(kernel)
+    tb_sched.fill(sm)
+    assert victim in sm.resident
+    assert tb_sched.preempted_queue_len(kernel) == 0
+
+
+def test_completion_refills_from_grid(setup):
+    engine, tb_sched, ks, gpu = setup
+    kernel = make_kernel(make_spec(tbs_per_sm=2, tb_cv=0.0), grid=6)
+    sm = gpu.sm(0)
+    sm.assign(kernel)
+    tb_sched.fill(sm)
+    engine.run(until=kernel.mean_tb_insts / kernel.spec.tb_rate + 1.0)
+    # First wave done, second wave dispatched automatically.
+    assert kernel.stats.tbs_completed == 2
+    assert len(sm.resident) == 2
+
+
+def test_kernel_finish_reported_once(setup):
+    engine, tb_sched, ks, gpu = setup
+    kernel = make_kernel(make_spec(tbs_per_sm=2, tb_cv=0.0), grid=2)
+    sm = gpu.sm(0)
+    sm.assign(kernel)
+    tb_sched.fill(sm)
+    engine.run()
+    assert ks.finished == [kernel]
+
+
+def test_tail_sm_goes_idle(setup):
+    engine, tb_sched, ks, gpu = setup
+    kernel = make_kernel(make_spec(tbs_per_sm=2, tb_cv=0.5), grid=4)
+    for sm_id in (0, 1):
+        gpu.sm(sm_id).assign(kernel)
+        tb_sched.fill(gpu.sm(sm_id))
+    engine.run()
+    # With variance, one SM finishes its blocks first, has no work left
+    # and reports idle before the kernel completes on the other.
+    assert ks.finished == [kernel]
+    assert ks.idle  # at least one tail hand-back happened
+
+
+def test_drop_kernel_clears_queue(setup):
+    engine, tb_sched, ks, gpu = setup
+    kernel = make_kernel(make_spec(tbs_per_sm=2, tb_cv=0.0), grid=8)
+    sm = gpu.sm(0)
+    sm.assign(kernel)
+    tb_sched.fill(sm)
+    engine.run(until=10.0)
+    from repro.core.techniques import Technique
+    sm.preempt({tb: Technique.FLUSH for tb in list(sm.resident)})
+    assert tb_sched.preempted_queue_len(kernel) == 2
+    tb_sched.drop_kernel(kernel)
+    assert tb_sched.preempted_queue_len(kernel) == 0
+    assert not tb_sched.has_work(kernel) or kernel.undispatched_tbs > 0
+
+
+def test_has_work_reflects_grid_and_queue(setup):
+    engine, tb_sched, ks, gpu = setup
+    kernel = make_kernel(make_spec(tbs_per_sm=8), grid=2)
+    assert tb_sched.has_work(kernel)
+    sm = gpu.sm(0)
+    sm.assign(kernel)
+    tb_sched.fill(sm)
+    assert not tb_sched.has_work(kernel)

@@ -1,0 +1,196 @@
+"""Unit + property tests for thread-block fluid progress."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.gpu.threadblock import TBState, ThreadBlock
+from tests.conftest import make_kernel, make_spec
+
+
+def make_tb(total=1000.0, rate=2.0, nonidem=math.inf):
+    kernel = make_kernel(make_spec(), grid=4)
+    return ThreadBlock(kernel, 0, total, rate, nonidem)
+
+
+class TestProgress:
+    def test_initial_state(self):
+        tb = make_tb()
+        assert tb.state is TBState.PENDING
+        assert tb.executed_insts == 0.0
+        assert tb.remaining_insts == 1000.0
+
+    def test_linear_progress(self):
+        tb = make_tb(total=1000, rate=2.0)
+        tb.start_running(100.0)
+        tb.advance_to(150.0)
+        assert tb.executed_insts == pytest.approx(100.0)
+        assert tb.executed_cycles == pytest.approx(50.0)
+        assert tb.remaining_insts == pytest.approx(900.0)
+        assert tb.remaining_cycles == pytest.approx(450.0)
+
+    def test_progress_clamps_at_total(self):
+        tb = make_tb(total=100, rate=1.0)
+        tb.start_running(0.0)
+        tb.advance_to(500.0)
+        assert tb.executed_insts == 100.0
+
+    def test_time_cannot_go_backwards(self):
+        tb = make_tb()
+        tb.start_running(100.0)
+        with pytest.raises(SimulationError):
+            tb.advance_to(50.0)
+
+    def test_advance_without_running_is_noop(self):
+        tb = make_tb()
+        tb.advance_to(50.0)
+        assert tb.executed_insts == 0.0
+
+    def test_completion_delay(self):
+        tb = make_tb(total=1000, rate=4.0)
+        tb.start_running(0.0)
+        assert tb.completion_delay() == pytest.approx(250.0)
+        tb.advance_to(100.0)
+        assert tb.completion_delay() == pytest.approx(150.0)
+
+    def test_completion_delay_requires_running(self):
+        tb = make_tb()
+        with pytest.raises(SimulationError):
+            tb.completion_delay()
+
+    def test_mark_done(self):
+        tb = make_tb(total=100, rate=1.0)
+        tb.start_running(0.0)
+        tb.mark_done(100.0)
+        assert tb.state is TBState.DONE
+        assert tb.executed_insts == 100.0
+        assert tb.finish_time == 100.0
+
+    def test_cannot_restart_done_block(self):
+        tb = make_tb(total=100, rate=1.0)
+        tb.start_running(0.0)
+        tb.mark_done(100.0)
+        with pytest.raises(SimulationError):
+            tb.start_running(200.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(segments=st.lists(st.floats(0.1, 1e5), min_size=1, max_size=10),
+           rate=st.floats(0.01, 16.0))
+    def test_progress_is_additive_across_advances(self, segments, rate):
+        total = 1e12  # effectively unbounded
+        tb = make_tb(total=total, rate=rate)
+        now = 0.0
+        tb.start_running(now)
+        for seg in segments:
+            now += seg
+            tb.advance_to(now)
+        assert tb.executed_insts == pytest.approx(sum(segments) * rate, rel=1e-9)
+        assert tb.executed_cycles == pytest.approx(sum(segments), rel=1e-9)
+
+
+class TestIdempotence:
+    def test_idempotent_forever_without_nonidem_point(self):
+        tb = make_tb()
+        tb.start_running(0.0)
+        tb.advance_to(499.0)
+        assert tb.idempotent_now
+
+    def test_becomes_non_idempotent_after_point(self):
+        tb = make_tb(total=1000, rate=1.0, nonidem=300.0)
+        tb.start_running(0.0)
+        tb.advance_to(299.0)
+        assert tb.idempotent_now
+        tb.advance_to(301.0)
+        assert not tb.idempotent_now
+
+    def test_flush_resets_progress(self):
+        tb = make_tb(total=1000, rate=2.0)
+        tb.start_running(0.0)
+        tb.advance_to(100.0)
+        discarded = tb.flush(100.0)
+        assert discarded == pytest.approx(200.0)
+        assert tb.executed_insts == 0.0
+        assert tb.executed_cycles == 0.0
+        assert tb.state is TBState.PENDING
+        assert tb.flush_count == 1
+
+    def test_flush_past_nonidem_point_is_illegal(self):
+        tb = make_tb(total=1000, rate=1.0, nonidem=100.0)
+        tb.start_running(0.0)
+        tb.advance_to(200.0)
+        with pytest.raises(SimulationError):
+            tb.flush(200.0)
+
+    def test_flushed_block_reruns_identically(self):
+        """Idempotent re-execution: same total instructions and same
+        non-idempotent point after a flush."""
+        tb = make_tb(total=777.0, rate=1.0, nonidem=700.0)
+        tb.start_running(0.0)
+        tb.advance_to(500.0)
+        tb.flush(500.0)
+        assert tb.total_insts == 777.0
+        assert tb.nonidem_at == 700.0
+        tb.start_running(600.0)
+        tb.advance_to(600.0 + 777.0)
+        assert tb.executed_insts == pytest.approx(777.0)
+
+
+class TestContextSwitch:
+    def test_halt_freezes_progress(self):
+        tb = make_tb(total=1000, rate=1.0)
+        tb.start_running(0.0)
+        tb.halt(100.0)
+        assert tb.state is TBState.FROZEN
+        assert tb.executed_insts == pytest.approx(100.0)
+        tb.advance_to(500.0)  # frozen: no progress
+        assert tb.executed_insts == pytest.approx(100.0)
+
+    def test_save_then_resume_preserves_progress(self):
+        tb = make_tb(total=1000, rate=1.0)
+        tb.start_running(0.0)
+        tb.halt(100.0)
+        tb.save_context(110.0)
+        assert tb.state is TBState.SAVED
+        tb.begin_load(500.0)
+        assert tb.state is TBState.LOADING
+        tb.start_running(520.0)
+        tb.advance_to(620.0)
+        assert tb.executed_insts == pytest.approx(200.0)
+
+    def test_save_requires_halt(self):
+        tb = make_tb()
+        tb.start_running(0.0)
+        with pytest.raises(SimulationError):
+            tb.save_context(10.0)
+
+    def test_load_requires_saved(self):
+        tb = make_tb()
+        with pytest.raises(SimulationError):
+            tb.begin_load(0.0)
+
+    def test_context_bytes_comes_from_spec(self):
+        tb = make_tb()
+        assert tb.context_bytes == 16 * 1024
+
+
+class TestValidation:
+    def test_nonpositive_total_rejected(self):
+        kernel = make_kernel(make_spec(), grid=1)
+        with pytest.raises(SimulationError):
+            ThreadBlock(kernel, 0, 0.0, 1.0)
+
+    def test_nonpositive_rate_rejected(self):
+        kernel = make_kernel(make_spec(), grid=1)
+        with pytest.raises(SimulationError):
+            ThreadBlock(kernel, 0, 10.0, 0.0)
+
+    def test_progress_fraction(self):
+        tb = make_tb(total=200, rate=1.0)
+        tb.start_running(0.0)
+        tb.advance_to(50.0)
+        assert tb.progress_fraction == pytest.approx(0.25)

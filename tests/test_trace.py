@@ -1,0 +1,117 @@
+"""Tests for the event-trace subsystem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chimera import ChimeraPolicy
+from repro.gpu.gpu import GPU
+from repro.gpu.kernel import Kernel
+from repro.sched.kernel_scheduler import KernelScheduler, SchedulerMode
+from repro.sched.tb_scheduler import ThreadBlockScheduler
+from repro.sim import trace as trace_mod
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceRecord, Tracer
+from tests.conftest import make_spec
+
+
+class TestTracer:
+    def test_emit_and_len(self):
+        tracer = Tracer()
+        tracer.emit(10.0, "launch", "k0")
+        tracer.emit(20.0, "finish", "k0", cycles=10)
+        assert len(tracer) == 2
+
+    def test_filter_by_category(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "a", "x")
+        tracer.emit(2.0, "b", "y")
+        assert [r.message for r in tracer.filter("a")] == ["x"]
+
+    def test_filter_by_predicate(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "a", "x", sm=1)
+        tracer.emit(2.0, "a", "y", sm=2)
+        picked = tracer.filter(predicate=lambda r: r.payload.get("sm") == 2)
+        assert [r.message for r in picked] == ["y"]
+
+    def test_category_allowlist(self):
+        tracer = Tracer(categories={"launch"})
+        tracer.emit(1.0, "launch", "k")
+        tracer.emit(2.0, "finish", "k")
+        assert len(tracer) == 1
+
+    def test_capacity_drops_and_reports(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.emit(float(i), "a", f"m{i}")
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        assert "3 records dropped" in tracer.to_text()
+
+    def test_counts(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "a", "x")
+        tracer.emit(2.0, "a", "y")
+        tracer.emit(3.0, "b", "z")
+        assert tracer.counts() == {"a": 2, "b": 1}
+
+    def test_record_format(self):
+        record = TraceRecord(1400.0, "launch", "k0", {"grid": 8})
+        text = record.format(clock_mhz=1400.0)
+        assert "1.00us" in text
+        assert "launch" in text and "grid=8" in text
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestSchedulerTracing:
+    def _build(self, config):
+        engine = Engine()
+        tracer = Tracer()
+        tb = ThreadBlockScheduler()
+        ks = KernelScheduler(engine, config, tb, ChimeraPolicy(config),
+                             SchedulerMode.SPATIAL, tracer=tracer)
+        gpu = GPU(config, engine, tb)
+        ks.attach_gpu(gpu)
+        return engine, ks, tracer
+
+    def test_launch_finish_traced(self, small_config):
+        engine, ks, tracer = self._build(small_config)
+        kernel = Kernel(make_spec(tbs_per_sm=2, tb_cv=0.0), 8, RngStreams(1))
+        ks.launch_kernel(kernel)
+        engine.run()
+        counts = tracer.counts()
+        assert counts[trace_mod.LAUNCH] == 1
+        assert counts[trace_mod.FINISH] == 1
+        assert counts.get(trace_mod.ASSIGN, 0) >= 1
+
+    def test_preemptions_traced(self, small_config):
+        engine, ks, tracer = self._build(small_config)
+        a = Kernel(make_spec(benchmark="AA", avg_drain_us=2000.0,
+                             tbs_per_sm=2, tb_cv=0.0), 32, RngStreams(1))
+        ks.launch_kernel(a)
+        engine.run(until=100_000.0)
+        b = Kernel(make_spec(benchmark="BB", tbs_per_sm=2,
+                             avg_drain_us=100.0), 4, RngStreams(2))
+        ks.launch_kernel(b)
+        engine.run(until=300_000.0)
+        assert tracer.counts().get(trace_mod.PREEMPT, 0) >= 1
+        assert tracer.counts().get(trace_mod.RELEASE, 0) >= 1
+        text = tracer.to_text(small_config.clock_mhz)
+        assert "preempt" in text and "release" in text
+
+    def test_no_tracer_is_silent(self, small_config):
+        engine = Engine()
+        tb = ThreadBlockScheduler()
+        ks = KernelScheduler(engine, small_config, tb,
+                             ChimeraPolicy(small_config))
+        gpu = GPU(small_config, engine, tb)
+        ks.attach_gpu(gpu)
+        kernel = Kernel(make_spec(tbs_per_sm=2, tb_cv=0.0), 4, RngStreams(1))
+        ks.launch_kernel(kernel)
+        engine.run()
+        assert ks.tracer is None

@@ -1,0 +1,177 @@
+"""Tests for the cycle-level warp simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, ExecutionError
+from repro.functional.machine import FunctionalBlockRun, GlobalMemory
+from repro.functional.smsim import measure_kernel
+from repro.functional.warpsim import (
+    SchedulerKind,
+    WarpLevelSM,
+    clock_kernel,
+)
+from repro.gpu.config import GPUConfig
+from repro.idempotence.instrument import instrument
+from repro.idempotence.kernels import (
+    block_reduce_sum,
+    histogram_atomic,
+    late_writeback,
+    stencil3,
+    vector_add,
+    vector_scale_inplace,
+)
+from repro.idempotence.monitor import IdempotenceMonitor
+
+N, TPB = 64, 16
+
+
+class TestFunctionalEquivalence:
+    """The clocked simulator must compute the same memory as the
+    functional reference, for every kernel archetype."""
+
+    @pytest.mark.parametrize("make,init", [
+        (lambda: vector_add(N),
+         {"a": list(range(N)), "b": [9] * N, "c": [0] * N}),
+        (lambda: stencil3(N),
+         {"in": list(range(N)), "out": [0] * N}),
+        (lambda: vector_scale_inplace(N),
+         {"buf": list(range(N))}),
+        (lambda: block_reduce_sum(TPB, N // TPB),
+         {"in": [2] * N, "out": [0] * (N // TPB)}),
+        (lambda: histogram_atomic(N, 8),
+         {"data": [i % 5 for i in range(N)], "hist": [0] * 8}),
+        (lambda: late_writeback(N, loop_iters=4),
+         {"buf": [3] * N}),
+    ])
+    def test_memory_matches_reference(self, make, init):
+        prog = make()
+        ref = GlobalMemory(dict(prog.buffers), init=init)
+        for b in range(N // TPB):
+            FunctionalBlockRun(prog, b, TPB, ref).run()
+        clocked = GlobalMemory(dict(prog.buffers), init=init)
+        clock_kernel(prog, TPB, resident_blocks=N // TPB, gmem=clocked)
+        assert clocked == ref
+
+
+class TestTiming:
+    def test_cycles_positive_and_bounded(self):
+        result = clock_kernel(vector_add(N), TPB)
+        assert 0 < result.cycles < 1_000_000
+        assert result.warp_instructions > 0
+        assert 0 < result.ipc <= 1.0  # single-issue SM
+
+    def test_issue_plus_idle_covers_all_cycles(self):
+        result = clock_kernel(stencil3(N), TPB)
+        assert result.issue_cycles + result.idle_cycles == result.cycles
+
+    def test_memory_bound_kernel_mostly_idle(self):
+        # stencil3 is dominated by 400-cycle global loads with only 4
+        # warps to cover them.
+        result = clock_kernel(stencil3(N), TPB, resident_blocks=1)
+        assert result.issue_efficiency < 0.5
+
+    def test_more_blocks_improve_throughput(self):
+        one = clock_kernel(stencil3(N * 4), TPB, resident_blocks=1)
+        four = clock_kernel(stencil3(N * 4), TPB, resident_blocks=4)
+        ipc_1 = one.warp_instructions / one.cycles
+        ipc_4 = four.warp_instructions / four.cycles
+        assert ipc_4 > ipc_1
+
+    def test_compute_bound_kernel_high_efficiency(self):
+        prog = late_writeback(N, loop_iters=200)
+        result = clock_kernel(prog, TPB, resident_blocks=2)
+        assert result.issue_efficiency > 0.8
+
+    def test_divergence_costs_cycles(self):
+        """Histogram's conditional paths serialize under min-PC; the
+        warp issues more instructions than a divergence-free kernel of
+        the same thread-instruction count would."""
+        result = clock_kernel(histogram_atomic(N, 8), TPB)
+        assert result.mean_block_latency > 0
+
+    def test_block_latencies_recorded_per_block(self):
+        result = clock_kernel(vector_add(N), TPB, resident_blocks=4)
+        assert len(result.block_latencies) == 4
+        assert all(lat > 0 for lat in result.block_latencies)
+
+
+class TestSchedulers:
+    def test_both_schedulers_complete_with_same_memory(self):
+        init = {"in": list(range(N)), "out": [0] * N}
+        prog = stencil3(N)
+        results = {}
+        memories = {}
+        for kind in SchedulerKind:
+            g = GlobalMemory(dict(prog.buffers), init=init)
+            results[kind] = clock_kernel(prog, TPB, resident_blocks=4,
+                                         scheduler=kind, gmem=g)
+            memories[kind] = g.snapshot()
+        assert memories[SchedulerKind.ROUND_ROBIN] == \
+            memories[SchedulerKind.GREEDY_THEN_OLDEST]
+        # Same instruction totals, possibly different cycle counts.
+        assert results[SchedulerKind.ROUND_ROBIN].warp_instructions == \
+            results[SchedulerKind.GREEDY_THEN_OLDEST].warp_instructions
+
+    def test_scheduler_label(self):
+        result = clock_kernel(vector_add(N), TPB,
+                              scheduler=SchedulerKind.ROUND_ROBIN)
+        assert result.scheduler == "rr"
+
+
+class TestMonitorIntegration:
+    def test_marks_reach_monitor(self):
+        monitor = IdempotenceMonitor(1)
+        prog = instrument(vector_scale_inplace(N))
+        sm = WarpLevelSM(prog, TPB, monitor=monitor, sm_id=0)
+        sm.add_block(0)
+        sm.add_block(1)
+        sm.run()
+        assert not monitor.block_flushable(0, 0)
+        assert not monitor.block_flushable(0, 1)
+
+
+class TestCrossValidation:
+    """The roofline model and the clocked simulator should agree on
+    which kernels are fast and roughly how fast."""
+
+    @pytest.mark.parametrize("make", [
+        lambda: vector_add(256),
+        lambda: stencil3(256),
+        lambda: late_writeback(256, loop_iters=100),
+    ])
+    def test_roofline_within_4x_of_clocked(self, make):
+        prog = make()
+        config = GPUConfig()
+        clocked = clock_kernel(prog, 32, resident_blocks=4, config=config)
+        roofline = measure_kernel(prog, 32, config, resident_blocks=4)
+        clocked_per_block = clocked.cycles / 4
+        ratio = roofline.cycles_per_block / clocked_per_block
+        assert 0.25 < ratio < 4.0, (roofline.cycles_per_block,
+                                    clocked_per_block)
+
+    def test_relative_ordering_agrees(self):
+        config = GPUConfig()
+        kernels = {
+            "short": late_writeback(256, loop_iters=10),
+            "long": late_writeback(256, loop_iters=300),
+        }
+        clocked = {k: clock_kernel(p, 32, resident_blocks=2).cycles
+                   for k, p in kernels.items()}
+        roofline = {k: measure_kernel(p, 32, config).cycles_per_block
+                    for k, p in kernels.items()}
+        assert clocked["long"] > clocked["short"]
+        assert roofline["long"] > roofline["short"]
+
+
+class TestValidation:
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ConfigError):
+            WarpLevelSM(vector_add(N), 0)
+
+    def test_cycle_cap(self):
+        sm = WarpLevelSM(late_writeback(N, loop_iters=10_000), TPB)
+        sm.add_block(0)
+        with pytest.raises(ExecutionError):
+            sm.run(max_cycles=100)

@@ -1,0 +1,151 @@
+"""Tests for synthetic kernel sizing, LUD plans, periodic task, and
+multiprogram workload definitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.config import GPUConfig
+from repro.sim.rng import RngStreams
+from repro.workloads.lud import lud_launch_plan, lud_total_tbs
+from repro.workloads.multiprogram import (
+    MultiprogramWorkload,
+    all_pairs,
+    pair_with_lud,
+)
+from repro.workloads.periodic import PeriodicTaskSpec, synthetic_rt_kernel_spec
+from repro.workloads.specs import benchmark, kernel_spec
+from repro.workloads.synthetic import (
+    MAX_WAVES,
+    MIN_WAVES,
+    SyntheticKernelFactory,
+    plan_duration_us,
+)
+
+
+@pytest.fixture
+def factory(config):
+    return SyntheticKernelFactory(config, RngStreams(1))
+
+
+class TestFactory:
+    def test_waves_inverse_to_tb_time(self, factory):
+        short = kernel_spec("BT.0")     # ~7 us blocks
+        long_ = kernel_spec("MUM.0")    # ~20 ms blocks
+        assert factory.waves_for(short) == MAX_WAVES
+        assert factory.waves_for(long_) == MIN_WAVES
+
+    def test_grid_is_waves_times_slots(self, config, factory):
+        spec = kernel_spec("BS.0")
+        grid = factory.grid_for(spec)
+        assert grid == factory.waves_for(spec) * config.num_sms * spec.tbs_per_sm
+
+    def test_build_produces_runnable_kernel(self, factory):
+        kernel = factory.build(kernel_spec("BS.0"))
+        assert kernel.grid_tbs > 0
+        tb = kernel.make_tb()
+        assert tb.total_insts > 0
+
+    def test_launch_plan_ordinary_benchmark(self, factory):
+        plan = factory.launch_plan(benchmark("FWT"))
+        assert [spec.index for spec, _ in plan] == [0, 1, 2]
+
+    def test_launch_plan_lud_is_structured(self, factory):
+        plan = factory.launch_plan(benchmark("LUD"))
+        assert len(plan) == 94
+
+    def test_total_insts_positive_for_all_benchmarks(self, factory):
+        from repro.workloads.specs import benchmark_labels
+        for label in benchmark_labels():
+            assert factory.total_insts_one_execution(label) > 0
+
+    def test_invalid_target_rejected(self, config):
+        with pytest.raises(ConfigError):
+            SyntheticKernelFactory(config, RngStreams(1), target_kernel_us=0)
+
+    def test_plan_duration_estimate(self, config, factory):
+        plan = factory.launch_plan(benchmark("BS"))
+        duration = plan_duration_us(plan, config)
+        spec = kernel_spec("BS.0")
+        assert duration == pytest.approx(
+            factory.waves_for(spec) * spec.mean_tb_exec_us)
+
+
+class TestLUD:
+    def test_plan_shape(self):
+        plan = lud_launch_plan()
+        assert len(plan) == 31 * 3 + 1
+        diag, perim, internal = plan[0], plan[1], plan[2]
+        assert diag[1] == 1
+        assert perim[1] == 31
+        assert internal[1] == 31 * 31
+        # Monotonically shrinking interior.
+        internals = [g for spec, g in plan if spec.index == 2]
+        assert internals == sorted(internals, reverse=True)
+        assert plan[-1][0].index == 0
+
+    def test_total_tbs(self):
+        total = lud_total_tbs(32)
+        by_plan = sum(g for _, g in lud_launch_plan())
+        assert total == by_plan
+
+    def test_small_matrix(self):
+        plan = lud_launch_plan(matrix_blocks=2)
+        assert len(plan) == 4  # diag, perim(1), internal(1), diag
+
+    def test_invalid_matrix_rejected(self):
+        with pytest.raises(ConfigError):
+            lud_launch_plan(matrix_blocks=1)
+
+
+class TestPeriodicTask:
+    def test_defaults_match_paper(self):
+        task = PeriodicTaskSpec()
+        assert task.period_us == 1000.0
+        assert task.exec_us == 200.0
+        assert task.sms_demanded == 15
+        assert task.deadline_us == 215.0
+
+    def test_for_config_halves_sms(self):
+        task = PeriodicTaskSpec().for_config(GPUConfig(num_sms=8))
+        assert task.sms_demanded == 4
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PeriodicTaskSpec(period_us=100.0, exec_us=200.0)
+        with pytest.raises(ConfigError):
+            PeriodicTaskSpec(sms_demanded=0)
+        with pytest.raises(ConfigError):
+            PeriodicTaskSpec(latency_constraint_us=0)
+
+    def test_rt_kernel_spec(self):
+        task = PeriodicTaskSpec()
+        spec = synthetic_rt_kernel_spec(task)
+        assert spec.mean_tb_exec_us == pytest.approx(task.exec_us)
+        assert spec.tbs_per_sm == 1
+        assert spec.idempotent
+        assert spec.tb_cv == 0.0
+
+
+class TestMultiprogram:
+    def test_pair_with_lud_covers_all_others(self):
+        pairs = pair_with_lud()
+        assert len(pairs) == 13
+        assert all(p.labels[0] == "LUD" for p in pairs)
+        assert len({p.labels[1] for p in pairs}) == 13
+
+    def test_all_pairs_count(self):
+        assert len(all_pairs()) == 14 * 13 // 2
+
+    def test_workload_name(self):
+        wl = MultiprogramWorkload(("LUD", "MUM"))
+        assert wl.name == "LUD/MUM"
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MultiprogramWorkload(("LUD",))
+        with pytest.raises(ConfigError):
+            MultiprogramWorkload(("LUD", "NOPE"))
+        with pytest.raises(ConfigError):
+            MultiprogramWorkload(("LUD", "MUM"), budget_insts=0)
