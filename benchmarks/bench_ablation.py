@@ -14,20 +14,32 @@ from __future__ import annotations
 
 from benchmarks.conftest import PERIODS, SEED, once, write_result
 from repro.gpu.config import GPUConfig
-from repro.harness.runner import run_periodic
+from repro.harness.sweep import RunSpec
 from repro.metrics.report import format_percent, format_table
 
 LABELS = ("BS", "MUM", "LC")
 
+BW_LABELS = ("KM", "SAD")  # switch times ~10-12us at full BW
 
-def _run_ablations():
-    rows = []
-    online = {}
+
+def _run_ablations(runner):
+    half_bw = GPUConfig(memory_bandwidth_gbps=177.4 / 2)
+    specs = []
     for label in LABELS:
-        r_online = run_periodic(label, "chimera", periods=PERIODS, seed=SEED)
-        r_oracle = run_periodic(label, "chimera-oracle", periods=PERIODS,
-                                seed=SEED)
-        online[label] = r_online
+        specs.append(RunSpec.periodic(label, "chimera", periods=PERIODS,
+                                      seed=SEED))
+        specs.append(RunSpec.periodic(label, "chimera-oracle",
+                                      periods=PERIODS, seed=SEED))
+    for label in BW_LABELS:
+        specs.append(RunSpec.periodic(label, "switch", periods=PERIODS,
+                                      seed=SEED))
+        specs.append(RunSpec.periodic(label, "switch", periods=PERIODS,
+                                      seed=SEED, config=half_bw))
+    results = iter(runner.run(specs))
+    rows = []
+    for label in LABELS:
+        r_online = next(results)
+        r_oracle = next(results)
         rows.append([
             label,
             format_percent(r_online.violations.violation_rate),
@@ -35,20 +47,18 @@ def _run_ablations():
             format_percent(r_online.throughput_overhead),
             format_percent(r_oracle.throughput_overhead),
         ])
-    half_bw = GPUConfig(memory_bandwidth_gbps=177.4 / 2)
     bw_rows = []
-    for label in ("KM", "SAD"):  # switch times ~10-12us at full BW
-        full = run_periodic(label, "switch", periods=PERIODS, seed=SEED)
-        half = run_periodic(label, "switch", periods=PERIODS, seed=SEED,
-                            config=half_bw)
+    for label in BW_LABELS:
+        full = next(results)
+        half = next(results)
         bw_rows.append([label,
                         format_percent(full.violations.violation_rate),
                         format_percent(half.violations.violation_rate)])
     return rows, bw_rows
 
 
-def test_ablations(benchmark):
-    rows, bw_rows = once(benchmark, _run_ablations)
+def test_ablations(benchmark, sweep_runner):
+    rows, bw_rows = once(benchmark, lambda: _run_ablations(sweep_runner))
     text = format_table(
         ["benchmark", "viol online", "viol oracle",
          "ovh online", "ovh oracle"],

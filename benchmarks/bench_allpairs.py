@@ -12,9 +12,10 @@ the paper's observation. Limit the sweep with
 from __future__ import annotations
 
 import os
+import time
 
-from benchmarks.conftest import BUDGET, SEED, once, write_result
-from repro.harness.experiments import figure10_11
+from benchmarks.conftest import BUDGET, SEED, once, record_timing, write_result
+from repro.harness.experiments import case_study_sweep
 from repro.metrics.report import format_percent, format_table
 from repro.workloads.multiprogram import all_pairs
 
@@ -28,18 +29,17 @@ def _geomean(values):
     return product ** (1.0 / len(values))
 
 
-def _run_all_pairs():
-    solo_cache = {}
-    results = {}
-    for workload in all_pairs(budget_insts=BUDGET)[:MAX_PAIRS]:
-        results[workload.name] = figure10_11(
-            workload, policies=("chimera",), seed=SEED,
-            solo_cache=solo_cache)
+def _run_all_pairs(runner):
+    workloads = all_pairs(budget_insts=BUDGET)[:MAX_PAIRS]
+    start = time.perf_counter()
+    results = case_study_sweep(workloads, policies=("chimera",), seed=SEED,
+                               runner=runner)
+    record_timing("allpairs", time.perf_counter() - start, runner.last_stats)
     return results
 
 
-def test_all_combinations_headline(benchmark):
-    results = once(benchmark, _run_all_pairs)
+def test_all_combinations_headline(benchmark, sweep_runner):
+    results = once(benchmark, lambda: _run_all_pairs(sweep_runner))
     antt_improvements = [r.antt_improvement("chimera")
                          for r in results.values()]
     stp_improvements = [r.stp_improvement("chimera")

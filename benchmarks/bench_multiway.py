@@ -12,7 +12,7 @@
 from __future__ import annotations
 
 from benchmarks.conftest import BUDGET, SEED, once, write_result
-from repro.harness.experiments import figure10_11
+from repro.harness.experiments import case_study_sweep
 from repro.harness.runner import SimSystem
 from repro.metrics.report import format_percent, format_table
 from repro.workloads.multiprogram import MultiprogramWorkload
@@ -21,14 +21,14 @@ TRIPLE = ("LUD", "MUM", "BS")
 QUAD = ("LUD", "MUM", "BS", "KM")
 
 
-def _run_multiway():
+def _run_multiway(runner):
+    workloads = [MultiprogramWorkload(labels, budget_insts=BUDGET)
+                 for labels in (TRIPLE, QUAD)]
+    results = case_study_sweep(workloads, policies=("drain", "chimera"),
+                               seed=SEED, runner=runner)
     rows = []
-    results = {}
-    for labels in (TRIPLE, QUAD):
-        workload = MultiprogramWorkload(labels, budget_insts=BUDGET)
-        result = figure10_11(workload, policies=("drain", "chimera"),
-                             seed=SEED)
-        results[workload.name] = result
+    for workload in workloads:
+        result = results[workload.name]
         rows.append([
             workload.name,
             f"{result.antt('fcfs'):.1f}",
@@ -41,8 +41,8 @@ def _run_multiway():
     return rows, results
 
 
-def test_multiway_multiprogramming(benchmark):
-    rows, results = once(benchmark, _run_multiway)
+def test_multiway_multiprogramming(benchmark, sweep_runner):
+    rows, results = once(benchmark, lambda: _run_multiway(sweep_runner))
     table = format_table(
         ["workload", "ANTT fcfs", "ANTT chimera", "chimera impr",
          "drain impr", "STP chimera", "STP impr"],

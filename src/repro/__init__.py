@@ -24,6 +24,9 @@ from repro.core import (
 )
 from repro.gpu import GPU, GPUConfig, Kernel, StreamingMultiprocessor, ThreadBlock
 from repro.harness import (
+    ResultCache,
+    RunSpec,
+    SweepRunner,
     run_pair,
     run_periodic,
     run_solo,
@@ -31,6 +34,7 @@ from repro.harness import (
     figure8,
     figure9,
     figure10_11,
+    case_study_sweep,
 )
 from repro.metrics import antt, stp
 from repro.sched import KernelScheduler, SchedulerMode, ThreadBlockScheduler
@@ -52,6 +56,9 @@ __all__ = [
     "Kernel",
     "StreamingMultiprocessor",
     "ThreadBlock",
+    "ResultCache",
+    "RunSpec",
+    "SweepRunner",
     "run_pair",
     "run_periodic",
     "run_solo",
@@ -59,6 +66,7 @@ __all__ = [
     "figure8",
     "figure9",
     "figure10_11",
+    "case_study_sweep",
     "antt",
     "stp",
     "KernelScheduler",

@@ -53,6 +53,7 @@ def build_parser() -> argparse.ArgumentParser:
     periodic.add_argument("--constraint-us", type=float, default=15.0)
     periodic.add_argument("--periods", type=int, default=10)
     periodic.add_argument("--seed", type=int, default=12345)
+    _add_sweep_options(periodic)
 
     pair = sub.add_parser("pair", help="run a multiprogrammed combination")
     pair.add_argument("--benchmarks", nargs="+", default=["LUD", "MUM"],
@@ -62,7 +63,35 @@ def build_parser() -> argparse.ArgumentParser:
     pair.add_argument("--budget", type=float, default=8e6)
     pair.add_argument("--latency-limit-us", type=float, default=30.0)
     pair.add_argument("--seed", type=int, default=12345)
+    _add_sweep_options(pair)
     return parser
+
+
+def _positive_int(raw: str) -> int:
+    value = int(raw)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
+    """Sweep-runner knobs shared by the simulation commands."""
+    parser.add_argument("--jobs", type=_positive_int, default=None, metavar="N",
+                        help="parallel worker processes "
+                             "(default: CHIMERA_JOBS or CPU count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+
+
+def _make_runner(args: argparse.Namespace):
+    """Build the SweepRunner the CLI commands submit RunSpecs through."""
+    from repro.harness.cache import ResultCache
+    from repro.harness.sweep import SweepRunner
+
+    cache = ResultCache.from_env()
+    if args.no_cache:
+        cache.enabled = False
+    return SweepRunner(jobs=args.jobs, cache=cache)
 
 
 def cmd_table1() -> int:
@@ -131,11 +160,12 @@ def cmd_analyze() -> int:
 
 def cmd_periodic(args: argparse.Namespace) -> int:
     """``periodic``: run the paper's periodic-task scenario."""
-    from repro.harness.runner import run_periodic
+    from repro.harness.sweep import RunSpec
 
-    result = run_periodic(args.bench, args.policy,
-                          constraint_us=args.constraint_us,
-                          periods=args.periods, seed=args.seed)
+    spec = RunSpec.periodic(args.bench, args.policy,
+                            constraint_us=args.constraint_us,
+                            periods=args.periods, seed=args.seed)
+    result = _make_runner(args).run([spec])[0]
     mix = {tech.value: count
            for tech, count in result.technique_mix.counts.items()}
     print(f"benchmark          {result.label}")
@@ -159,7 +189,7 @@ def cmd_pair(args: argparse.Namespace) -> int:
                                     budget_insts=args.budget)
     result = figure10_11(workload, policies=tuple(args.policies),
                          latency_limit_us=args.latency_limit_us,
-                         seed=args.seed)
+                         seed=args.seed, runner=_make_runner(args))
     rows = []
     for policy in ("fcfs", *args.policies):
         rows.append([

@@ -1,11 +1,14 @@
 """Kernel runtime instances for the fluid-timing GPU model.
 
-A :class:`Kernel` owns a grid of thread blocks generated lazily from its
-:class:`~repro.workloads.specs.KernelSpec`. Per-TB instruction counts
-are drawn lognormally around the spec's mean and the first
+A :class:`Kernel` owns a grid of thread blocks handed out lazily from
+its :class:`~repro.workloads.specs.KernelSpec`. Per-TB instruction
+counts are drawn lognormally around the spec's mean and the first
 non-idempotent point (for non-idempotent kernels) is drawn from the
 spec's Beta distribution — clustered near the end of the block, as the
-paper observes.
+paper observes. All draws for the grid are batched at construction
+(one pass per stream) rather than made per thread block; the per-stream
+draw order is identical, so traces match the per-TB formulation bit for
+bit.
 
 The kernel also accumulates the statistics Chimera's online cost model
 needs and the counters the experiment harness reports.
@@ -81,6 +84,28 @@ class Kernel:
         self.finish_time: Optional[float] = None
         #: Blocks currently resident on SMs (for live-progress queries).
         self._live: List[ThreadBlock] = []
+        self._mean_tb_insts = spec.mean_tb_instructions(clock_mhz)
+        # The whole grid's randomness is drawn in one batch per stream at
+        # construction instead of 3 RNG calls per make_tb(). Per-stream
+        # draw order is unchanged (streams are independent and each
+        # benchmark label's kernels consume their streams sequentially),
+        # so traces are bit-identical to the per-TB draws.
+        label = spec.label
+        totals = rng.lognormal_batch(f"tb:{label}", self._mean_tb_insts,
+                                     spec.tb_cv, grid_tbs)
+        self._tb_totals = [t if t > 1.0 else 1.0 for t in totals]
+        # Per-TB wall-clock jitter enters through the rate.
+        tb_rate = spec.tb_rate
+        self._tb_rates = [
+            tb_rate / jitter
+            for jitter in rng.lognormal_batch(f"cpi:{label}", 1.0,
+                                              spec.cpi_cv, grid_tbs)
+        ]
+        if spec.idempotent:
+            self._nonidem_fracs: Optional[List[float]] = None
+        else:
+            self._nonidem_fracs = rng.beta_batch(f"idem:{label}",
+                                                 *spec.nonidem_beta, grid_tbs)
 
     # ------------------------------------------------------------------
     # grid generation
@@ -89,26 +114,20 @@ class Kernel:
     @property
     def mean_tb_insts(self) -> float:
         """Mean instructions per block (measured or oracle)."""
-        return self.spec.mean_tb_instructions(self.clock_mhz)
+        return self._mean_tb_insts
 
     def make_tb(self) -> ThreadBlock:
         """Generate the next thread block of the grid."""
-        if self._next_index >= self.grid_tbs:
-            raise SimulationError(f"kernel {self.name}: grid exhausted")
         index = self._next_index
-        self._next_index += 1
-        stream = f"tb:{self.spec.label}"
-        total = self._rng.lognormal(stream, self.mean_tb_insts, self.spec.tb_cv)
-        total = max(total, 1.0)
-        # Per-TB wall-clock jitter enters through the rate.
-        cpi_jitter = self._rng.lognormal(f"cpi:{self.spec.label}", 1.0, self.spec.cpi_cv)
-        rate = self.spec.tb_rate / cpi_jitter
-        if self.spec.idempotent:
+        if index >= self.grid_tbs:
+            raise SimulationError(f"kernel {self.name}: grid exhausted")
+        self._next_index = index + 1
+        total = self._tb_totals[index]
+        if self._nonidem_fracs is None:
             nonidem_at = math.inf
         else:
-            frac = self._rng.beta(f"idem:{self.spec.label}", *self.spec.nonidem_beta)
-            nonidem_at = frac * total
-        return ThreadBlock(self, index, total, rate, nonidem_at)
+            nonidem_at = self._nonidem_fracs[index] * total
+        return ThreadBlock(self, index, total, self._tb_rates[index], nonidem_at)
 
     @property
     def undispatched_tbs(self) -> int:

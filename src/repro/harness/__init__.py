@@ -1,4 +1,5 @@
-"""Experiment harness: one entry point per paper table/figure."""
+"""Experiment harness: one entry point per paper table/figure, plus the
+declarative sweep-execution layer (RunSpec / SweepRunner / ResultCache)."""
 
 from repro.harness.runner import (
     SimSystem,
@@ -9,11 +10,14 @@ from repro.harness.runner import (
     run_pair,
     run_periodic,
 )
+from repro.harness.cache import CacheEntry, ResultCache
+from repro.harness.sweep import RunSpec, SweepRunner, SweepStats
 from repro.harness.experiments import (
     figure6_7,
     figure8,
     figure9,
     figure10_11,
+    case_study_sweep,
     PeriodicSweepResult,
     CaseStudyResult,
 )
@@ -26,10 +30,16 @@ __all__ = [
     "run_solo",
     "run_pair",
     "run_periodic",
+    "CacheEntry",
+    "ResultCache",
+    "RunSpec",
+    "SweepRunner",
+    "SweepStats",
     "figure6_7",
     "figure8",
     "figure9",
     "figure10_11",
+    "case_study_sweep",
     "PeriodicSweepResult",
     "CaseStudyResult",
 ]

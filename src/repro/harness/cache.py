@@ -1,0 +1,128 @@
+"""On-disk result cache for sweep runs.
+
+Every sweep execution is deterministic in its :class:`RunSpec`, so a
+result computed once can be replayed from disk forever. Entries live
+under a cache directory (``.chimera-cache/`` by default) keyed by the
+spec's content hash combined with the repro package version — a version
+bump invalidates every entry, and any change to a scenario parameter,
+seed, or :class:`~repro.gpu.config.GPUConfig` field changes the spec
+hash and misses.
+
+Environment knobs:
+
+* ``CHIMERA_CACHE_DIR`` — cache directory (default ``.chimera-cache``)
+* ``CHIMERA_NO_CACHE``  — any non-empty value disables the disk cache
+
+Entries are pickles written atomically (temp file + rename); a
+corrupted or unreadable entry is deleted and treated as a miss, never
+raised to the caller.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional
+
+#: Default cache directory, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".chimera-cache"
+
+
+@dataclass
+class CacheEntry:
+    """One cached run: the result plus how long it took to compute."""
+
+    key: str
+    result: Any
+    duration_s: float
+
+
+class ResultCache:
+    """A content-addressed pickle store for sweep results."""
+
+    def __init__(self, directory: Optional[os.PathLike] = None,
+                 enabled: bool = True):
+        self.directory = Path(directory) if directory is not None \
+            else Path(DEFAULT_CACHE_DIR)
+        self.enabled = enabled
+
+    @classmethod
+    def from_env(cls) -> "ResultCache":
+        """Build a cache honoring ``CHIMERA_CACHE_DIR``/``CHIMERA_NO_CACHE``."""
+        directory = os.environ.get("CHIMERA_CACHE_DIR") or DEFAULT_CACHE_DIR
+        enabled = not os.environ.get("CHIMERA_NO_CACHE")
+        return cls(directory, enabled=enabled)
+
+    @staticmethod
+    def digest(payload: str) -> str:
+        """Canonical content hash used for entry filenames."""
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        """Filesystem path of the entry for ``key``."""
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        """Load an entry, or None on a miss.
+
+        A corrupted entry (truncated pickle, stale class layout, wrong
+        key) is deleted and reported as a miss.
+        """
+        if not self.enabled:
+            return None
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as fh:
+                entry = pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            self._discard(path)
+            return None
+        if not isinstance(entry, CacheEntry) or entry.key != key:
+            self._discard(path)
+            return None
+        return entry
+
+    def put(self, key: str, result: Any, duration_s: float) -> None:
+        """Store a result atomically (temp file + rename)."""
+        if not self.enabled:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        entry = CacheEntry(key=key, result=result, duration_s=duration_s)
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, self.path_for(key))
+        except Exception:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        if not self.directory.is_dir():
+            return 0
+        removed = 0
+        for path in self.directory.glob("*.pkl"):
+            self._discard(path)
+            removed += 1
+        return removed
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "on" if self.enabled else "off"
+        return f"<ResultCache {self.directory} ({state})>"

@@ -1,9 +1,14 @@
 """Figure-level experiment drivers.
 
 Each function regenerates one of the paper's evaluation artifacts
-(DESIGN.md §4 maps them). They wrap the scenario runners in
-:mod:`repro.harness.runner`, sweep the paper's parameters, and return
-structured results the benchmark harness formats into tables.
+(DESIGN.md §4 maps them). They build declarative
+:class:`~repro.harness.sweep.RunSpec` batches, submit them through a
+:class:`~repro.harness.sweep.SweepRunner` (parallel workers + on-disk
+result cache), and assemble structured results the benchmark harness
+formats into tables. Pass ``runner=`` to share one runner (and its
+memoized results) across figures; by default each call builds a runner
+from the ``CHIMERA_JOBS``/``CHIMERA_CACHE_DIR``/``CHIMERA_NO_CACHE``
+environment knobs.
 """
 
 from __future__ import annotations
@@ -14,13 +19,8 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.chimera import POLICY_NAMES
 from repro.core.techniques import Technique
 from repro.gpu.config import GPUConfig
-from repro.harness.runner import (
-    PairResult,
-    PeriodicResult,
-    run_pair,
-    run_periodic,
-    run_solo,
-)
+from repro.harness.runner import PairResult, PeriodicResult
+from repro.harness.sweep import RunSpec, SweepRunner
 from repro.metrics.metrics import antt, normalized_turnaround, stp
 from repro.sched.kernel_scheduler import SchedulerMode
 from repro.workloads.multiprogram import MultiprogramWorkload
@@ -92,15 +92,20 @@ def figure6_7(labels: Optional[Sequence[str]] = None,
               constraint_us: float = 15.0,
               periods: int = DEFAULT_PERIODS,
               seed: int = 12345,
-              config: Optional[GPUConfig] = None) -> PeriodicSweepResult:
+              config: Optional[GPUConfig] = None,
+              runner: Optional[SweepRunner] = None) -> PeriodicSweepResult:
     """Deadline violations (Fig. 6) and throughput overhead (Fig. 7)
     for each benchmark sharing the GPU with the periodic task."""
     labels = list(labels) if labels is not None else benchmark_labels()
+    runner = runner or SweepRunner()
+    specs = [
+        RunSpec.periodic(label, policy, constraint_us=constraint_us,
+                         periods=periods, seed=seed, config=config)
+        for label in labels for policy in policies
+    ]
     sweep = PeriodicSweepResult(constraint_us=constraint_us)
-    for label in labels:
-        for policy in policies:
-            sweep.add(run_periodic(label, policy, constraint_us=constraint_us,
-                                   periods=periods, seed=seed, config=config))
+    for result in runner.run(specs):
+        sweep.add(result)
     return sweep
 
 
@@ -108,17 +113,24 @@ def figure8(labels: Optional[Sequence[str]] = None,
             constraints_us: Sequence[float] = (5.0, 10.0, 15.0, 20.0),
             periods: int = DEFAULT_PERIODS,
             seed: int = 12345,
-            config: Optional[GPUConfig] = None
+            config: Optional[GPUConfig] = None,
+            runner: Optional[SweepRunner] = None
             ) -> Dict[float, PeriodicSweepResult]:
     """Chimera under varying latency constraints: violation rate (8a),
     throughput overhead (8b) and technique distribution (8c)."""
     labels = list(labels) if labels is not None else benchmark_labels()
+    runner = runner or SweepRunner()
+    specs = [
+        RunSpec.periodic(label, "chimera", constraint_us=constraint,
+                         periods=periods, seed=seed, config=config)
+        for constraint in constraints_us for label in labels
+    ]
+    results = iter(runner.run(specs))
     out: Dict[float, PeriodicSweepResult] = {}
     for constraint in constraints_us:
         sweep = PeriodicSweepResult(constraint_us=constraint)
-        for label in labels:
-            sweep.add(run_periodic(label, "chimera", constraint_us=constraint,
-                                   periods=periods, seed=seed, config=config))
+        for _ in labels:
+            sweep.add(next(results))
         out[constraint] = sweep
     return out
 
@@ -128,7 +140,8 @@ def figure9(labels: Optional[Sequence[str]] = None,
             periods: int = DEFAULT_PERIODS,
             seed: int = 12345,
             config: Optional[GPUConfig] = None,
-            policies: Sequence[str] = ("flush-strict", "flush")
+            policies: Sequence[str] = ("flush-strict", "flush"),
+            runner: Optional[SweepRunner] = None
             ) -> PeriodicSweepResult:
     """Strict vs relaxed idempotence for SM flushing (Fig. 9).
 
@@ -139,7 +152,7 @@ def figure9(labels: Optional[Sequence[str]] = None,
     """
     return figure6_7(labels=labels, policies=policies,
                      constraint_us=constraint_us, periods=periods, seed=seed,
-                     config=config)
+                     config=config, runner=runner)
 
 
 @dataclass
@@ -175,39 +188,67 @@ def figure10_11(workload: MultiprogramWorkload,
                 latency_limit_us: float = 30.0,
                 seed: int = 12345,
                 config: Optional[GPUConfig] = None,
-                solo_cache: Optional[Dict[str, float]] = None
+                runner: Optional[SweepRunner] = None
                 ) -> CaseStudyResult:
     """ANTT (Fig. 10) and STP (Fig. 11) for one workload combination
     under each policy, normalized against non-preemptive FCFS.
 
-    ``solo_cache`` maps benchmark label -> solo metric time, letting a
-    sweep over many combinations reuse solo runs.
+    Solo baselines dedupe through the runner's cache (keyed on the full
+    RunSpec — label, budget, seed, config, kernel-duration target — so
+    a sweep mixing configs can never reuse a wrong baseline). Share one
+    ``runner`` across calls to reuse solo runs in-process.
     """
-    result = CaseStudyResult(workload_name=workload.name,
-                             labels=workload.labels)
-    solo_times: Dict[str, float] = {}
-    for label in workload.labels:
-        if solo_cache is not None and label in solo_cache:
-            solo_times[label] = solo_cache[label]
-            continue
-        solo = run_solo(label, workload.budget_insts, seed=seed, config=config)
-        solo_times[label] = solo.metric_time_cycles
-        if solo_cache is not None:
-            solo_cache[label] = solo.metric_time_cycles
+    return case_study_sweep([workload], policies=policies,
+                            latency_limit_us=latency_limit_us, seed=seed,
+                            config=config, runner=runner)[workload.name]
 
-    def record(policy_key: str, pair: PairResult) -> None:
-        """Record one observation."""
-        result.ntts[policy_key] = {
-            label: normalized_turnaround(solo_times[label],
-                                         pair.metric_time_cycles[label])
-            for label in workload.labels
-        }
-        result.preemption_requests[policy_key] = pair.preemption_records
 
-    record("fcfs", run_pair(workload, policy_name=None,
-                            mode=SchedulerMode.FCFS, seed=seed, config=config))
-    for policy in policies:
-        record(policy, run_pair(workload, policy_name=policy,
-                                latency_limit_us=latency_limit_us,
-                                seed=seed, config=config))
-    return result
+def case_study_sweep(workloads: Sequence[MultiprogramWorkload],
+                     policies: Sequence[str] = POLICY_NAMES,
+                     latency_limit_us: float = 30.0,
+                     seed: int = 12345,
+                     config: Optional[GPUConfig] = None,
+                     runner: Optional[SweepRunner] = None
+                     ) -> Dict[str, CaseStudyResult]:
+    """Figure 10/11 over many workload combinations in one batch.
+
+    Every solo baseline and every (workload, policy) pair run across the
+    whole sweep is submitted to the runner at once, so the fan-out sees
+    the full parallelism of the sweep and duplicate solo runs (e.g. LUD
+    appearing in 13 pairs) execute exactly once.
+    """
+    runner = runner or SweepRunner()
+    specs: List[RunSpec] = []
+    for workload in workloads:
+        for label in workload.labels:
+            specs.append(RunSpec.solo(label, workload.budget_insts,
+                                      seed=seed, config=config))
+        specs.append(RunSpec.pair(workload, None, mode=SchedulerMode.FCFS,
+                                  seed=seed, config=config))
+        for policy in policies:
+            specs.append(RunSpec.pair(workload, policy,
+                                      latency_limit_us=latency_limit_us,
+                                      seed=seed, config=config))
+    results = iter(runner.run(specs))
+
+    out: Dict[str, CaseStudyResult] = {}
+    for workload in workloads:
+        result = CaseStudyResult(workload_name=workload.name,
+                                 labels=workload.labels)
+        solo_times = {label: next(results).metric_time_cycles
+                      for label in workload.labels}
+
+        def record(policy_key: str, pair: PairResult) -> None:
+            """Record one observation."""
+            result.ntts[policy_key] = {
+                label: normalized_turnaround(solo_times[label],
+                                             pair.metric_time_cycles[label])
+                for label in workload.labels
+            }
+            result.preemption_requests[policy_key] = pair.preemption_records
+
+        record("fcfs", next(results))
+        for policy in policies:
+            record(policy, next(results))
+        out[workload.name] = result
+    return out

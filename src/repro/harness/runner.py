@@ -7,6 +7,7 @@ protocols. Runs are deterministic in ``(seed, scenario parameters)``.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -81,13 +82,22 @@ class SimSystem:
         self._schedule_sampler()
 
     def _schedule_sampler(self) -> None:
-        """Latch per-process budget crossings at a fine sampling grid."""
-        if all(p.done_recording for p in self.processes):
+        """Latch per-process budget crossings at a fine sampling grid.
+
+        Only processes with a finite instruction budget can ever latch a
+        budget crossing; infinite-budget processes (the periodic
+        scenario's benchmark) reach their metric target through kernel
+        completion instead, so sampling them would reschedule forever
+        without observing anything.
+        """
+        watched = [p for p in self.processes
+                   if math.isfinite(p.budget_insts) and not p.done_recording]
+        if not watched:
             return
 
         def sample() -> None:
             now = self.engine.now
-            for process in self.processes:
+            for process in watched:
                 process.check_budget(now)
             self._schedule_sampler()
 

@@ -1,0 +1,318 @@
+"""Declarative sweep execution: RunSpecs, a parallel runner, caching.
+
+Every paper artifact is a sweep of independent, deterministic
+simulations. A :class:`RunSpec` captures one such simulation — scenario
+kind, every parameter, the seed, the machine configuration — as a
+picklable value with a canonical content hash. A :class:`SweepRunner`
+executes batches of RunSpecs, fanning out over a
+``concurrent.futures.ProcessPoolExecutor`` when more than one worker is
+configured and consulting an on-disk :class:`~repro.harness.cache.ResultCache`
+so re-running a figure is a cache hit.
+
+Parallel execution is bit-identical to serial execution: each RunSpec
+builds its whole simulation (engine, RNG streams, GPU) from scratch
+inside ``execute()``, so results depend only on the spec — never on
+which process ran it or in which order.
+
+Environment knobs:
+
+* ``CHIMERA_JOBS``      — worker count (default ``os.cpu_count()``;
+  ``1`` runs every spec serially in-process)
+* ``CHIMERA_CACHE_DIR`` / ``CHIMERA_NO_CACHE`` — see
+  :mod:`repro.harness.cache`
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import repro
+from repro.errors import ConfigError
+from repro.gpu.config import GPUConfig
+from repro.harness.cache import ResultCache
+from repro.harness.runner import (
+    PairResult,
+    PeriodicResult,
+    SoloResult,
+    run_pair,
+    run_periodic,
+    run_solo,
+)
+from repro.sched.kernel_scheduler import SchedulerMode
+from repro.workloads.multiprogram import MultiprogramWorkload
+
+RunResult = Union[SoloResult, PairResult, PeriodicResult]
+
+#: Spec-format version: bump when RunSpec semantics change so stale
+#: cache entries from an older layout can never be replayed.
+SPEC_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One deterministic simulation, as a picklable value.
+
+    Use the :meth:`solo`, :meth:`pair`, and :meth:`periodic`
+    constructors rather than filling fields by hand.
+    """
+
+    kind: str                                  # "solo" | "pair" | "periodic"
+    seed: int = 12345
+    config: Optional[GPUConfig] = None
+    # solo + periodic
+    label: Optional[str] = None
+    target_kernel_us: Optional[float] = None
+    # solo + pair
+    budget_insts: Optional[float] = None
+    # pair
+    labels: Optional[Tuple[str, ...]] = None
+    policy: Optional[str] = None               # None + mode=fcfs: baseline
+    mode: str = SchedulerMode.SPATIAL.value
+    latency_limit_us: float = 30.0
+    restart: bool = True
+    workload_name: Optional[str] = None
+    # periodic
+    constraint_us: float = 15.0
+    periods: int = 10
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def solo(cls, label: str, budget_insts: float, seed: int = 12345,
+             config: Optional[GPUConfig] = None,
+             target_kernel_us: Optional[float] = None) -> "RunSpec":
+        """A benchmark running alone (ANTT/STP baseline)."""
+        return cls(kind="solo", label=label, budget_insts=budget_insts,
+                   seed=seed, config=config,
+                   target_kernel_us=target_kernel_us)
+
+    @classmethod
+    def pair(cls, workload: MultiprogramWorkload, policy: Optional[str],
+             mode: SchedulerMode = SchedulerMode.SPATIAL,
+             seed: int = 12345, latency_limit_us: float = 30.0,
+             config: Optional[GPUConfig] = None,
+             target_kernel_us: Optional[float] = None) -> "RunSpec":
+        """A multiprogrammed combination (``policy=None`` + FCFS mode is
+        the paper's non-preemptive baseline)."""
+        return cls(kind="pair", labels=tuple(workload.labels),
+                   budget_insts=workload.budget_insts,
+                   restart=workload.restart, policy=policy, mode=mode.value,
+                   seed=seed, latency_limit_us=latency_limit_us,
+                   config=config, target_kernel_us=target_kernel_us,
+                   workload_name=workload.name)
+
+    @classmethod
+    def periodic(cls, label: str, policy: str, constraint_us: float = 15.0,
+                 periods: int = 10, seed: int = 12345,
+                 config: Optional[GPUConfig] = None,
+                 target_kernel_us: Optional[float] = None) -> "RunSpec":
+        """A benchmark sharing the GPU with the periodic real-time task."""
+        return cls(kind="periodic", label=label, policy=policy,
+                   constraint_us=constraint_us, periods=periods, seed=seed,
+                   config=config, target_kernel_us=target_kernel_us)
+
+    # ------------------------------------------------------------------
+    # hashing
+    # ------------------------------------------------------------------
+
+    def canonical(self) -> str:
+        """Canonical JSON form of every result-determining field.
+
+        ``config=None`` normalizes to the default :class:`GPUConfig`, so
+        an explicit default config and an omitted one share a hash. The
+        workload display name is excluded — it carries no behavior.
+        """
+        fields = dataclasses.asdict(self)
+        fields.pop("workload_name", None)
+        fields["config"] = dataclasses.asdict(self.config or GPUConfig())
+        fields["spec_version"] = SPEC_VERSION
+        return json.dumps(fields, sort_keys=True, default=repr)
+
+    def cache_key(self) -> str:
+        """Content hash of the spec, the config fingerprint, and the
+        repro version — the on-disk cache invalidation key."""
+        return ResultCache.digest(f"{repro.__version__}:{self.canonical()}")
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def execute(self) -> RunResult:
+        """Run this spec's simulation from scratch and return its result."""
+        if self.kind == "solo":
+            return run_solo(self.label, self.budget_insts, seed=self.seed,
+                            config=self.config,
+                            target_kernel_us=self.target_kernel_us)
+        if self.kind == "pair":
+            workload = MultiprogramWorkload(self.labels, self.budget_insts,
+                                            restart=self.restart)
+            return run_pair(workload, self.policy,
+                            mode=SchedulerMode(self.mode), seed=self.seed,
+                            latency_limit_us=self.latency_limit_us,
+                            config=self.config,
+                            target_kernel_us=self.target_kernel_us)
+        if self.kind == "periodic":
+            return run_periodic(self.label, self.policy,
+                                constraint_us=self.constraint_us,
+                                periods=self.periods, seed=self.seed,
+                                config=self.config,
+                                target_kernel_us=self.target_kernel_us)
+        raise ConfigError(f"unknown RunSpec kind {self.kind!r}")
+
+
+def execute_timed(spec: RunSpec) -> Tuple[RunResult, float]:
+    """Execute a spec, returning (result, wall seconds). Module-level so
+    ProcessPoolExecutor can pickle it for workers."""
+    start = time.perf_counter()
+    result = spec.execute()
+    return result, time.perf_counter() - start
+
+
+@dataclass
+class SweepStats:
+    """Accounting for one or more SweepRunner.run() calls."""
+
+    jobs: int = 1
+    specs: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    wall_s: float = 0.0
+    #: Sum of per-spec execution times — what a one-process sweep would
+    #: have cost (cached specs contribute their recorded durations).
+    serial_equiv_s: float = 0.0
+
+    def merge(self, other: "SweepStats") -> None:
+        """Fold another accumulator into this one."""
+        self.specs += other.specs
+        self.cache_hits += other.cache_hits
+        self.executed += other.executed
+        self.wall_s += other.wall_s
+        self.serial_equiv_s += other.serial_equiv_s
+
+    @property
+    def speedup(self) -> float:
+        """Serial-equivalent time over actual wall time."""
+        return self.serial_equiv_s / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form for the timings log."""
+        return {
+            "jobs": self.jobs,
+            "specs": self.specs,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "wall_s": round(self.wall_s, 4),
+            "serial_equiv_s": round(self.serial_equiv_s, 4),
+            "speedup": round(self.speedup, 2),
+        }
+
+
+def default_jobs() -> int:
+    """Worker count from ``CHIMERA_JOBS``, default ``os.cpu_count()``."""
+    raw = os.environ.get("CHIMERA_JOBS", "").strip()
+    if raw:
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ConfigError(f"CHIMERA_JOBS must be an integer, got {raw!r}")
+        if jobs < 1:
+            raise ConfigError("CHIMERA_JOBS must be >= 1")
+        return jobs
+    return os.cpu_count() or 1
+
+
+class SweepRunner:
+    """Executes batches of RunSpecs, in parallel and through the cache.
+
+    Results come back in submission order. Identical specs in one batch
+    (or across batches on the same runner) execute once: an in-memory
+    memo keyed by content hash returns the *same* result object, and the
+    on-disk cache replays results across processes and sessions.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None):
+        self.jobs = default_jobs() if jobs is None else jobs
+        if self.jobs < 1:
+            raise ConfigError("SweepRunner needs at least one worker")
+        self.cache = ResultCache.from_env() if cache is None else cache
+        self._memo: Dict[str, RunResult] = {}
+        self._memo_duration: Dict[str, float] = {}
+        #: Stats of the most recent run() call.
+        self.last_stats: Optional[SweepStats] = None
+        #: Stats accumulated over this runner's lifetime.
+        self.total_stats = SweepStats(jobs=self.jobs)
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Execute every spec; returns results in submission order."""
+        specs = list(specs)
+        stats = SweepStats(jobs=self.jobs, specs=len(specs))
+        start = time.perf_counter()
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        misses: Dict[str, List[int]] = {}
+        order: List[Tuple[str, RunSpec]] = []
+        for i, spec in enumerate(specs):
+            key = spec.cache_key()
+            hit = self._lookup(key)
+            if hit is not None:
+                results[i] = hit
+                stats.cache_hits += 1
+                stats.serial_equiv_s += self._memo_duration.get(key, 0.0)
+                continue
+            if key not in misses:
+                order.append((key, spec))
+            misses.setdefault(key, []).append(i)
+        batch = self._execute_batch([spec for _, spec in order])
+        for (key, _), (result, duration) in zip(order, batch):
+            self._memo[key] = result
+            self._memo_duration[key] = duration
+            self.cache.put(key, result, duration)
+            stats.executed += 1
+            stats.serial_equiv_s += duration
+            for i in misses[key]:
+                results[i] = result
+        stats.wall_s = time.perf_counter() - start
+        self.last_stats = stats
+        self.total_stats.merge(stats)
+        return results  # type: ignore[return-value]
+
+    def _lookup(self, key: str) -> Optional[RunResult]:
+        """Memo, then disk. A disk hit is promoted into the memo so the
+        same key later returns the identical object."""
+        if key in self._memo:
+            return self._memo[key]
+        entry = self.cache.get(key)
+        if entry is None:
+            return None
+        self._memo[key] = entry.result
+        self._memo_duration[key] = entry.duration_s
+        return entry.result
+
+    def _execute_batch(self, specs: List[RunSpec]
+                       ) -> List[Tuple[RunResult, float]]:
+        """Run the deduplicated cache misses, parallel or serial."""
+        if not specs:
+            return []
+        if self.jobs == 1 or len(specs) == 1:
+            return [execute_timed(spec) for spec in specs]
+        workers = min(self.jobs, len(specs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(execute_timed, specs))
+
+
+__all__ = [
+    "RunSpec",
+    "RunResult",
+    "SweepRunner",
+    "SweepStats",
+    "default_jobs",
+    "execute_timed",
+]

@@ -28,10 +28,16 @@ def normalized_turnaround(t_single: float, t_multi: float) -> float:
 
 
 def antt(ntts: Sequence[float]) -> float:
-    """Average normalized turnaround time (Equation 1)."""
+    """Average normalized turnaround time (Equation 1).
+
+    The mean is clamped to [min, max] of the inputs: summation rounding
+    can push the naive mean of near-identical values a ULP outside the
+    mathematically guaranteed range.
+    """
     if not ntts:
         raise ConfigError("ANTT needs at least one benchmark")
-    return sum(ntts) / len(ntts)
+    mean = sum(ntts) / len(ntts)
+    return min(max(mean, min(ntts)), max(ntts))
 
 
 def stp(ntts: Sequence[float]) -> float:

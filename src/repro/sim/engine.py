@@ -5,6 +5,10 @@ firing time. Components schedule callbacks and may cancel events they
 previously scheduled (lazy cancellation: the heap entry stays, the event
 is skipped when popped). Ties in time break by insertion order so runs
 are deterministic.
+
+The heap stores ``(time, seq, event)`` tuples: ``seq`` is unique, so
+tuple comparison never falls through to the event object and the heap
+never calls a Python-level ``__lt__`` during sift operations.
 """
 
 from __future__ import annotations
@@ -23,18 +27,23 @@ class Event:
     cancelled with :meth:`cancel`. A cancelled event is never fired.
     """
 
-    __slots__ = ("time", "seq", "callback", "label", "_cancelled")
+    __slots__ = ("time", "seq", "callback", "label", "_cancelled", "_engine")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None], label: str):
+    def __init__(self, time: float, seq: int, callback: Callable[[], None], label: str,
+                 engine: Optional["Engine"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.label = label
         self._cancelled = False
+        self._engine = engine
 
     def cancel(self) -> None:
         """Mark this event so that it is skipped when popped."""
-        self._cancelled = True
+        if not self._cancelled:
+            self._cancelled = True
+            if self._engine is not None:
+                self._engine._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
@@ -58,10 +67,13 @@ class Engine:
     """
 
     def __init__(self) -> None:
-        self._queue: list[Event] = []
+        self._queue: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._fired = 0
+        #: Live (scheduled, not yet fired, not cancelled) event count,
+        #: maintained incrementally so pending_events is O(1).
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -76,14 +88,19 @@ class Engine:
     @property
     def pending_events(self) -> int:
         """Number of not-yet-fired, not-cancelled events in the queue."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        return self._live
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping hook called by Event.cancel()."""
+        self._live -= 1
 
     def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
         """Schedule ``callback`` to fire ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule event {label!r} in the past (delay={delay})")
-        event = Event(self._now + delay, next(self._seq), callback, label)
-        heapq.heappush(self._queue, event)
+        event = Event(self._now + delay, next(self._seq), callback, label, engine=self)
+        heapq.heappush(self._queue, (event.time, event.seq, event))
+        self._live += 1
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
@@ -92,15 +109,15 @@ class Engine:
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
+        while self._queue and self._queue[0][2].cancelled:
             heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        return self._queue[0][0] if self._queue else None
 
     def step(self) -> bool:
         """Fire the next live event. Returns False when the queue is empty."""
         while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+            _, _, event = heapq.heappop(self._queue)
+            if event._cancelled:
                 continue
             if event.time < self._now:
                 raise SimulationError(
@@ -108,6 +125,7 @@ class Engine:
                 )
             self._now = event.time
             self._fired += 1
+            self._live -= 1
             event.callback()
             return True
         return False

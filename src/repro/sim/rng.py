@@ -12,7 +12,7 @@ from __future__ import annotations
 import hashlib
 import math
 import random
-from typing import Dict
+from typing import Dict, List
 
 
 def _derive_seed(root_seed: int, name: str) -> int:
@@ -47,9 +47,41 @@ class RngStreams:
         mu = math.log(mean) - sigma2 / 2.0
         return self.stream(name).lognormvariate(mu, math.sqrt(sigma2))
 
+    def lognormal_batch(self, name: str, mean: float, cv: float,
+                        n: int) -> List[float]:
+        """Draw ``n`` lognormal values in one call.
+
+        The ``mu``/``sigma`` transform is computed once and the stream's
+        bound ``lognormvariate`` is called ``n`` times, so the sequence
+        of values is bit-identical to ``n`` calls of :meth:`lognormal`
+        (same stream state transitions, same floats). ``cv == 0``
+        returns ``[mean] * n`` without touching the stream, matching the
+        scalar method's draw-free shortcut.
+        """
+        if mean <= 0:
+            raise ValueError(f"lognormal mean must be positive, got {mean}")
+        if n <= 0:
+            return []
+        if cv <= 0:
+            return [mean] * n
+        sigma2 = math.log(1.0 + cv * cv)
+        mu = math.log(mean) - sigma2 / 2.0
+        sigma = math.sqrt(sigma2)
+        draw = self.stream(name).lognormvariate
+        return [draw(mu, sigma) for _ in range(n)]
+
     def beta(self, name: str, alpha: float, beta: float) -> float:
         """Draw from a Beta(alpha, beta) distribution on [0, 1]."""
         return self.stream(name).betavariate(alpha, beta)
+
+    def beta_batch(self, name: str, alpha: float, beta: float,
+                   n: int) -> List[float]:
+        """Draw ``n`` Beta(alpha, beta) values in one call (bit-identical
+        to ``n`` calls of :meth:`beta` on the same stream)."""
+        if n <= 0:
+            return []
+        draw = self.stream(name).betavariate
+        return [draw(alpha, beta) for _ in range(n)]
 
     def uniform(self, name: str, lo: float, hi: float) -> float:
         """Draw uniformly from [lo, hi)."""

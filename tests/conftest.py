@@ -2,7 +2,19 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_sweep_cache(tmp_path_factory):
+    """Point the sweep result cache at a per-session temp directory so
+    tests never read stale entries from (or litter) the repo's
+    ``.chimera-cache/``."""
+    os.environ["CHIMERA_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("chimera-cache"))
+    yield
 
 from repro.gpu.config import GPUConfig
 from repro.gpu.gpu import GPU

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.techniques import Technique
+from repro.harness.cache import ResultCache
 from repro.harness.experiments import (
     CaseStudyResult,
     PeriodicSweepResult,
@@ -13,6 +14,7 @@ from repro.harness.experiments import (
     figure9,
     figure10_11,
 )
+from repro.harness.sweep import SweepRunner
 from repro.workloads.multiprogram import MultiprogramWorkload
 
 LABELS = ("BS", "KM")  # small, well-behaved subset
@@ -106,11 +108,12 @@ class TestFigure1011:
         assert result.antt_improvement("fcfs") == pytest.approx(1.0)
         assert result.stp_improvement("fcfs") == pytest.approx(0.0)
 
-    def test_solo_cache_reused(self):
-        cache = {}
+    def test_solo_runs_dedupe_through_runner(self):
+        runner = SweepRunner(jobs=1, cache=ResultCache(enabled=False))
         wl = MultiprogramWorkload(("LUD", "BS"), budget_insts=2e6)
-        figure10_11(wl, policies=("chimera",), seed=5, solo_cache=cache)
-        assert set(cache) == {"LUD", "BS"}
-        first = dict(cache)
-        figure10_11(wl, policies=("chimera",), seed=5, solo_cache=cache)
-        assert cache == first
+        first = figure10_11(wl, policies=("chimera",), seed=5, runner=runner)
+        executed = runner.total_stats.executed
+        assert executed == 4  # 2 solo baselines + fcfs + chimera
+        second = figure10_11(wl, policies=("chimera",), seed=5, runner=runner)
+        assert runner.total_stats.executed == executed  # all memo hits
+        assert second.ntts == first.ntts

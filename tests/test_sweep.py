@@ -1,0 +1,196 @@
+"""Tests for the sweep-execution layer: RunSpec hashing, the parallel
+runner's serial-equivalence guarantee, and the on-disk result cache."""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.harness.cache import CacheEntry, ResultCache
+from repro.harness.experiments import figure6_7
+from repro.harness.runner import run_periodic
+from repro.harness.sweep import RunSpec, SweepRunner, default_jobs
+from repro.sched.kernel_scheduler import SchedulerMode
+from repro.workloads.multiprogram import MultiprogramWorkload
+
+LABELS = ("BS", "HS", "KM")  # three fast benchmarks
+PERIODS = 2
+
+
+def _runner(tmp_path, jobs=1, subdir="cache", enabled=True):
+    return SweepRunner(jobs=jobs,
+                       cache=ResultCache(tmp_path / subdir, enabled=enabled))
+
+
+class TestRunSpec:
+    def test_roundtrips_through_pickle(self):
+        spec = RunSpec.pair(MultiprogramWorkload(("LUD", "BS"), 2e6),
+                            "chimera", seed=7)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.cache_key() == spec.cache_key()
+
+    def test_hash_is_stable_across_instances(self):
+        a = RunSpec.periodic("BS", "chimera", periods=3, seed=9)
+        b = RunSpec.periodic("BS", "chimera", periods=3, seed=9)
+        assert a.cache_key() == b.cache_key()
+
+    def test_hash_covers_every_scenario_knob(self):
+        base = RunSpec.periodic("BS", "chimera", periods=3, seed=9)
+        variants = [
+            RunSpec.periodic("HS", "chimera", periods=3, seed=9),
+            RunSpec.periodic("BS", "drain", periods=3, seed=9),
+            RunSpec.periodic("BS", "chimera", periods=4, seed=9),
+            RunSpec.periodic("BS", "chimera", periods=3, seed=10),
+            RunSpec.periodic("BS", "chimera", constraint_us=5.0,
+                             periods=3, seed=9),
+            RunSpec.periodic("BS", "chimera", periods=3, seed=9,
+                             config=GPUConfig(num_sms=8)),
+            RunSpec.periodic("BS", "chimera", periods=3, seed=9,
+                             target_kernel_us=500.0),
+        ]
+        keys = {spec.cache_key() for spec in variants}
+        assert base.cache_key() not in keys
+        assert len(keys) == len(variants)
+
+    def test_default_config_normalizes(self):
+        implicit = RunSpec.solo("BS", 1e6)
+        explicit = RunSpec.solo("BS", 1e6, config=GPUConfig())
+        assert implicit.cache_key() == explicit.cache_key()
+
+    def test_execute_matches_direct_runner_call(self):
+        spec = RunSpec.periodic("BS", "chimera", periods=PERIODS, seed=3)
+        direct = run_periodic("BS", "chimera", periods=PERIODS, seed=3)
+        assert spec.execute() == direct
+
+    def test_unknown_kind_rejected(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            RunSpec(kind="nope").execute()
+
+
+class TestParallelEqualsSerial:
+    def test_fig67_parallel_matches_serial_field_for_field(self, tmp_path):
+        """The hard requirement: a CHIMERA_JOBS=4 sweep is bit-identical
+        to the serial sweep for the same seeds."""
+        kwargs = dict(labels=LABELS, periods=PERIODS, seed=11)
+        serial = figure6_7(runner=_runner(tmp_path, jobs=1, subdir="s"),
+                           **kwargs)
+        parallel = figure6_7(runner=_runner(tmp_path, jobs=4, subdir="p"),
+                             **kwargs)
+        assert set(serial.results) == set(parallel.results)
+        for label in serial.results:
+            for policy, s in serial.results[label].items():
+                p = parallel.results[label][policy]
+                assert dataclasses.asdict(s) == dataclasses.asdict(p), \
+                    (label, policy)
+
+    def test_results_come_back_in_submission_order(self, tmp_path):
+        specs = [RunSpec.periodic(label, "drain", periods=PERIODS, seed=2)
+                 for label in LABELS]
+        results = _runner(tmp_path, jobs=2).run(specs)
+        assert [r.label for r in results] == list(LABELS)
+
+    def test_duplicate_specs_execute_once(self, tmp_path):
+        runner = _runner(tmp_path, jobs=1)
+        spec = RunSpec.periodic("BS", "drain", periods=PERIODS, seed=2)
+        a, b = runner.run([spec, spec])
+        assert a is b
+        assert runner.last_stats.executed == 1
+
+
+class TestResultCache:
+    def test_hit_returns_identical_result_object(self, tmp_path):
+        runner = _runner(tmp_path)
+        spec = RunSpec.periodic("BS", "chimera", periods=PERIODS, seed=4)
+        first = runner.run([spec])[0]
+        again = runner.run([spec])[0]
+        assert again is first
+        assert runner.last_stats.cache_hits == 1
+        assert runner.last_stats.executed == 0
+
+    def test_disk_hit_across_runners_equals_fresh_run(self, tmp_path):
+        spec = RunSpec.periodic("BS", "chimera", periods=PERIODS, seed=4)
+        first = _runner(tmp_path).run([spec])[0]
+        replayed = _runner(tmp_path).run([spec])[0]  # fresh memo, same disk
+        assert dataclasses.asdict(replayed) == dataclasses.asdict(first)
+
+    def test_changed_seed_constraint_or_config_misses(self, tmp_path):
+        runner = _runner(tmp_path)
+        runner.run([RunSpec.periodic("BS", "chimera", periods=PERIODS,
+                                     seed=4)])
+        for variant in (
+            RunSpec.periodic("BS", "chimera", periods=PERIODS, seed=5),
+            RunSpec.periodic("BS", "chimera", constraint_us=10.0,
+                             periods=PERIODS, seed=4),
+            RunSpec.periodic("BS", "chimera", periods=PERIODS, seed=4,
+                             config=GPUConfig(num_sms=8)),
+        ):
+            runner.run([variant])
+            assert runner.last_stats.cache_hits == 0
+            assert runner.last_stats.executed == 1
+
+    def test_corrupted_entry_discarded_not_crashed(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = RunSpec.periodic("BS", "chimera", periods=PERIODS, seed=4)
+        runner = SweepRunner(jobs=1, cache=cache)
+        first = runner.run([spec])[0]
+        path = cache.path_for(spec.cache_key())
+        assert path.is_file()
+        path.write_bytes(b"not a pickle")
+        fresh = SweepRunner(jobs=1, cache=cache)
+        recomputed = fresh.run([spec])[0]
+        assert dataclasses.asdict(recomputed) == dataclasses.asdict(first)
+        assert fresh.last_stats.executed == 1  # it really recomputed
+
+    def test_wrong_key_payload_discarded(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = RunSpec.periodic("BS", "chimera", periods=PERIODS, seed=4)
+        path = cache.path_for(spec.cache_key())
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps(CacheEntry("other-key", 42, 0.0)))
+        assert cache.get(spec.cache_key()) is None
+        assert not path.exists()
+
+    def test_disabled_cache_never_writes(self, tmp_path):
+        runner = _runner(tmp_path, enabled=False)
+        runner.run([RunSpec.periodic("BS", "drain", periods=PERIODS,
+                                     seed=4)])
+        assert not (tmp_path / "cache").exists()
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        SweepRunner(jobs=1, cache=cache).run(
+            [RunSpec.periodic("BS", "drain", periods=PERIODS, seed=4)])
+        assert cache.clear() == 1
+        assert cache.get(RunSpec.periodic(
+            "BS", "drain", periods=PERIODS, seed=4).cache_key()) is None
+
+
+class TestKnobs:
+    def test_default_jobs_env_override(self, monkeypatch):
+        monkeypatch.setenv("CHIMERA_JOBS", "7")
+        assert default_jobs() == 7
+
+    def test_default_jobs_rejects_garbage(self, monkeypatch):
+        from repro.errors import ConfigError
+        monkeypatch.setenv("CHIMERA_JOBS", "zero")
+        with pytest.raises(ConfigError):
+            default_jobs()
+        monkeypatch.setenv("CHIMERA_JOBS", "0")
+        with pytest.raises(ConfigError):
+            default_jobs()
+
+    def test_no_cache_env_disables(self, monkeypatch):
+        monkeypatch.setenv("CHIMERA_NO_CACHE", "1")
+        assert ResultCache.from_env().enabled is False
+
+    def test_pair_spec_executes_fcfs_baseline(self, tmp_path):
+        workload = MultiprogramWorkload(("LUD", "BS"), budget_insts=2e6)
+        spec = RunSpec.pair(workload, None, mode=SchedulerMode.FCFS, seed=3)
+        result = _runner(tmp_path).run([spec])[0]
+        assert result.policy == "fcfs"
+        assert set(result.metric_time_cycles) == {"LUD", "BS"}
