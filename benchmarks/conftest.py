@@ -21,6 +21,14 @@ Scale knobs (environment variables):
 * ``CHIMERA_BENCH_SEED``    — root seed (default 12345)
 * ``CHIMERA_JOBS`` / ``CHIMERA_CACHE_DIR`` / ``CHIMERA_NO_CACHE`` — see
   :mod:`repro.harness.sweep`
+* ``CHIMERA_SPEC_TIMEOUT`` / ``CHIMERA_MAX_RETRIES`` /
+  ``CHIMERA_RETRY_BACKOFF`` / ``CHIMERA_KEEP_GOING`` /
+  ``CHIMERA_FAULTS`` — fault-tolerance + fault-injection knobs; the
+  session runner inherits them, so a crashed or hung worker costs one
+  spec's retries, not the whole figure, and every completed sibling is
+  already persisted in the cache. The ``retries`` / ``timeouts`` /
+  ``failed`` / ``pool_rebuilds`` / ``degraded`` counters land in
+  ``results/timings.json`` next to the wall-clock numbers.
 """
 
 from __future__ import annotations
@@ -78,7 +86,11 @@ def record_timing(name: str, wall_s: float, stats) -> None:
 @pytest.fixture(scope="session")
 def sweep_runner() -> SweepRunner:
     """One runner for the whole benchmark session: solo baselines and
-    repeated sweeps dedupe through its memo + disk cache."""
+    repeated sweeps dedupe through its memo + disk cache. Retry, timeout
+    and degradation warnings surface on stderr via the repro logger."""
+    import repro
+
+    repro.setup_logging()
     return SweepRunner()
 
 

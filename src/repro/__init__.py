@@ -13,6 +13,8 @@ Quickstart::
     print(result.violations.violation_rate, result.throughput_overhead)
 """
 
+import logging
+
 from repro.core import (
     ChimeraPolicy,
     CostEstimator,
@@ -23,9 +25,11 @@ from repro.core import (
     make_policy,
 )
 from repro.gpu import GPU, GPUConfig, Kernel, StreamingMultiprocessor, ThreadBlock
+from repro.errors import ReproError, SweepError
 from repro.harness import (
     ResultCache,
     RunSpec,
+    SpecFailure,
     SweepRunner,
     run_pair,
     run_periodic,
@@ -43,6 +47,26 @@ from repro.workloads import TABLE2, benchmark, benchmark_labels, kernel_spec
 
 __version__ = "1.0.0"
 
+
+def setup_logging(level: int = logging.WARNING) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` logger tree (idempotent).
+
+    Library modules log through child loggers (``repro.harness.cache``,
+    ``repro.harness.sweep``, ...) and never configure handlers
+    themselves; call this once from an application or test harness to
+    surface discarded cache entries, retries, pool rebuilds, and
+    degradation warnings.
+    """
+    root = logging.getLogger("repro")
+    if not any(isinstance(h, logging.StreamHandler) for h in root.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+        root.addHandler(handler)
+    root.setLevel(level)
+    return root
+
+
 __all__ = [
     "ChimeraPolicy",
     "CostEstimator",
@@ -56,9 +80,13 @@ __all__ = [
     "Kernel",
     "StreamingMultiprocessor",
     "ThreadBlock",
+    "ReproError",
+    "SweepError",
     "ResultCache",
     "RunSpec",
+    "SpecFailure",
     "SweepRunner",
+    "setup_logging",
     "run_pair",
     "run_periodic",
     "run_solo",

@@ -74,6 +74,20 @@ def _positive_int(raw: str) -> int:
     return value
 
 
+def _nonnegative_int(raw: str) -> int:
+    value = int(raw)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+def _nonnegative_float(raw: str) -> float:
+    value = float(raw)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
 def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
     """Sweep-runner knobs shared by the simulation commands."""
     parser.add_argument("--jobs", type=_positive_int, default=None, metavar="N",
@@ -81,6 +95,18 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
                              "(default: CHIMERA_JOBS or CPU count)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache")
+    parser.add_argument("--timeout", type=_nonnegative_float, default=None,
+                        metavar="S",
+                        help="per-spec wall-clock timeout in seconds "
+                             "(default: CHIMERA_SPEC_TIMEOUT; 0 disables)")
+    parser.add_argument("--max-retries", type=_nonnegative_int, default=None,
+                        metavar="N",
+                        help="retry budget per failing/hung spec "
+                             "(default: CHIMERA_MAX_RETRIES or 1)")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="finish the sweep and report partial results "
+                             "plus a failure summary instead of aborting on "
+                             "a permanently failed spec")
 
 
 def _make_runner(args: argparse.Namespace):
@@ -91,7 +117,16 @@ def _make_runner(args: argparse.Namespace):
     cache = ResultCache.from_env()
     if args.no_cache:
         cache.enabled = False
-    return SweepRunner(jobs=args.jobs, cache=cache)
+    return SweepRunner(jobs=args.jobs, cache=cache, timeout=args.timeout,
+                       max_retries=args.max_retries,
+                       strict=False if args.keep_going else None)
+
+
+def _print_failures(failures) -> None:
+    """Print the per-spec failure summary for a failed sweep."""
+    from repro.harness.sweep import format_failures
+
+    print(format_failures(failures))
 
 
 def cmd_table1() -> int:
@@ -160,12 +195,20 @@ def cmd_analyze() -> int:
 
 def cmd_periodic(args: argparse.Namespace) -> int:
     """``periodic``: run the paper's periodic-task scenario."""
-    from repro.harness.sweep import RunSpec
+    from repro.errors import SweepError
+    from repro.harness.sweep import RunSpec, SpecFailure
 
     spec = RunSpec.periodic(args.bench, args.policy,
                             constraint_us=args.constraint_us,
                             periods=args.periods, seed=args.seed)
-    result = _make_runner(args).run([spec])[0]
+    try:
+        result = _make_runner(args).run([spec])[0]
+    except SweepError as exc:
+        _print_failures(exc.failures)
+        return 1
+    if isinstance(result, SpecFailure):
+        _print_failures([result])
+        return 1
     mix = {tech.value: count
            for tech, count in result.technique_mix.counts.items()}
     print(f"benchmark          {result.label}")
@@ -182,14 +225,22 @@ def cmd_periodic(args: argparse.Namespace) -> int:
 
 def cmd_pair(args: argparse.Namespace) -> int:
     """``pair``: run a multiprogrammed combination vs FCFS."""
+    from repro.errors import SweepError
     from repro.harness.experiments import figure10_11
     from repro.workloads.multiprogram import MultiprogramWorkload
 
     workload = MultiprogramWorkload(tuple(args.benchmarks),
                                     budget_insts=args.budget)
-    result = figure10_11(workload, policies=tuple(args.policies),
-                         latency_limit_us=args.latency_limit_us,
-                         seed=args.seed, runner=_make_runner(args))
+    try:
+        result = figure10_11(workload, policies=tuple(args.policies),
+                             latency_limit_us=args.latency_limit_us,
+                             seed=args.seed, runner=_make_runner(args))
+    except SweepError as exc:
+        _print_failures(exc.failures)
+        return 1
+    if result.failures:
+        _print_failures(result.failures)
+        return 1
     rows = []
     for policy in ("fcfs", *args.policies):
         rows.append([

@@ -31,6 +31,19 @@ class PreemptionError(ReproError):
     """A preemption request could not be carried out."""
 
 
+class SweepError(ReproError):
+    """One or more sweep specs failed permanently after retries.
+
+    Raised by a strict :class:`~repro.harness.sweep.SweepRunner` once
+    the whole batch has been driven to completion; ``failures`` holds
+    the :class:`~repro.harness.sweep.SpecFailure` records.
+    """
+
+    def __init__(self, message: str, failures=()):
+        super().__init__(message)
+        self.failures = list(failures)
+
+
 class IRError(ReproError):
     """A kernel IR program is malformed."""
 

@@ -11,7 +11,14 @@ from repro.harness.runner import (
     run_periodic,
 )
 from repro.harness.cache import CacheEntry, ResultCache
-from repro.harness.sweep import RunSpec, SweepRunner, SweepStats
+from repro.harness import faults
+from repro.harness.sweep import (
+    RunSpec,
+    SpecFailure,
+    SweepRunner,
+    SweepStats,
+    format_failures,
+)
 from repro.harness.experiments import (
     figure6_7,
     figure8,
@@ -33,8 +40,11 @@ __all__ = [
     "CacheEntry",
     "ResultCache",
     "RunSpec",
+    "SpecFailure",
     "SweepRunner",
     "SweepStats",
+    "format_failures",
+    "faults",
     "figure6_7",
     "figure8",
     "figure9",

@@ -15,18 +15,26 @@ Environment knobs:
 
 Entries are pickles written atomically (temp file + rename); a
 corrupted or unreadable entry is deleted and treated as a miss, never
-raised to the caller.
+raised to the caller — but each discard is logged exactly once (the
+file is gone afterwards) on the ``repro.harness.cache`` logger with the
+entry key and the reason, so silent data loss is visible. Call
+:func:`repro.setup_logging` to surface these warnings on stderr.
 """
 
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Optional
+
+from repro.harness import faults
+
+logger = logging.getLogger("repro.harness.cache")
 
 #: Default cache directory, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".chimera-cache"
@@ -70,7 +78,8 @@ class ResultCache:
         """Load an entry, or None on a miss.
 
         A corrupted entry (truncated pickle, stale class layout, wrong
-        key) is deleted and reported as a miss.
+        key) is deleted, logged once with the reason, and reported as a
+        miss.
         """
         if not self.enabled:
             return None
@@ -80,10 +89,17 @@ class ResultCache:
                 entry = pickle.load(fh)
         except FileNotFoundError:
             return None
-        except Exception:
+        except Exception as exc:
+            logger.warning(
+                "discarding unreadable cache entry %s (%s: %s)",
+                key, type(exc).__name__, exc)
             self._discard(path)
             return None
         if not isinstance(entry, CacheEntry) or entry.key != key:
+            logger.warning(
+                "discarding cache entry %s: foreign payload or key mismatch "
+                "(stored key %s)", key,
+                getattr(entry, "key", "<missing>"))
             self._discard(path)
             return None
         return entry
@@ -102,9 +118,13 @@ class ResultCache:
         except Exception:
             try:
                 os.unlink(tmp_name)
-            except OSError:
-                pass
+            except OSError as exc:
+                logger.warning("could not remove temp cache file %s: %s",
+                               tmp_name, exc)
             raise
+        if faults.should_corrupt_put(key):
+            self.path_for(key).write_bytes(faults.CORRUPT_PAYLOAD)
+            logger.warning("fault injection: corrupted cache entry %s", key)
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
@@ -120,8 +140,10 @@ class ResultCache:
     def _discard(path: Path) -> None:
         try:
             path.unlink()
-        except OSError:
+        except FileNotFoundError:
             pass
+        except OSError as exc:
+            logger.warning("could not delete cache entry %s: %s", path, exc)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "on" if self.enabled else "off"

@@ -8,7 +8,16 @@ result cache), and assemble structured results the benchmark harness
 formats into tables. Pass ``runner=`` to share one runner (and its
 memoized results) across figures; by default each call builds a runner
 from the ``CHIMERA_JOBS``/``CHIMERA_CACHE_DIR``/``CHIMERA_NO_CACHE``
-environment knobs.
+environment knobs (plus the fault-tolerance knobs —
+``CHIMERA_SPEC_TIMEOUT``, ``CHIMERA_MAX_RETRIES``,
+``CHIMERA_KEEP_GOING`` — documented in :mod:`repro.harness.sweep`).
+
+With a strict runner (the default) a permanently failed spec raises
+:class:`~repro.errors.SweepError`. With a keep-going runner
+(``strict=False`` / ``CHIMERA_KEEP_GOING``) each driver returns partial
+results: failed cells are skipped and the per-spec
+:class:`~repro.harness.sweep.SpecFailure` records accumulate on the
+returned object's ``failures`` list.
 """
 
 from __future__ import annotations
@@ -20,7 +29,7 @@ from repro.core.chimera import POLICY_NAMES
 from repro.core.techniques import Technique
 from repro.gpu.config import GPUConfig
 from repro.harness.runner import PairResult, PeriodicResult
-from repro.harness.sweep import RunSpec, SweepRunner
+from repro.harness.sweep import RunSpec, SpecFailure, SweepRunner
 from repro.metrics.metrics import antt, normalized_turnaround, stp
 from repro.sched.kernel_scheduler import SchedulerMode
 from repro.workloads.multiprogram import MultiprogramWorkload
@@ -39,10 +48,20 @@ class PeriodicSweepResult:
 
     constraint_us: float
     results: Dict[str, Dict[str, PeriodicResult]] = field(default_factory=dict)
+    #: Permanently failed specs (keep-going mode only; strict raises).
+    failures: List[SpecFailure] = field(default_factory=list)
 
     def add(self, result: PeriodicResult) -> None:
-        """Add a value/sample."""
+        """Add a value/sample (or record a keep-going failure)."""
+        if isinstance(result, SpecFailure):
+            self.failures.append(result)
+            return
         self.results.setdefault(result.label, {})[result.policy] = result
+
+    @property
+    def complete(self) -> bool:
+        """True when every submitted spec produced a result."""
+        return not self.failures
 
     def policies(self) -> List[str]:
         """Policy names present, in insertion order."""
@@ -164,6 +183,15 @@ class CaseStudyResult:
     #: policy -> per-benchmark normalized turnaround time.
     ntts: Dict[str, Dict[str, float]] = field(default_factory=dict)
     preemption_requests: Dict[str, int] = field(default_factory=dict)
+    #: Permanently failed specs (keep-going mode only; strict raises).
+    #: A non-empty list means the metrics above are unavailable: ANTT /
+    #: STP need every solo baseline and pair run of the workload.
+    failures: List[SpecFailure] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when every spec of this workload produced a result."""
+        return not self.failures
 
     def antt(self, policy: str) -> float:
         """Average normalized turnaround time for a policy."""
@@ -216,6 +244,10 @@ def case_study_sweep(workloads: Sequence[MultiprogramWorkload],
     whole sweep is submitted to the runner at once, so the fan-out sees
     the full parallelism of the sweep and duplicate solo runs (e.g. LUD
     appearing in 13 pairs) execute exactly once.
+
+    With a keep-going runner, a workload with any permanently failed
+    spec comes back with its ``failures`` list populated and no metrics
+    (ANTT/STP need every baseline); the other workloads are unaffected.
     """
     runner = runner or SweepRunner()
     specs: List[RunSpec] = []
@@ -229,12 +261,25 @@ def case_study_sweep(workloads: Sequence[MultiprogramWorkload],
             specs.append(RunSpec.pair(workload, policy,
                                       latency_limit_us=latency_limit_us,
                                       seed=seed, config=config))
-    results = iter(runner.run(specs))
+    all_results = runner.run(specs)
 
     out: Dict[str, CaseStudyResult] = {}
+    pos = 0
     for workload in workloads:
+        count = len(workload.labels) + 1 + len(policies)
+        chunk = all_results[pos:pos + count]
+        pos += count
         result = CaseStudyResult(workload_name=workload.name,
                                  labels=workload.labels)
+        seen = set()
+        for item in chunk:
+            if isinstance(item, SpecFailure) and id(item) not in seen:
+                seen.add(id(item))  # duplicate specs share one failure
+                result.failures.append(item)
+        out[workload.name] = result
+        if result.failures:
+            continue
+        results = iter(chunk)
         solo_times = {label: next(results).metric_time_cycles
                       for label in workload.labels}
 
@@ -250,5 +295,4 @@ def case_study_sweep(workloads: Sequence[MultiprogramWorkload],
         record("fcfs", next(results))
         for policy in policies:
             record(policy, next(results))
-        out[workload.name] = result
     return out

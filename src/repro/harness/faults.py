@@ -1,0 +1,264 @@
+"""Deterministic fault injection for the sweep harness.
+
+Production sweeps must survive worker crashes, hangs, and cache
+corruption — and those recovery paths are worthless if they cannot be
+exercised on demand. This module injects faults *deterministically*,
+keyed on the position of a spec within its batch of cache misses and on
+the attempt number, so a test (or a CI smoke job) can script "spec 1
+crashes its worker on the first attempt" and assert the exact recovery
+path.
+
+Fault plans come from two sources:
+
+* **Environment** — ``CHIMERA_FAULTS`` holds a comma-separated list of
+  directives; worker processes inherit it, so faults fire inside the
+  process pool too.
+* **Fixtures** — :func:`install` / :func:`injected` set a process-local
+  plan, for in-process (serial) tests that should not leak state
+  through the environment.
+
+Directive syntax: ``kind@index[:attempts]`` where ``index`` is the
+0-based position of the spec in the executed (cache-missing) batch or
+``*`` for every spec, and ``attempts`` bounds how many attempts the
+fault fires on (default ``1`` — fire on attempt 0 only, i.e.
+flaky-then-succeed; ``inf`` fires forever). Kinds:
+
+* ``fail``    — raise :class:`FaultInjected` (a plain failing spec)
+* ``crash``   — ``os._exit(13)`` *in worker processes only*, breaking
+  the process pool; a no-op in the main process, so degraded serial
+  execution recovers
+* ``hang``    — sleep ``CHIMERA_FAULT_HANG_S`` seconds (default 3600),
+  tripping the per-spec timeout
+* ``corrupt`` — overwrite the ``index``-th cache ``put()`` of this
+  process with garbage bytes, exercising corrupt-entry recovery
+
+Examples::
+
+    CHIMERA_FAULTS="fail@1"            # spec 1 fails once, retry succeeds
+    CHIMERA_FAULTS="crash@0:inf"       # spec 0 always crashes its worker
+    CHIMERA_FAULTS="hang@2,corrupt@0"  # spec 2 hangs; first put corrupted
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple, Union
+
+from repro.errors import ConfigError, ReproError
+
+#: Garbage written over a cache entry by the ``corrupt`` fault.
+CORRUPT_PAYLOAD = b"\x00chimera fault injection: deliberately corrupt\x00"
+
+#: Worker exit code used by the ``crash`` fault.
+CRASH_EXIT_CODE = 13
+
+_KINDS = ("fail", "crash", "hang", "corrupt")
+
+#: PID of the process that imported this module. Forked pool workers
+#: inherit the value, so a differing ``os.getpid()`` marks a worker.
+_MAIN_PID = os.getpid()
+
+_installed: Optional["FaultPlan"] = None
+_env_cache: Tuple[Optional[str], Optional["FaultPlan"]] = (None, None)
+_put_seq = 0
+
+
+class FaultInjected(ReproError):
+    """Raised by the ``fail`` fault to simulate a failing spec."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One directive: a kind, a target spec index, an attempt budget."""
+
+    kind: str
+    index: Optional[int]      # None targets every index
+    attempts: float = 1.0     # fire while attempt < attempts; inf = always
+
+    def matches(self, index: int, attempt: int) -> bool:
+        """Does this fault fire for the given spec attempt?"""
+        return ((self.index is None or self.index == index)
+                and attempt < self.attempts)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable set of faults, queried by the execution layer."""
+
+    faults: Tuple[Fault, ...] = ()
+
+    def fires(self, kind: str, index: int, attempt: int) -> bool:
+        """Does any fault of ``kind`` fire for this spec attempt?"""
+        return any(f.kind == kind and f.matches(index, attempt)
+                   for f in self.faults)
+
+    def has_corrupt(self) -> bool:
+        """Does the plan contain any cache-corruption fault?"""
+        return any(f.kind == "corrupt" for f in self.faults)
+
+    def corrupts_put(self, seq: int) -> bool:
+        """Should the ``seq``-th cache put of this process be corrupted?"""
+        return any(f.kind == "corrupt" and (f.index is None or f.index == seq)
+                   for f in self.faults)
+
+
+def parse_plan(text: str) -> FaultPlan:
+    """Parse a ``CHIMERA_FAULTS`` directive string into a plan."""
+    faults = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        kind, sep, target = part.partition("@")
+        kind = kind.strip().lower()
+        if not sep or kind not in _KINDS:
+            raise ConfigError(
+                f"bad CHIMERA_FAULTS entry {part!r}: expected "
+                f"kind@index[:attempts] with kind in {_KINDS}")
+        index_s, _, attempts_s = target.partition(":")
+        index_s = index_s.strip()
+        if index_s in ("", "*"):
+            index: Optional[int] = None
+        else:
+            try:
+                index = int(index_s)
+            except ValueError as exc:
+                raise ConfigError(
+                    f"bad CHIMERA_FAULTS index {index_s!r} in {part!r}"
+                ) from exc
+            if index < 0:
+                raise ConfigError(f"CHIMERA_FAULTS index must be >= 0: {part!r}")
+        attempts_s = attempts_s.strip()
+        if not attempts_s:
+            attempts = 1.0
+        elif attempts_s in ("inf", "*"):
+            attempts = math.inf
+        else:
+            try:
+                attempts = float(int(attempts_s))
+            except ValueError as exc:
+                raise ConfigError(
+                    f"bad CHIMERA_FAULTS attempts {attempts_s!r} in {part!r}"
+                ) from exc
+            if attempts < 1:
+                raise ConfigError(
+                    f"CHIMERA_FAULTS attempts must be >= 1: {part!r}")
+        faults.append(Fault(kind=kind, index=index, attempts=attempts))
+    return FaultPlan(tuple(faults))
+
+
+def install(plan: Union[FaultPlan, str]) -> None:
+    """Install a process-local plan (overrides ``CHIMERA_FAULTS``)."""
+    global _installed, _put_seq
+    _installed = parse_plan(plan) if isinstance(plan, str) else plan
+    _put_seq = 0
+
+
+def clear() -> None:
+    """Remove any installed plan and reset the put counter."""
+    global _installed, _put_seq
+    _installed = None
+    _put_seq = 0
+
+
+@contextmanager
+def injected(plan: Union[FaultPlan, str]) -> Iterator[None]:
+    """Context manager: install a plan, always clear it on exit."""
+    install(plan)
+    try:
+        yield
+    finally:
+        clear()
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The installed plan, else one parsed from ``CHIMERA_FAULTS``."""
+    if _installed is not None:
+        return _installed
+    text = os.environ.get("CHIMERA_FAULTS", "").strip()
+    if not text:
+        return None
+    global _env_cache
+    if _env_cache[0] != text:
+        _env_cache = (text, parse_plan(text))
+    return _env_cache[1]
+
+
+def hang_seconds() -> float:
+    """Sleep duration for the ``hang`` fault (``CHIMERA_FAULT_HANG_S``)."""
+    raw = os.environ.get("CHIMERA_FAULT_HANG_S", "").strip()
+    if not raw:
+        return 3600.0
+    try:
+        seconds = float(raw)
+    except ValueError as exc:
+        raise ConfigError(
+            f"CHIMERA_FAULT_HANG_S must be a number, got {raw!r}") from exc
+    if seconds < 0:
+        raise ConfigError("CHIMERA_FAULT_HANG_S must be >= 0")
+    return seconds
+
+
+def in_worker() -> bool:
+    """True inside a forked pool worker, False in the main process."""
+    return os.getpid() != _MAIN_PID
+
+
+def inject_before_execute(index: int, attempt: int) -> None:
+    """Fire any fault targeting this (spec index, attempt).
+
+    Called by the sweep layer immediately before a spec executes, both
+    in pool workers and in serial in-process execution. ``crash`` only
+    fires in workers: killing the main process would take the whole
+    sweep (and test suite) down, and a crash-prone spec *should* succeed
+    once execution has degraded to serial.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    if plan.fires("crash", index, attempt) and in_worker():
+        os._exit(CRASH_EXIT_CODE)
+    if plan.fires("hang", index, attempt):
+        time.sleep(hang_seconds())
+    if plan.fires("fail", index, attempt):
+        raise FaultInjected(
+            f"injected failure (spec {index}, attempt {attempt})")
+
+
+def should_corrupt_put(key: str) -> bool:
+    """Should the cache corrupt the entry it just wrote for ``key``?
+
+    Counts puts process-locally; the counter resets on
+    :func:`install`/:func:`clear` so fixture-driven tests are
+    deterministic. Returns False (and does not count) when no corrupt
+    fault is active.
+    """
+    global _put_seq
+    plan = active_plan()
+    if plan is None or not plan.has_corrupt():
+        return False
+    seq = _put_seq
+    _put_seq += 1
+    return plan.corrupts_put(seq)
+
+
+__all__ = [
+    "CORRUPT_PAYLOAD",
+    "CRASH_EXIT_CODE",
+    "Fault",
+    "FaultInjected",
+    "FaultPlan",
+    "active_plan",
+    "clear",
+    "hang_seconds",
+    "in_worker",
+    "inject_before_execute",
+    "injected",
+    "install",
+    "parse_plan",
+    "should_corrupt_put",
+]

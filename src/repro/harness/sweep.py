@@ -1,4 +1,4 @@
-"""Declarative sweep execution: RunSpecs, a parallel runner, caching.
+"""Declarative sweep execution: RunSpecs, a fault-tolerant runner, caching.
 
 Every paper artifact is a sweep of independent, deterministic
 simulations. A :class:`RunSpec` captures one such simulation — scenario
@@ -12,12 +12,40 @@ so re-running a figure is a cache hit.
 Parallel execution is bit-identical to serial execution: each RunSpec
 builds its whole simulation (engine, RNG streams, GPU) from scratch
 inside ``execute()``, so results depend only on the spec — never on
-which process ran it or in which order.
+which process ran it, in which order, or after how many retries.
+
+The runner is built to survive worker failure (DESIGN.md §7 has the
+full state machine):
+
+* every spec is submitted as its own future and its result is persisted
+  to the cache *the moment it completes* — a later sibling failure can
+  never discard finished work;
+* a failing attempt is retried up to ``max_retries`` times with
+  exponential backoff before becoming a :class:`SpecFailure`;
+* a per-spec wall-clock ``timeout`` bounds hung workers: the pool is
+  torn down, surviving specs are resubmitted, and the hung spec is
+  retried or reported as a timeout failure;
+* a broken process pool (crashed worker) is rebuilt up to
+  ``max_pool_rebuilds`` times; past that the runner degrades gracefully
+  to serial in-process execution (where timeouts are unenforceable but
+  every remaining spec still runs);
+* ``strict=True`` (default) raises :class:`~repro.errors.SweepError`
+  *after* the whole batch has been driven to completion; ``strict=False``
+  (keep-going) returns :class:`SpecFailure` objects in the result list.
 
 Environment knobs:
 
-* ``CHIMERA_JOBS``      — worker count (default ``os.cpu_count()``;
+* ``CHIMERA_JOBS``          — worker count (default ``os.cpu_count()``;
   ``1`` runs every spec serially in-process)
+* ``CHIMERA_SPEC_TIMEOUT``  — per-spec wall-clock timeout in seconds
+  (default: none; ``0`` also disables)
+* ``CHIMERA_MAX_RETRIES``   — retry budget per spec (default ``1``)
+* ``CHIMERA_RETRY_BACKOFF`` — base backoff in seconds, doubled per
+  attempt (default ``0.1``)
+* ``CHIMERA_KEEP_GOING``    — any non-empty value makes runners
+  non-strict by default
+* ``CHIMERA_FAULTS``        — deterministic fault injection; see
+  :mod:`repro.harness.faults`
 * ``CHIMERA_CACHE_DIR`` / ``CHIMERA_NO_CACHE`` — see
   :mod:`repro.harness.cache`
 """
@@ -26,15 +54,33 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import logging
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import repro
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SweepError
 from repro.gpu.config import GPUConfig
+from repro.harness import faults
 from repro.harness.cache import ResultCache
 from repro.harness.runner import (
     PairResult,
@@ -47,11 +93,16 @@ from repro.harness.runner import (
 from repro.sched.kernel_scheduler import SchedulerMode
 from repro.workloads.multiprogram import MultiprogramWorkload
 
+logger = logging.getLogger("repro.harness.sweep")
+
 RunResult = Union[SoloResult, PairResult, PeriodicResult]
 
 #: Spec-format version: bump when RunSpec semantics change so stale
 #: cache entries from an older layout can never be replayed.
 SPEC_VERSION = 1
+
+#: Pool rebuilds tolerated before degrading to serial execution.
+DEFAULT_MAX_POOL_REBUILDS = 2
 
 
 @dataclass(frozen=True)
@@ -141,6 +192,15 @@ class RunSpec:
         repro version — the on-disk cache invalidation key."""
         return ResultCache.digest(f"{repro.__version__}:{self.canonical()}")
 
+    def describe(self) -> str:
+        """Short human-readable identity for logs and failure reports."""
+        if self.kind == "pair":
+            name = self.workload_name or "+".join(self.labels or ())
+            return f"pair[{name}] policy={self.policy or 'fcfs'}"
+        if self.kind == "periodic":
+            return f"periodic[{self.label}] policy={self.policy}"
+        return f"{self.kind}[{self.label}]"
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -168,12 +228,48 @@ class RunSpec:
         raise ConfigError(f"unknown RunSpec kind {self.kind!r}")
 
 
+@dataclass(frozen=True)
+class SpecFailure:
+    """A spec that failed permanently after exhausting its retries.
+
+    In keep-going mode (``strict=False``) these appear in the result
+    list at the failed spec's positions; in strict mode they ride on the
+    raised :class:`~repro.errors.SweepError`.
+    """
+
+    spec: RunSpec
+    kind: str        # "error" | "timeout"
+    error: str
+    attempts: int
+
+    def describe(self) -> str:
+        """One-line summary for failure reports."""
+        return (f"{self.spec.describe()}: {self.kind} after "
+                f"{self.attempts} attempt(s): {self.error}")
+
+
+def format_failures(failures: Sequence[SpecFailure]) -> str:
+    """Multi-line per-spec failure summary (shared by CLI and SweepError)."""
+    lines = [f"{len(failures)} spec(s) failed permanently:"]
+    lines.extend(f"  - {failure.describe()}" for failure in failures)
+    return "\n".join(lines)
+
+
 def execute_timed(spec: RunSpec) -> Tuple[RunResult, float]:
     """Execute a spec, returning (result, wall seconds). Module-level so
     ProcessPoolExecutor can pickle it for workers."""
     start = time.perf_counter()
     result = spec.execute()
     return result, time.perf_counter() - start
+
+
+def execute_faulted(spec: RunSpec, index: int,
+                    attempt: int) -> Tuple[RunResult, float]:
+    """Fault-injection-aware :func:`execute_timed`: fires any configured
+    fault for (batch index, attempt) first. Module-level and picklable;
+    this is what the runner actually submits to workers."""
+    faults.inject_before_execute(index, attempt)
+    return execute_timed(spec)
 
 
 @dataclass
@@ -184,6 +280,11 @@ class SweepStats:
     specs: int = 0
     cache_hits: int = 0
     executed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    failed: int = 0
+    pool_rebuilds: int = 0
+    degraded: bool = False
     wall_s: float = 0.0
     #: Sum of per-spec execution times — what a one-process sweep would
     #: have cost (cached specs contribute their recorded durations).
@@ -194,6 +295,11 @@ class SweepStats:
         self.specs += other.specs
         self.cache_hits += other.cache_hits
         self.executed += other.executed
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.failed += other.failed
+        self.pool_rebuilds += other.pool_rebuilds
+        self.degraded = self.degraded or other.degraded
         self.wall_s += other.wall_s
         self.serial_equiv_s += other.serial_equiv_s
 
@@ -209,6 +315,11 @@ class SweepStats:
             "specs": self.specs,
             "cache_hits": self.cache_hits,
             "executed": self.executed,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "failed": self.failed,
+            "pool_rebuilds": self.pool_rebuilds,
+            "degraded": self.degraded,
             "wall_s": round(self.wall_s, 4),
             "serial_equiv_s": round(self.serial_equiv_s, 4),
             "speedup": round(self.speedup, 2),
@@ -221,42 +332,140 @@ def default_jobs() -> int:
     if raw:
         try:
             jobs = int(raw)
-        except ValueError:
-            raise ConfigError(f"CHIMERA_JOBS must be an integer, got {raw!r}")
+        except ValueError as exc:
+            raise ConfigError(
+                f"CHIMERA_JOBS must be an integer, got {raw!r}") from exc
         if jobs < 1:
             raise ConfigError("CHIMERA_JOBS must be >= 1")
         return jobs
     return os.cpu_count() or 1
 
 
+def default_spec_timeout() -> Optional[float]:
+    """Per-spec timeout in seconds from ``CHIMERA_SPEC_TIMEOUT``.
+
+    Unset or ``0`` means no timeout (returns None).
+    """
+    raw = os.environ.get("CHIMERA_SPEC_TIMEOUT", "").strip()
+    if not raw:
+        return None
+    try:
+        timeout = float(raw)
+    except ValueError as exc:
+        raise ConfigError(
+            f"CHIMERA_SPEC_TIMEOUT must be a number of seconds, "
+            f"got {raw!r}") from exc
+    if timeout < 0:
+        raise ConfigError("CHIMERA_SPEC_TIMEOUT must be >= 0 (0 disables)")
+    return timeout or None
+
+
+def default_max_retries() -> int:
+    """Retry budget per spec from ``CHIMERA_MAX_RETRIES`` (default 1)."""
+    raw = os.environ.get("CHIMERA_MAX_RETRIES", "").strip()
+    if not raw:
+        return 1
+    try:
+        retries = int(raw)
+    except ValueError as exc:
+        raise ConfigError(
+            f"CHIMERA_MAX_RETRIES must be an integer, got {raw!r}") from exc
+    if retries < 0:
+        raise ConfigError("CHIMERA_MAX_RETRIES must be >= 0")
+    return retries
+
+
+def default_retry_backoff() -> float:
+    """Base retry backoff seconds from ``CHIMERA_RETRY_BACKOFF``
+    (default 0.1; doubled on every subsequent attempt)."""
+    raw = os.environ.get("CHIMERA_RETRY_BACKOFF", "").strip()
+    if not raw:
+        return 0.1
+    try:
+        backoff = float(raw)
+    except ValueError as exc:
+        raise ConfigError(
+            f"CHIMERA_RETRY_BACKOFF must be a number of seconds, "
+            f"got {raw!r}") from exc
+    if backoff < 0:
+        raise ConfigError("CHIMERA_RETRY_BACKOFF must be >= 0")
+    return backoff
+
+
+def default_strict() -> bool:
+    """Strictness default: ``CHIMERA_KEEP_GOING`` set means non-strict."""
+    return not os.environ.get("CHIMERA_KEEP_GOING", "").strip()
+
+
 class SweepRunner:
-    """Executes batches of RunSpecs, in parallel and through the cache.
+    """Executes batches of RunSpecs, in parallel, fault-tolerantly, and
+    through the cache.
 
     Results come back in submission order. Identical specs in one batch
     (or across batches on the same runner) execute once: an in-memory
     memo keyed by content hash returns the *same* result object, and the
-    on-disk cache replays results across processes and sessions.
+    on-disk cache replays results across processes and sessions. Each
+    result is persisted the moment its future completes, so a failing
+    sibling can never discard finished work.
+
+    Failure handling (see the module docstring and DESIGN.md §7):
+    per-spec ``timeout``, bounded ``max_retries`` with exponential
+    backoff, pool rebuild on ``BrokenProcessPool`` with graceful
+    degradation to serial execution, and ``strict``/keep-going result
+    contracts.
     """
 
     def __init__(self, jobs: Optional[int] = None,
-                 cache: Optional[ResultCache] = None):
+                 cache: Optional[ResultCache] = None,
+                 timeout: Optional[float] = None,
+                 max_retries: Optional[int] = None,
+                 retry_backoff: Optional[float] = None,
+                 strict: Optional[bool] = None,
+                 max_pool_rebuilds: int = DEFAULT_MAX_POOL_REBUILDS):
         self.jobs = default_jobs() if jobs is None else jobs
         if self.jobs < 1:
             raise ConfigError("SweepRunner needs at least one worker")
         self.cache = ResultCache.from_env() if cache is None else cache
+        self.timeout = default_spec_timeout() if timeout is None \
+            else (timeout or None)
+        if self.timeout is not None and self.timeout < 0:
+            raise ConfigError("timeout must be >= 0")
+        self.max_retries = default_max_retries() if max_retries is None \
+            else max_retries
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        self.retry_backoff = default_retry_backoff() if retry_backoff is None \
+            else retry_backoff
+        if self.retry_backoff < 0:
+            raise ConfigError("retry_backoff must be >= 0")
+        self.strict = default_strict() if strict is None else strict
+        self.max_pool_rebuilds = max_pool_rebuilds
         self._memo: Dict[str, RunResult] = {}
         self._memo_duration: Dict[str, float] = {}
+        #: Once True, every later batch runs serially in-process.
+        self._degraded = False
         #: Stats of the most recent run() call.
         self.last_stats: Optional[SweepStats] = None
         #: Stats accumulated over this runner's lifetime.
         self.total_stats = SweepStats(jobs=self.jobs)
 
-    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
-        """Execute every spec; returns results in submission order."""
+    def run(self, specs: Sequence[RunSpec],
+            strict: Optional[bool] = None
+            ) -> List[Union[RunResult, SpecFailure]]:
+        """Execute every spec; returns results in submission order.
+
+        With ``strict=True`` (the default contract) a permanently failed
+        spec raises :class:`~repro.errors.SweepError` — but only after
+        the whole batch has been driven to completion and every finished
+        result persisted. With ``strict=False`` the result list carries
+        a :class:`SpecFailure` at each failed position instead.
+        """
+        strict = self.strict if strict is None else strict
         specs = list(specs)
         stats = SweepStats(jobs=self.jobs, specs=len(specs))
         start = time.perf_counter()
-        results: List[Optional[RunResult]] = [None] * len(specs)
+        results: List[Optional[Union[RunResult, SpecFailure]]] = \
+            [None] * len(specs)
         misses: Dict[str, List[int]] = {}
         order: List[Tuple[str, RunSpec]] = []
         for i, spec in enumerate(specs):
@@ -270,18 +479,24 @@ class SweepRunner:
             if key not in misses:
                 order.append((key, spec))
             misses.setdefault(key, []).append(i)
-        batch = self._execute_batch([spec for _, spec in order])
-        for (key, _), (result, duration) in zip(order, batch):
-            self._memo[key] = result
-            self._memo_duration[key] = duration
-            self.cache.put(key, result, duration)
-            stats.executed += 1
-            stats.serial_equiv_s += duration
-            for i in misses[key]:
-                results[i] = result
+        failures = self._execute_batch(order, stats)
+        failed: List[SpecFailure] = []
+        for (key, _), failure in zip(order, failures):
+            if failure is not None:
+                failed.append(failure)
+                stats.failed += 1
+                for i in misses[key]:
+                    results[i] = failure
+            else:
+                result = self._memo[key]
+                for i in misses[key]:
+                    results[i] = result
+        stats.degraded = self._degraded
         stats.wall_s = time.perf_counter() - start
         self.last_stats = stats
         self.total_stats.merge(stats)
+        if failed and strict:
+            raise SweepError(format_failures(failed), failures=failed)
         return results  # type: ignore[return-value]
 
     def _lookup(self, key: str) -> Optional[RunResult]:
@@ -296,23 +511,259 @@ class SweepRunner:
         self._memo_duration[key] = entry.duration_s
         return entry.result
 
-    def _execute_batch(self, specs: List[RunSpec]
-                       ) -> List[Tuple[RunResult, float]]:
-        """Run the deduplicated cache misses, parallel or serial."""
-        if not specs:
-            return []
-        if self.jobs == 1 or len(specs) == 1:
-            return [execute_timed(spec) for spec in specs]
-        workers = min(self.jobs, len(specs))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(execute_timed, specs))
+    def _record(self, key: str, result: RunResult, duration: float,
+                stats: SweepStats) -> None:
+        """Persist one completed result immediately (memo + disk)."""
+        self._memo[key] = result
+        self._memo_duration[key] = duration
+        self.cache.put(key, result, duration)
+        stats.executed += 1
+        stats.serial_equiv_s += duration
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Exponential backoff before retry ``attempt`` (1-based)."""
+        return self.retry_backoff * (2 ** (attempt - 1))
+
+    def _execute_batch(self, items: List[Tuple[str, RunSpec]],
+                       stats: SweepStats) -> List[Optional[SpecFailure]]:
+        """Run the deduplicated cache misses, parallel or serial.
+
+        Returns a list aligned with ``items``: None where the spec
+        succeeded (its result is in the memo/cache), a SpecFailure where
+        it failed permanently.
+        """
+        failures: List[Optional[SpecFailure]] = [None] * len(items)
+        if not items:
+            return failures
+        # A single-spec batch skips the pool only when no timeout is set:
+        # serial execution cannot preempt a hung spec, so an enforced
+        # timeout always needs the worker process.
+        single = len(items) == 1 and not self.timeout
+        if self.jobs == 1 or single or self._degraded:
+            self._run_serial(items, [(i, 0) for i in range(len(items))],
+                             failures, stats)
+        else:
+            self._run_pool(items, failures, stats)
+        return failures
+
+    # ------------------------------------------------------------------
+    # serial execution (jobs=1, single spec, or degraded mode)
+    # ------------------------------------------------------------------
+
+    def _run_serial(self, items: List[Tuple[str, RunSpec]],
+                    entries: Sequence[Tuple[int, int]],
+                    failures: List[Optional[SpecFailure]],
+                    stats: SweepStats) -> None:
+        """Execute (index, attempt) entries in-process with retries.
+
+        Timeouts are unenforceable here — an in-process spec cannot be
+        preempted — so hangs are the caller's risk; crash faults are
+        deliberately inert in the main process (see
+        :func:`repro.harness.faults.inject_before_execute`).
+        """
+        for index, attempt in entries:
+            key, spec = items[index]
+            while True:
+                try:
+                    result, duration = execute_faulted(spec, index, attempt)
+                except Exception as exc:
+                    if attempt < self.max_retries:
+                        attempt += 1
+                        stats.retries += 1
+                        delay = self._backoff_delay(attempt)
+                        if delay:
+                            time.sleep(delay)
+                        continue
+                    failures[index] = SpecFailure(
+                        spec=spec, kind="error",
+                        error=f"{type(exc).__name__}: {exc}",
+                        attempts=attempt + 1)
+                    logger.warning("spec %s failed permanently: %s",
+                                   spec.describe(), exc)
+                    break
+                else:
+                    self._record(key, result, duration, stats)
+                    break
+
+    # ------------------------------------------------------------------
+    # pool execution
+    # ------------------------------------------------------------------
+
+    def _run_pool(self, items: List[Tuple[str, RunSpec]],
+                  failures: List[Optional[SpecFailure]],
+                  stats: SweepStats) -> None:
+        """Fan out over a process pool with per-future supervision.
+
+        Each spec is submitted as its own future carrying a wall-clock
+        deadline. Completions are recorded immediately; failed attempts
+        requeue with backoff until retries run out; a hung future kills
+        the pool (hung workers cannot be cancelled) and resubmits the
+        survivors; a broken pool is rebuilt until ``max_pool_rebuilds``
+        is exhausted, after which execution degrades to serial.
+        """
+        workers = min(self.jobs, len(items))
+        ready: Deque[Tuple[int, int]] = deque(
+            (i, 0) for i in range(len(items)))
+        delayed: List[Tuple[float, int, int]] = []   # (ready_at, idx, attempt)
+        inflight: Dict[Future, Tuple[int, int, Optional[float]]] = {}
+        pool: Optional[ProcessPoolExecutor] = None
+
+        def retry_or_fail(index: int, attempt: int, kind: str,
+                          message: str) -> None:
+            if attempt < self.max_retries:
+                stats.retries += 1
+                ready_at = time.monotonic() + self._backoff_delay(attempt + 1)
+                delayed.append((ready_at, index, attempt + 1))
+            else:
+                failures[index] = SpecFailure(
+                    spec=items[index][1], kind=kind, error=message,
+                    attempts=attempt + 1)
+                logger.warning("spec %s failed permanently (%s): %s",
+                               items[index][1].describe(), kind, message)
+
+        def abandon_pool(kill: bool) -> None:
+            """Requeue all in-flight work and discard the pool."""
+            nonlocal pool
+            for _, (i, a, _) in sorted(inflight.items(),
+                                       key=lambda kv: kv[1][0]):
+                ready.append((i, a))
+            inflight.clear()
+            if pool is not None:
+                self._shutdown_pool(pool, kill=kill)
+                pool = None
+
+        try:
+            while ready or delayed or inflight:
+                if self._degraded:
+                    abandon_pool(kill=True)
+                    leftovers = sorted(list(ready)
+                                       + [(i, a) for _, i, a in delayed])
+                    ready.clear()
+                    delayed.clear()
+                    self._run_serial(items, leftovers, failures, stats)
+                    return
+                now = time.monotonic()
+                if delayed:
+                    due = [(i, a) for ready_at, i, a in delayed
+                           if ready_at <= now]
+                    if due:
+                        delayed = [(r, i, a) for r, i, a in delayed if r > now]
+                        ready.extend(sorted(due))
+                broken = False
+                while ready and len(inflight) < workers:
+                    index, attempt = ready.popleft()
+                    if pool is None:
+                        pool = ProcessPoolExecutor(max_workers=workers)
+                    deadline = (time.monotonic() + self.timeout
+                                if self.timeout else None)
+                    try:
+                        fut = pool.submit(execute_faulted, items[index][1],
+                                          index, attempt)
+                    except BrokenExecutor:
+                        ready.appendleft((index, attempt))
+                        broken = True
+                        break
+                    inflight[fut] = (index, attempt, deadline)
+                if broken:
+                    self._note_pool_break(stats)
+                    abandon_pool(kill=True)
+                    continue
+                if not inflight:
+                    if delayed:
+                        next_ready = min(r for r, _, _ in delayed)
+                        pause = next_ready - time.monotonic()
+                        if pause > 0:
+                            time.sleep(pause)
+                    continue
+                deadlines = [d for _, _, d in inflight.values()
+                             if d is not None]
+                wake_at = deadlines + [r for r, _, _ in delayed]
+                poll = (max(0.0, min(wake_at) - time.monotonic())
+                        if wake_at else None)
+                done, _ = wait(list(inflight), timeout=poll,
+                               return_when=FIRST_COMPLETED)
+                for fut in done:
+                    index, attempt, _ = inflight.pop(fut)
+                    try:
+                        result, duration = fut.result()
+                    except BrokenExecutor:
+                        ready.append((index, attempt))
+                        broken = True
+                    except Exception as exc:
+                        retry_or_fail(index, attempt, "error",
+                                      f"{type(exc).__name__}: {exc}")
+                    else:
+                        self._record(items[index][0], result, duration, stats)
+                if broken:
+                    self._note_pool_break(stats)
+                    abandon_pool(kill=True)
+                    continue
+                now = time.monotonic()
+                expired = [fut for fut, (_, _, d) in inflight.items()
+                           if d is not None and now >= d]
+                if expired:
+                    for fut in expired:
+                        index, attempt, _ = inflight.pop(fut)
+                        stats.timeouts += 1
+                        logger.warning(
+                            "spec %s attempt %d timed out after %.3gs; "
+                            "killing worker pool",
+                            items[index][1].describe(), attempt, self.timeout)
+                        retry_or_fail(
+                            index, attempt, "timeout",
+                            f"exceeded {self.timeout:.3g}s wall-clock timeout")
+                    # Hung workers cannot be cancelled individually: kill
+                    # the whole pool and resubmit the innocent survivors
+                    # at their current attempt. Deliberate kills do not
+                    # count toward degradation.
+                    abandon_pool(kill=True)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
+
+    def _note_pool_break(self, stats: SweepStats) -> None:
+        """Record one BrokenProcessPool; degrade after too many."""
+        stats.pool_rebuilds += 1
+        total = self.total_stats.pool_rebuilds + stats.pool_rebuilds
+        if total > self.max_pool_rebuilds:
+            self._degraded = True
+            logger.warning(
+                "process pool broke %d time(s); degrading to serial "
+                "in-process execution (timeouts no longer enforced)", total)
+        else:
+            logger.warning(
+                "process pool broke (worker died); rebuilding "
+                "(%d/%d rebuilds used)", total, self.max_pool_rebuilds)
+
+    @staticmethod
+    def _shutdown_pool(pool: ProcessPoolExecutor, kill: bool) -> None:
+        """Tear a pool down, terminating workers when ``kill`` is set."""
+        if kill:
+            processes = list((getattr(pool, "_processes", None) or {}).values())
+            for proc in processes:
+                try:
+                    proc.terminate()
+                except Exception:  # pragma: no cover - already dead
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+            for proc in processes:
+                proc.join(timeout=5)
+        else:
+            pool.shutdown(wait=True)
 
 
 __all__ = [
     "RunSpec",
     "RunResult",
+    "SpecFailure",
     "SweepRunner",
     "SweepStats",
     "default_jobs",
+    "default_max_retries",
+    "default_retry_backoff",
+    "default_spec_timeout",
+    "default_strict",
+    "execute_faulted",
     "execute_timed",
+    "format_failures",
 ]

@@ -1,0 +1,111 @@
+"""Concurrency and corruption contracts of the on-disk result cache.
+
+The atomic-rename contract: a reader racing any number of concurrent
+writers must only ever observe a complete, valid entry (or a miss) —
+never a torn pickle. A torn observation would surface as a
+``repro.harness.cache`` warning (the reader discards what it cannot
+load), so the tests assert both on the returned entries and on the
+absence of discard warnings.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import pickle
+import time
+
+from repro.harness.cache import CacheEntry, ResultCache
+
+KEY = "deadbeef" * 8
+PAYLOAD = {"blob": "x" * 65536, "numbers": list(range(256))}
+
+
+def _hammer_put(directory, key, rounds):
+    cache = ResultCache(directory)
+    for i in range(rounds):
+        cache.put(key, PAYLOAD, 0.001 * i)
+
+
+class TestConcurrentWriters:
+    def test_reader_never_observes_torn_entry(self, tmp_path, caplog):
+        directory = tmp_path / "cache"
+        writers = [
+            multiprocessing.Process(target=_hammer_put,
+                                    args=(directory, KEY, 200))
+            for _ in range(2)
+        ]
+        cache = ResultCache(directory)
+        with caplog.at_level(logging.WARNING, logger="repro.harness.cache"):
+            for proc in writers:
+                proc.start()
+            observed = 0
+            deadline = time.monotonic() + 30.0
+            while (any(p.is_alive() for p in writers)
+                   and time.monotonic() < deadline):
+                entry = cache.get(KEY)
+                if entry is not None:
+                    # every observation is complete and self-consistent
+                    assert isinstance(entry, CacheEntry)
+                    assert entry.key == KEY
+                    assert entry.result == PAYLOAD
+                    observed += 1
+            for proc in writers:
+                proc.join(timeout=30)
+                assert proc.exitcode == 0
+            final = cache.get(KEY)
+        assert final is not None and final.result == PAYLOAD
+        assert observed > 0
+        # no torn read was ever discarded
+        assert not [r for r in caplog.records if "discarding" in r.message]
+        # writers cleaned up their temp files (rename consumed them)
+        assert not list(directory.glob("*.tmp"))
+
+    def test_simultaneous_put_last_writer_wins_cleanly(self, tmp_path):
+        directory = tmp_path / "cache"
+        a = ResultCache(directory)
+        b = ResultCache(directory)
+        a.put(KEY, {"writer": "a"}, 1.0)
+        b.put(KEY, {"writer": "b"}, 2.0)
+        entry = a.get(KEY)
+        assert entry is not None and entry.result == {"writer": "b"}
+        assert len(list(directory.glob("*.pkl"))) == 1
+
+
+class TestCorruptEntryDiscard:
+    def test_corrupt_entry_deleted_exactly_once_and_logged(self, tmp_path,
+                                                           caplog):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(KEY, PAYLOAD, 0.5)
+        path = cache.path_for(KEY)
+        path.write_bytes(b"definitely not a pickle")
+        with caplog.at_level(logging.WARNING, logger="repro.harness.cache"):
+            assert cache.get(KEY) is None     # discarded ...
+            assert not path.exists()          # ... the file is gone ...
+            assert cache.get(KEY) is None     # ... second read is a plain miss
+        warnings = [r for r in caplog.records
+                    if "discarding unreadable cache entry" in r.message]
+        assert len(warnings) == 1             # logged exactly once
+        assert KEY in warnings[0].getMessage()
+
+    def test_key_mismatch_discard_logged_with_both_keys(self, tmp_path,
+                                                        caplog):
+        cache = ResultCache(tmp_path / "cache")
+        path = cache.path_for(KEY)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps(CacheEntry("other-key", 42, 0.0)))
+        with caplog.at_level(logging.WARNING, logger="repro.harness.cache"):
+            assert cache.get(KEY) is None
+        assert not path.exists()
+        warnings = [r for r in caplog.records if "key mismatch" in r.message]
+        assert len(warnings) == 1
+        message = warnings[0].getMessage()
+        assert KEY in message and "other-key" in message
+
+    def test_setup_logging_is_idempotent(self):
+        import repro
+
+        logger = repro.setup_logging()
+        handlers_before = list(logger.handlers)
+        assert repro.setup_logging() is logger
+        assert list(logger.handlers) == handlers_before

@@ -9,6 +9,7 @@ import pickle
 import pytest
 
 from repro.gpu.config import GPUConfig
+from repro.harness import faults
 from repro.harness.cache import CacheEntry, ResultCache
 from repro.harness.experiments import figure6_7
 from repro.harness.runner import run_periodic
@@ -88,6 +89,33 @@ class TestParallelEqualsSerial:
                 assert dataclasses.asdict(s) == dataclasses.asdict(p), \
                     (label, policy)
 
+    def test_fault_injected_parallel_matches_clean_serial(self, tmp_path):
+        """Bit-identity survives the failure machinery: a parallel sweep
+        where every spec flakes once (forcing a retry of each) and one
+        spec crashes its worker (forcing pool rebuilds and eventual
+        serial degradation) still equals the clean serial sweep."""
+        kwargs = dict(labels=LABELS, policies=("drain", "flush"),
+                      periods=PERIODS, seed=11)
+        serial = figure6_7(runner=_runner(tmp_path, jobs=1, subdir="s"),
+                           **kwargs)
+        runner = SweepRunner(jobs=4, cache=ResultCache(tmp_path / "p"),
+                             max_retries=2, retry_backoff=0.0,
+                             max_pool_rebuilds=1)
+        try:
+            with faults.injected("fail@*,crash@2:inf"):
+                parallel = figure6_7(runner=runner, **kwargs)
+        finally:
+            faults.clear()
+        stats = runner.last_stats
+        assert stats.retries >= 1 and stats.failed == 0
+        assert stats.pool_rebuilds >= 1 and stats.degraded
+        assert set(serial.results) == set(parallel.results)
+        for label in serial.results:
+            for policy, s in serial.results[label].items():
+                p = parallel.results[label][policy]
+                assert dataclasses.asdict(s) == dataclasses.asdict(p), \
+                    (label, policy)
+
     def test_results_come_back_in_submission_order(self, tmp_path):
         specs = [RunSpec.periodic(label, "drain", periods=PERIODS, seed=2)
                  for label in LABELS]
@@ -155,6 +183,33 @@ class TestResultCache:
         assert cache.get(spec.cache_key()) is None
         assert not path.exists()
 
+    def test_results_persist_as_each_future_completes(self, tmp_path):
+        """Regression: one failing spec must not discard completed
+        siblings. Results are cached as each future completes, so after
+        a sweep where one spec fails permanently the other results are
+        on disk and only the failed spec re-executes."""
+        from repro.errors import SweepError
+
+        cache = ResultCache(tmp_path / "cache")
+        specs = [RunSpec.periodic(label, "drain", periods=PERIODS, seed=2)
+                 for label in LABELS]
+        runner = SweepRunner(jobs=1, cache=cache, max_retries=0,
+                             retry_backoff=0.0)
+        try:
+            with faults.injected("fail@1:inf"):
+                with pytest.raises(SweepError):
+                    runner.run(specs)
+        finally:
+            faults.clear()
+        # the two siblings were persisted before the batch raised
+        on_disk = [spec for spec in specs
+                   if cache.get(spec.cache_key()) is not None]
+        assert [s.label for s in on_disk] == ["BS", "KM"]
+        fresh = SweepRunner(jobs=1, cache=cache)
+        fresh.run(specs)
+        assert fresh.last_stats.cache_hits == 2
+        assert fresh.last_stats.executed == 1  # only the failed spec
+
     def test_disabled_cache_never_writes(self, tmp_path):
         runner = _runner(tmp_path, enabled=False)
         runner.run([RunSpec.periodic("BS", "drain", periods=PERIODS,
@@ -178,8 +233,10 @@ class TestKnobs:
     def test_default_jobs_rejects_garbage(self, monkeypatch):
         from repro.errors import ConfigError
         monkeypatch.setenv("CHIMERA_JOBS", "zero")
-        with pytest.raises(ConfigError):
+        with pytest.raises(ConfigError) as excinfo:
             default_jobs()
+        # the original ValueError is chained for debuggability
+        assert isinstance(excinfo.value.__cause__, ValueError)
         monkeypatch.setenv("CHIMERA_JOBS", "0")
         with pytest.raises(ConfigError):
             default_jobs()
