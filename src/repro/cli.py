@@ -8,17 +8,27 @@ Commands mirror the paper's experiments:
 * ``pair``                         — §4.4 multiprogrammed case study
 * ``analyze``                      — idempotence analysis of the sample
                                      IR kernels
+* ``trace``                        — inspect, validate, or export event
+                                     traces captured with ``--trace`` /
+                                     ``CHIMERA_TRACE``
 
 Examples::
 
     python -m repro periodic --bench MUM --policy chimera --periods 10
     python -m repro pair --benchmarks LUD MUM --budget 8e6
+    python -m repro pair --trace traces/ --benchmarks LUD MUM
+    python -m repro trace traces/*.jsonl --check
+    python -m repro trace traces/pair.jsonl --chrome pair.json
     python -m repro estimate
+
+The installed console script ``chimera`` is an alias for
+``python -m repro``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -64,6 +74,21 @@ def build_parser() -> argparse.ArgumentParser:
     pair.add_argument("--latency-limit-us", type=float, default=30.0)
     pair.add_argument("--seed", type=int, default=12345)
     _add_sweep_options(pair)
+
+    trace = sub.add_parser(
+        "trace", help="inspect, validate, or export captured event traces")
+    trace.add_argument("files", nargs="+", metavar="TRACE.jsonl",
+                       help="JSONL trace files written by --trace / "
+                            "CHIMERA_TRACE")
+    trace.add_argument("--check", action="store_true",
+                       help="validate scheduler invariants; exit 1 on any "
+                            "violation")
+    trace.add_argument("--allow-open", action="store_true",
+                       help="accept preemptions still in flight at the end "
+                            "of the trace (horizon-cut runs)")
+    trace.add_argument("--chrome", metavar="OUT.json", default=None,
+                       help="export one trace to Chrome trace_event JSON "
+                            "(chrome://tracing, Perfetto)")
     return parser
 
 
@@ -107,6 +132,10 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
                         help="finish the sweep and report partial results "
                              "plus a failure summary instead of aborting on "
                              "a permanently failed spec")
+    parser.add_argument("--trace", metavar="DIR", default=None,
+                        help="capture a per-spec event trace (JSONL) into "
+                             "DIR; implies --no-cache so every spec "
+                             "actually executes")
 
 
 def _make_runner(args: argparse.Namespace):
@@ -116,6 +145,12 @@ def _make_runner(args: argparse.Namespace):
 
     cache = ResultCache.from_env()
     if args.no_cache:
+        cache.enabled = False
+    if getattr(args, "trace", None):
+        # Workers read CHIMERA_TRACE from their inherited environment; a
+        # cache hit would skip execution and write no trace, so capture
+        # runs bypass the cache entirely.
+        os.environ["CHIMERA_TRACE"] = args.trace
         cache.enabled = False
     return SweepRunner(jobs=args.jobs, cache=cache, timeout=args.timeout,
                        max_retries=args.max_retries,
@@ -257,6 +292,50 @@ def cmd_pair(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``trace``: summarize, validate, or export captured traces."""
+    from repro.errors import ReproError
+    from repro.metrics.timeline import TraceTimelines
+    from repro.sim.trace import load_jsonl
+    from repro.sim.trace_check import TraceChecker
+    from repro.sim.trace_export import dump_chrome
+
+    if args.chrome and len(args.files) != 1:
+        print("--chrome exports exactly one trace file", file=sys.stderr)
+        return 2
+    status = 0
+    # --allow-open forces acceptance; otherwise defer to the trace's own
+    # metadata (horizon-cut runners stamp allow_open_at_end themselves).
+    checker = TraceChecker(
+        allow_open_at_end=True if args.allow_open else None)
+    for path in args.files:
+        try:
+            tracer = load_jsonl(path)
+        except (OSError, ReproError) as exc:
+            print(f"== {path}\n  unreadable: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        print(f"== {path}")
+        try:
+            print(TraceTimelines.from_trace(tracer).summary())
+        except ValueError as exc:
+            print(f"  no timeline: {exc}")
+        if args.check:
+            report = checker.check(tracer)
+            print(report.summary())
+            if not report.ok:
+                status = 1
+        if args.chrome:
+            try:
+                dump_chrome(tracer, args.chrome)
+            except ReproError as exc:
+                print(f"  chrome export failed: {exc}", file=sys.stderr)
+                status = 1
+            else:
+                print(f"wrote {args.chrome}")
+    return status
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -272,6 +351,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_periodic(args)
     if args.command == "pair":
         return cmd_pair(args)
+    if args.command == "trace":
+        return cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

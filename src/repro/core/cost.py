@@ -65,6 +65,9 @@ class SMPlan:
     assignments: Dict[ThreadBlock, Technique] = field(default_factory=dict)
     latency_cycles: float = 0.0
     overhead_insts: float = 0.0
+    #: Per-block estimates behind the assignments, for tracing and
+    #: post-hoc calibration of predicted vs realized latency.
+    costs: Dict[ThreadBlock, TBCost] = field(default_factory=dict)
 
     def meets_latency(self, limit_cycles: float) -> bool:
         """True when the estimated latency fits the limit."""
@@ -234,6 +237,7 @@ class CostEstimator:
         max_flush = 0.0
         for tb, cost in chosen.items():
             plan.assignments[tb] = cost.technique
+            plan.costs[tb] = cost
             plan.overhead_insts += cost.overhead_insts
             if cost.technique is Technique.SWITCH:
                 switch_latency_total += cost.latency_cycles

@@ -29,6 +29,8 @@ from repro.functional.warpsim import SchedulerKind, WarpLevelSM
 from repro.gpu.config import GPUConfig
 from repro.idempotence.ir import KernelProgram
 from repro.idempotence.monitor import IdempotenceMonitor
+from repro.sim import trace as trace_mod
+from repro.sim.trace import Tracer
 
 MAX_CYCLES = 20_000_000
 
@@ -59,10 +61,13 @@ class CycleGPU:
                  blocks_per_sm: int = 2,
                  config: Optional[GPUConfig] = None,
                  scheduler: SchedulerKind = SchedulerKind.GREEDY_THEN_OLDEST,
-                 gmem: Optional[GlobalMemory] = None):
+                 gmem: Optional[GlobalMemory] = None,
+                 tracer: Optional[Tracer] = None):
         if grid_blocks < 1 or num_sms < 1 or blocks_per_sm < 1:
             raise ConfigError("grid, SMs and blocks/SM must be positive")
         self.prog = prog
+        self.tracer = tracer
+        self._finish_traced = False
         self.grid_blocks = grid_blocks
         self.threads_per_block = threads_per_block
         self.blocks_per_sm = blocks_per_sm
@@ -83,23 +88,45 @@ class CycleGPU:
         self.flushes_granted = 0
         self.flushes_denied = 0
         self.blocks_requeued = 0
+        self._trace(trace_mod.LAUNCH, prog.name, kernel=prog.name,
+                    grid=grid_blocks)
+        for sm in self.sms:
+            self._trace(trace_mod.ASSIGN, f"SM{sm.sm_id} -> {prog.name}",
+                        sm=sm.sm_id, kernel=prog.name)
         self._dispatch_all()
 
     # ------------------------------------------------------------------
 
+    def _trace(self, category: str, message: str, **payload) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(float(self.cycle), category, message, **payload)
+
     def _resident_live(self, sm: WarpLevelSM) -> List:
         return [b for b in sm.blocks if not b.done]
+
+    def _dispatch(self, sm: WarpLevelSM, block_id: int) -> None:
+        sm.add_block(block_id)
+        self._trace(trace_mod.DISPATCH, f"SM{sm.sm_id} <- tb{block_id}",
+                    sm=sm.sm_id, kernel=self.prog.name, tb=block_id)
 
     def _dispatch_all(self) -> None:
         for sm in self.sms:
             while self.queue and len(self._resident_live(sm)) < self.blocks_per_sm:
-                sm.add_block(self.queue.popleft())
+                self._dispatch(sm, self.queue.popleft())
 
     def _retire_finished(self, sm: WarpLevelSM) -> None:
         for block in list(sm.blocks):
             if block.done and not self.completed.get(block.block_id, False):
                 self.completed[block.block_id] = True
                 self.monitor.clear_block(sm.sm_id, block.block_id)
+                self._trace(trace_mod.COMPLETE,
+                            f"SM{sm.sm_id} tb{block.block_id} done",
+                            sm=sm.sm_id, kernel=self.prog.name,
+                            tb=block.block_id)
+        if self.done and not self._finish_traced:
+            self._finish_traced = True
+            self._trace(trace_mod.FINISH, self.prog.name,
+                        kernel=self.prog.name, cycles=float(self.cycle))
 
     @property
     def done(self) -> bool:
@@ -122,7 +149,7 @@ class CycleGPU:
 
     def _refill(self, sm: WarpLevelSM) -> None:
         while self.queue and len(self._resident_live(sm)) < self.blocks_per_sm:
-            sm.add_block(self.queue.popleft())
+            self._dispatch(sm, self.queue.popleft())
 
     def run(self, max_cycles: int = MAX_CYCLES) -> CycleGPUResult:
         """Run to completion and return the aggregate result."""
@@ -176,6 +203,10 @@ class CycleGPU:
         for block in reversed(live):
             self.queue.appendleft(block.block_id)
             self.blocks_requeued += 1
+            self._trace(trace_mod.FLUSH,
+                        f"SM{sm_id} tb{block.block_id} flushed",
+                        sm=sm_id, kernel=self.prog.name, tb=block.block_id,
+                        idempotent=True)
         sm.blocks = [b for b in sm.blocks if b.done]
         self.monitor.clear_sm(sm_id)
         self.flushes_granted += 1

@@ -7,7 +7,7 @@ which SMs a kernel occupies, which are idle, aggregate occupancy.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.errors import ConfigError
 from repro.gpu.config import GPUConfig
@@ -15,17 +15,21 @@ from repro.gpu.kernel import Kernel
 from repro.gpu.memory import MemorySubsystem
 from repro.gpu.sm import SMListener, SMState, StreamingMultiprocessor
 from repro.sim.engine import Engine
+from repro.sim.trace import Tracer
 
 
 class GPU:
     """The simulated device (Table 1 machine by default)."""
 
-    def __init__(self, config: GPUConfig, engine: Engine, listener: SMListener):
+    def __init__(self, config: GPUConfig, engine: Engine, listener: SMListener,
+                 tracer: Optional[Tracer] = None):
         self.config = config
         self.engine = engine
         self.memory = MemorySubsystem(config)
+        self.tracer = tracer
         self.sms: List[StreamingMultiprocessor] = [
-            StreamingMultiprocessor(i, config, engine, self.memory, listener)
+            StreamingMultiprocessor(i, config, engine, self.memory, listener,
+                                    tracer=tracer)
             for i in range(config.num_sms)
         ]
 

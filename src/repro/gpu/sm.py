@@ -33,6 +33,8 @@ from repro.gpu.kernel import Kernel
 from repro.gpu.memory import MemorySubsystem
 from repro.gpu.threadblock import TBState, ThreadBlock
 from repro.sim.engine import Engine, Event
+from repro.sim import trace as trace_mod
+from repro.sim.trace import Tracer
 
 
 class SMState(enum.Enum):
@@ -78,12 +80,14 @@ class StreamingMultiprocessor:
     """One SM of the fluid-timing GPU."""
 
     def __init__(self, sm_id: int, config: GPUConfig, engine: Engine,
-                 memory: MemorySubsystem, listener: SMListener):
+                 memory: MemorySubsystem, listener: SMListener,
+                 tracer: Optional[Tracer] = None):
         self.sm_id = sm_id
         self.config = config
         self.engine = engine
         self.memory = memory
         self.listener = listener
+        self.tracer = tracer
         self.state = SMState.IDLE
         self.kernel: Optional[Kernel] = None
         self.resident: List[ThreadBlock] = []
@@ -95,6 +99,14 @@ class StreamingMultiprocessor:
         self._save_pending = False
         #: (vacate_time, fluid_rate) per slot emptied mid-preemption.
         self._vacated: List[tuple[float, float]] = []
+
+    def _trace(self, category: str, message: str, **payload) -> None:
+        # Call sites guard on ``self.tracer is not None`` themselves so
+        # that message formatting costs nothing when tracing is off —
+        # dispatch/complete run once per thread block, millions of times
+        # per sweep.
+        self.tracer.emit(self.engine.now, category, message,
+                         sm=self.sm_id, **payload)
 
     # ------------------------------------------------------------------
     # capacity
@@ -133,6 +145,9 @@ class StreamingMultiprocessor:
             raise SchedulingError(f"SM{self.sm_id}: assign while busy")
         self.kernel = kernel
         self.state = SMState.RUNNING
+        if self.tracer is not None:
+            self._trace(trace_mod.ASSIGN, f"SM{self.sm_id} -> {kernel.name}",
+                        kernel=kernel.name)
 
     def unassign(self) -> None:
         """Detach from a kernel once nothing is resident."""
@@ -140,8 +155,12 @@ class StreamingMultiprocessor:
             raise SchedulingError(f"SM{self.sm_id}: unassign with resident blocks")
         if self.state is SMState.PREEMPTING:
             raise SchedulingError(f"SM{self.sm_id}: unassign mid-preemption")
+        kernel = self.kernel
         self.kernel = None
         self.state = SMState.IDLE
+        if kernel is not None and self.tracer is not None:
+            self._trace(trace_mod.IDLE, f"SM{self.sm_id} <- {kernel.name}",
+                        kernel=kernel.name)
 
     def dispatch(self, tb: ThreadBlock) -> None:
         """Place a block on this SM. Saved blocks pay a restore DMA
@@ -157,6 +176,10 @@ class StreamingMultiprocessor:
         now = self.engine.now
         self.resident.append(tb)
         self.kernel.note_resident(tb)
+        if self.tracer is not None:
+            self._trace(trace_mod.DISPATCH, f"{tb.kernel.name}#{tb.index}",
+                        kernel=tb.kernel.name, tb=tb.index,
+                        restored=tb.state is TBState.SAVED)
         if tb.state is TBState.SAVED:
             tb.begin_load(now)
             load_cycles = self.memory.record_dma(tb.context_bytes, self.sm_id)
@@ -188,8 +211,15 @@ class StreamingMultiprocessor:
             if tb in self._draining:
                 self._draining.remove(tb)
             self._vacated.append((now, tb.rate))
+            if self.tracer is not None:
+                self._trace(trace_mod.DRAIN, f"{tb.kernel.name}#{tb.index}",
+                            kernel=tb.kernel.name, tb=tb.index)
             self._maybe_release()
         else:
+            if self.tracer is not None:
+                self._trace(trace_mod.COMPLETE,
+                            f"{tb.kernel.name}#{tb.index}",
+                            kernel=tb.kernel.name, tb=tb.index)
             self.listener.on_tb_complete(self, tb)
 
     # ------------------------------------------------------------------
@@ -234,12 +264,24 @@ class StreamingMultiprocessor:
         for tb, tech in plan.items():
             if tech is Technique.FLUSH:
                 self._cancel_tb_events(tb)
+                if self.tracer is not None:
+                    # Snapshot before flush() resets the block.
+                    idempotent = tb.idempotent_now
+                    executed = tb.executed_insts
                 discarded = tb.flush(now)
                 kernel.stats.insts_discarded += discarded
                 kernel.stats.flushes += 1
                 kernel.note_off_sm(tb)
                 self.resident.remove(tb)
                 self._vacated.append((now, tb.rate))
+                if self.tracer is not None:
+                    flush_extra = {}
+                    if tb.nonidem_at != float("inf"):
+                        flush_extra["nonidem_at"] = tb.nonidem_at
+                    self._trace(trace_mod.FLUSH, f"{kernel.name}#{tb.index}",
+                                kernel=kernel.name, tb=tb.index,
+                                discarded=discarded, executed=executed,
+                                idempotent=idempotent, **flush_extra)
                 self.listener.on_tb_preempted(tb)
             elif tech is Technique.SWITCH:
                 self._cancel_tb_events(tb)
@@ -251,6 +293,12 @@ class StreamingMultiprocessor:
                     self.resident.remove(tb)
                     self._vacated.append((now, tb.rate))
                     kernel.stats.switches += 1
+                    if self.tracer is not None:
+                        self._trace(trace_mod.SWITCH,
+                                    f"{kernel.name}#{tb.index}",
+                                    kernel=kernel.name, tb=tb.index,
+                                    context_bytes=tb.context_bytes,
+                                    from_load=True)
                     self.listener.on_tb_preempted(tb)
                     continue
                 tb.halt(now)
@@ -290,6 +338,10 @@ class StreamingMultiprocessor:
             kernel.note_off_sm(tb)
             self.resident.remove(tb)
             self._vacated.append((now, tb.rate))
+            if self.tracer is not None:
+                self._trace(trace_mod.SWITCH, f"{kernel.name}#{tb.index}",
+                            kernel=kernel.name, tb=tb.index,
+                            context_bytes=tb.context_bytes, from_load=False)
             self.listener.on_tb_preempted(tb)
         self._save_pending = False
         self._maybe_release()
@@ -331,6 +383,9 @@ class StreamingMultiprocessor:
             self._cancel_tb_events(tb)
             self.resident.remove(tb)
             self.kernel.note_off_sm(tb)
+            if self.tracer is not None:
+                self._trace(trace_mod.ABORT, f"{tb.kernel.name}#{tb.index}",
+                            kernel=tb.kernel.name, tb=tb.index)
             dropped.append(tb)
         return dropped
 

@@ -23,6 +23,8 @@ from repro.sched.process import BenchmarkProcess
 from repro.sched.tb_scheduler import ThreadBlockScheduler
 from repro.sim.engine import Engine
 from repro.sim.rng import RngStreams
+from repro.sim import trace as trace_mod
+from repro.sim.trace import Tracer
 from repro.units import cycles_to_us
 from repro.workloads.multiprogram import MultiprogramWorkload
 from repro.workloads.periodic import PeriodicTaskSpec, synthetic_rt_kernel_spec
@@ -43,8 +45,18 @@ class SimSystem:
                  mode: SchedulerMode = SchedulerMode.SPATIAL,
                  seed: int = 12345,
                  latency_limit_us: float = 30.0,
-                 target_kernel_us: Optional[float] = None):
+                 target_kernel_us: Optional[float] = None,
+                 tracer: Optional[Tracer] = None):
         self.config = config or GPUConfig()
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.meta.setdefault("clock_mhz", self.config.clock_mhz)
+            tracer.meta.setdefault("num_sms", self.config.num_sms)
+            tracer.meta.setdefault("max_tbs_per_sm",
+                                   self.config.max_tbs_per_sm)
+            tracer.meta.setdefault("policy", policy_name)
+            tracer.meta.setdefault("mode", mode.value)
+            tracer.meta.setdefault("seed", seed)
         self.engine = Engine()
         self.rng = RngStreams(seed)
         factory_kwargs = {}
@@ -61,8 +73,9 @@ class SimSystem:
         self.policy = policy
         self.kernel_scheduler = KernelScheduler(
             self.engine, self.config, self.tb_scheduler, policy, mode,
-            latency_limit_us)
-        self.gpu = GPU(self.config, self.engine, self.tb_scheduler)
+            latency_limit_us, tracer=tracer)
+        self.gpu = GPU(self.config, self.engine, self.tb_scheduler,
+                       tracer=tracer)
         self.kernel_scheduler.attach_gpu(self.gpu)
         self.processes: List[BenchmarkProcess] = []
 
@@ -179,10 +192,11 @@ class PeriodicResult:
 
 def run_solo(label: str, budget_insts: float, seed: int = 12345,
              config: Optional[GPUConfig] = None,
-             target_kernel_us: Optional[float] = None) -> SoloResult:
+             target_kernel_us: Optional[float] = None,
+             tracer: Optional[Tracer] = None) -> SoloResult:
     """Run one benchmark alone until its metric target is reached."""
     system = SimSystem(config=config, policy_name="chimera", seed=seed,
-                       target_kernel_us=target_kernel_us)
+                       target_kernel_us=target_kernel_us, tracer=tracer)
     process = system.add_benchmark(label, budget_insts, restart=False)
     system.start()
     system.run(stop=lambda: process.done_recording)
@@ -201,7 +215,8 @@ def run_pair(workload: MultiprogramWorkload, policy_name: Optional[str],
              mode: SchedulerMode = SchedulerMode.SPATIAL,
              seed: int = 12345, latency_limit_us: float = 30.0,
              config: Optional[GPUConfig] = None,
-             target_kernel_us: Optional[float] = None) -> PairResult:
+             target_kernel_us: Optional[float] = None,
+             tracer: Optional[Tracer] = None) -> PairResult:
     """Run a multiprogrammed workload until every benchmark has reached
     its metric target (first budget or first completed execution).
 
@@ -210,7 +225,11 @@ def run_pair(workload: MultiprogramWorkload, policy_name: Optional[str],
     """
     system = SimSystem(config=config, policy_name=policy_name, mode=mode,
                        seed=seed, latency_limit_us=latency_limit_us,
-                       target_kernel_us=target_kernel_us)
+                       target_kernel_us=target_kernel_us, tracer=tracer)
+    if tracer is not None:
+        # The run stops at the metric horizon, so a preemption may
+        # legitimately still be in flight at the last record.
+        tracer.meta.setdefault("allow_open_at_end", True)
     processes = [
         system.add_benchmark(label, workload.budget_insts,
                              restart=workload.restart)
@@ -252,7 +271,8 @@ def run_periodic(label: str, policy_name: str,
                  seed: int = 12345,
                  config: Optional[GPUConfig] = None,
                  task: Optional[PeriodicTaskSpec] = None,
-                 target_kernel_us: Optional[float] = None) -> PeriodicResult:
+                 target_kernel_us: Optional[float] = None,
+                 tracer: Optional[Tracer] = None) -> PeriodicResult:
     """Run a benchmark against the 1 ms-period synthetic task.
 
     Each launch preempts half the SMs with the configured policy. The
@@ -268,7 +288,10 @@ def run_periodic(label: str, policy_name: str,
                                 task.sms_demanded, constraint_us)
     system = SimSystem(config=config, policy_name=policy_name, seed=seed,
                        latency_limit_us=constraint_us,
-                       target_kernel_us=target_kernel_us)
+                       target_kernel_us=target_kernel_us, tracer=tracer)
+    if tracer is not None:
+        # Stops shortly after the last deadline; hand-overs may be open.
+        tracer.meta.setdefault("allow_open_at_end", True)
     process = system.add_benchmark(label, budget_insts=float("inf"),
                                    restart=True)
     rt_spec = synthetic_rt_kernel_spec(task)
@@ -292,9 +315,19 @@ def run_periodic(label: str, policy_name: str,
             if info["finished"]:
                 latency = (info["acquired"] - launch_time
                            if info["acquired"] is not None else 0.0)
-                violations.record(cycles_to_us(latency, config.clock_mhz),
-                                  violated=False)
+                latency_us = cycles_to_us(latency, config.clock_mhz)
+                if system.tracer is not None:
+                    system.tracer.emit(
+                        system.engine.now, trace_mod.DEADLINE,
+                        f"{kernel.name} met", kernel=kernel.name,
+                        violated=False, latency_us=latency_us)
+                violations.record(latency_us, violated=False)
                 return
+            if system.tracer is not None:
+                system.tracer.emit(
+                    system.engine.now, trace_mod.DEADLINE,
+                    f"{kernel.name} missed", kernel=kernel.name,
+                    violated=True, latency_us=deadline_us)
             system.kernel_scheduler.kill_kernel(kernel)
             violations.record(deadline_us, violated=True)
 

@@ -48,6 +48,12 @@ Environment knobs:
   :mod:`repro.harness.faults`
 * ``CHIMERA_CACHE_DIR`` / ``CHIMERA_NO_CACHE`` — see
   :mod:`repro.harness.cache`
+* ``CHIMERA_TRACE``         — directory for per-spec event traces;
+  every executed spec writes ``<describe>-<hash>.jsonl`` there (cache
+  hits skip execution and therefore write no trace — disable the cache
+  to capture everything, as ``--trace`` does)
+* ``CHIMERA_TRACE_CAPACITY`` — per-spec trace record cap (default
+  500000; overflow counts in the file's ``dropped`` header field)
 """
 
 from __future__ import annotations
@@ -56,6 +62,7 @@ import dataclasses
 import json
 import logging
 import os
+import re
 import time
 from collections import deque
 from concurrent.futures import (
@@ -91,6 +98,7 @@ from repro.harness.runner import (
     run_solo,
 )
 from repro.sched.kernel_scheduler import SchedulerMode
+from repro.sim.trace import Tracer, dump_jsonl
 from repro.workloads.multiprogram import MultiprogramWorkload
 
 logger = logging.getLogger("repro.harness.sweep")
@@ -205,12 +213,20 @@ class RunSpec:
     # execution
     # ------------------------------------------------------------------
 
-    def execute(self) -> RunResult:
-        """Run this spec's simulation from scratch and return its result."""
+    def execute(self, tracer: Optional[Tracer] = None) -> RunResult:
+        """Run this spec's simulation from scratch and return its result.
+
+        ``tracer`` (optional) captures the run's event trace; the spec's
+        identity is stamped into the trace metadata.
+        """
+        if tracer is not None:
+            tracer.meta.setdefault("spec", self.describe())
+            tracer.meta.setdefault("spec_key", self.cache_key())
         if self.kind == "solo":
             return run_solo(self.label, self.budget_insts, seed=self.seed,
                             config=self.config,
-                            target_kernel_us=self.target_kernel_us)
+                            target_kernel_us=self.target_kernel_us,
+                            tracer=tracer)
         if self.kind == "pair":
             workload = MultiprogramWorkload(self.labels, self.budget_insts,
                                             restart=self.restart)
@@ -218,13 +234,15 @@ class RunSpec:
                             mode=SchedulerMode(self.mode), seed=self.seed,
                             latency_limit_us=self.latency_limit_us,
                             config=self.config,
-                            target_kernel_us=self.target_kernel_us)
+                            target_kernel_us=self.target_kernel_us,
+                            tracer=tracer)
         if self.kind == "periodic":
             return run_periodic(self.label, self.policy,
                                 constraint_us=self.constraint_us,
                                 periods=self.periods, seed=self.seed,
                                 config=self.config,
-                                target_kernel_us=self.target_kernel_us)
+                                target_kernel_us=self.target_kernel_us,
+                                tracer=tracer)
         raise ConfigError(f"unknown RunSpec kind {self.kind!r}")
 
 
@@ -255,12 +273,52 @@ def format_failures(failures: Sequence[SpecFailure]) -> str:
     return "\n".join(lines)
 
 
+def default_trace_dir() -> Optional[str]:
+    """Trace output directory from ``CHIMERA_TRACE`` (unset: no traces)."""
+    raw = os.environ.get("CHIMERA_TRACE", "").strip()
+    return raw or None
+
+
+def default_trace_capacity() -> int:
+    """Per-spec trace record cap from ``CHIMERA_TRACE_CAPACITY``."""
+    raw = os.environ.get("CHIMERA_TRACE_CAPACITY", "").strip()
+    if not raw:
+        return 500_000
+    try:
+        capacity = int(raw)
+    except ValueError as exc:
+        raise ConfigError(
+            f"CHIMERA_TRACE_CAPACITY must be an integer, got {raw!r}") from exc
+    if capacity < 1:
+        raise ConfigError("CHIMERA_TRACE_CAPACITY must be >= 1")
+    return capacity
+
+
+def trace_path_for(spec: RunSpec, trace_dir: str) -> str:
+    """Where :func:`execute_timed` writes ``spec``'s trace under
+    ``trace_dir``: a sanitized describe() plus a content-hash prefix, so
+    distinct specs never collide and reruns overwrite deterministically."""
+    slug = re.sub(r"[^A-Za-z0-9_.+-]+", "_", spec.describe()).strip("_")
+    return os.path.join(trace_dir, f"{slug}-{spec.cache_key()[:12]}.jsonl")
+
+
 def execute_timed(spec: RunSpec) -> Tuple[RunResult, float]:
     """Execute a spec, returning (result, wall seconds). Module-level so
-    ProcessPoolExecutor can pickle it for workers."""
+    ProcessPoolExecutor can pickle it for workers.
+
+    When ``CHIMERA_TRACE`` names a directory (the env var is inherited
+    by pool workers), the run is captured to a per-spec JSONL trace
+    there; the dump happens outside the timed region.
+    """
+    trace_dir = default_trace_dir()
+    tracer = (Tracer(capacity=default_trace_capacity())
+              if trace_dir is not None else None)
     start = time.perf_counter()
-    result = spec.execute()
-    return result, time.perf_counter() - start
+    result = spec.execute(tracer=tracer)
+    duration = time.perf_counter() - start
+    if tracer is not None:
+        dump_jsonl(tracer, trace_path_for(spec, trace_dir))
+    return result, duration
 
 
 def execute_faulted(spec: RunSpec, index: int,
@@ -763,7 +821,10 @@ __all__ = [
     "default_retry_backoff",
     "default_spec_timeout",
     "default_strict",
+    "default_trace_capacity",
+    "default_trace_dir",
     "execute_faulted",
     "execute_timed",
     "format_failures",
+    "trace_path_for",
 ]

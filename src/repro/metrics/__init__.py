@@ -8,8 +8,11 @@ from repro.metrics.metrics import (
     TechniqueMix,
 )
 from repro.metrics.report import format_table, format_percent
+from repro.metrics.timeline import SMTimeline, TraceTimelines
 
 __all__ = [
+    "SMTimeline",
+    "TraceTimelines",
     "antt",
     "stp",
     "normalized_turnaround",

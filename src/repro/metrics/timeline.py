@@ -1,0 +1,189 @@
+"""Metric timelines derived from an event trace.
+
+Turns a raw :class:`~repro.sim.trace.Tracer` into the distributional
+views that make scheduling behaviour inspectable: per-SM busy fractions,
+a machine-occupancy time series, the preemption-latency distribution
+(mean/extremes plus a histogram), predicted-vs-realized latency pairs
+for cost-model calibration, and deadline outcomes. Built on the plain
+accumulators in :mod:`repro.sim.stats` so nothing here needs numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.sim import trace as T
+from repro.sim.stats import Histogram, Running, TimeSeries
+from repro.sim.trace import TraceRecord, Tracer
+
+
+@dataclass
+class SMTimeline:
+    """Occupancy intervals of one SM."""
+
+    sm_id: int
+    #: (start, end, kernel) ownership intervals, in trace order.
+    intervals: List[Tuple[float, float, str]] = field(default_factory=list)
+
+    def busy_cycles(self) -> float:
+        """Total cycles the SM was bound to some kernel."""
+        return sum(end - start for start, end, _ in self.intervals)
+
+
+class TraceTimelines:
+    """All derived timelines for one trace."""
+
+    #: Histogram range for preemption latencies, in microseconds.
+    LATENCY_HIST_US = (0.0, 100.0, 50)
+
+    def __init__(self, clock_mhz: float, num_sms: Optional[int] = None):
+        if clock_mhz <= 0:
+            raise ValueError("clock_mhz must be positive")
+        self.clock_mhz = clock_mhz
+        self.num_sms = num_sms
+        self.span_cycles = 0.0
+        self.counts: Dict[str, int] = {}
+        self.sms: Dict[int, SMTimeline] = {}
+        self.occupancy = TimeSeries()          # busy-SM count over time
+        self.latency_us = Running()            # realized preemption latency
+        self.latency_hist = Histogram(*self.LATENCY_HIST_US)
+        #: (predicted, realized) latency pairs in cycles, where predicted
+        #: was finite (conservative-inf estimates carry no information).
+        self.calibration: List[Tuple[float, float]] = []
+        self.deadline_hits = 0
+        self.deadline_misses = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_trace(cls, trace: Union[Tracer, Sequence[TraceRecord]],
+                   meta: Optional[Dict[str, Any]] = None,
+                   clock_mhz: Optional[float] = None) -> "TraceTimelines":
+        """Build timelines from a tracer or a bare record sequence."""
+        if isinstance(trace, Tracer):
+            records: Sequence[TraceRecord] = trace.records
+            meta = dict(trace.meta, **(meta or {}))
+            dropped = trace.dropped
+        else:
+            records = trace
+            meta = dict(meta or {})
+            dropped = int(meta.get("dropped", 0))
+        clock = clock_mhz if clock_mhz is not None else meta.get("clock_mhz")
+        if clock is None:
+            raise ValueError(
+                "trace has no clock_mhz metadata; pass clock_mhz explicitly")
+        out = cls(clock, num_sms=meta.get("num_sms"))
+        out.dropped = dropped
+        out._ingest(records)
+        return out
+
+    def _sm(self, sm_id: int) -> SMTimeline:
+        if sm_id not in self.sms:
+            self.sms[sm_id] = SMTimeline(sm_id)
+        return self.sms[sm_id]
+
+    def _ingest(self, records: Sequence[TraceRecord]) -> None:
+        open_at: Dict[int, Tuple[float, str]] = {}
+        busy = 0
+        last = 0.0
+        for record in records:
+            cat = record.category
+            self.counts[cat] = self.counts.get(cat, 0) + 1
+            last = max(last, record.time)
+            sm = record.payload.get("sm")
+            if cat == T.ASSIGN and sm is not None:
+                open_at[sm] = (record.time, record.payload.get("kernel", "?"))
+                busy += 1
+                self.occupancy.add(record.time, busy)
+            elif cat in (T.IDLE, T.RELEASE) and sm is not None:
+                opened = open_at.pop(sm, None)
+                if opened is not None:
+                    start, kernel = opened
+                    self._sm(sm).intervals.append((start, record.time, kernel))
+                    busy -= 1
+                    self.occupancy.add(record.time, busy)
+                if cat == T.RELEASE:
+                    latency = record.payload.get("latency")
+                    if latency is not None:
+                        self.latency_us.add(latency / self.clock_mhz)
+                        self.latency_hist.add(latency / self.clock_mhz)
+                    predicted = record.payload.get("est_latency")
+                    if predicted is not None and latency is not None:
+                        self.calibration.append((predicted, latency))
+            elif cat == T.DEADLINE:
+                if record.payload.get("violated"):
+                    self.deadline_misses += 1
+                else:
+                    self.deadline_hits += 1
+        # Ownership still open when the trace ends extends to its edge.
+        for sm, (start, kernel) in sorted(open_at.items()):
+            self._sm(sm).intervals.append((start, last, kernel))
+        self.span_cycles = last
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+
+    @property
+    def span_us(self) -> float:
+        """Trace duration in microseconds."""
+        return self.span_cycles / self.clock_mhz
+
+    def busy_fraction(self, sm_id: int) -> float:
+        """Fraction of the trace span one SM spent bound to a kernel."""
+        if self.span_cycles <= 0 or sm_id not in self.sms:
+            return 0.0
+        return self.sms[sm_id].busy_cycles() / self.span_cycles
+
+    def mean_busy_sms(self) -> float:
+        """Time-weighted mean number of busy SMs."""
+        return self.occupancy.time_weighted_mean(self.span_cycles)
+
+    def calibration_error(self) -> Optional[float]:
+        """Mean |predicted - realized| preemption latency in µs, or None
+        when no release carried a finite prediction."""
+        if not self.calibration:
+            return None
+        total = sum(abs(predicted - realized)
+                    for predicted, realized in self.calibration)
+        return total / len(self.calibration) / self.clock_mhz
+
+    def summary(self) -> str:
+        """Multi-line human-readable digest."""
+        lines = [
+            f"span: {self.span_us:.1f} us, "
+            f"{sum(self.counts.values())} records"
+            + (f" ({self.dropped} dropped)" if self.dropped else ""),
+            "events: " + ", ".join(
+                f"{cat}={n}" for cat, n in sorted(self.counts.items())),
+        ]
+        if self.sms:
+            busiest = sorted(self.sms)
+            frac = ", ".join(f"SM{sm}={self.busy_fraction(sm):.0%}"
+                             for sm in busiest[:8])
+            if len(busiest) > 8:
+                frac += f", ... ({len(busiest)} SMs)"
+            lines.append(f"busy: mean {self.mean_busy_sms():.1f} SMs [{frac}]")
+        if self.latency_us.count:
+            lines.append(
+                f"preemption latency: n={self.latency_us.count} "
+                f"mean={self.latency_us.mean:.1f}us "
+                f"min={self.latency_us.min:.1f}us "
+                f"max={self.latency_us.max:.1f}us")
+            error = self.calibration_error()
+            if error is not None:
+                lines.append(
+                    f"cost-model calibration: {len(self.calibration)} "
+                    f"predictions, mean abs error {error:.1f}us")
+        if self.deadline_hits or self.deadline_misses:
+            total = self.deadline_hits + self.deadline_misses
+            lines.append(f"deadlines: {self.deadline_hits}/{total} met, "
+                         f"{self.deadline_misses} missed")
+        return "\n".join(lines)
+
+
+__all__ = ["SMTimeline", "TraceTimelines"]

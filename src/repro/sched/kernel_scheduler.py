@@ -19,6 +19,7 @@ Two modes:
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -87,8 +88,15 @@ class KernelScheduler:
         tb_scheduler.attach(self)
 
     def _trace(self, category: str, message: str, **payload) -> None:
-        if self.tracer is not None:
-            self.tracer.emit(self.engine.now, category, message, **payload)
+        # Call sites guard on ``self.tracer is not None`` so payload
+        # construction is free when tracing is off.
+        self.tracer.emit(self.engine.now, category, message, **payload)
+
+    @staticmethod
+    def _finite(value: float) -> Optional[float]:
+        """JSON-safe estimate: the cost model's conservative ``inf``
+        (no statistics yet) serializes as null, not ``Infinity``."""
+        return value if math.isfinite(value) else None
 
     # ------------------------------------------------------------------
     # wiring
@@ -145,8 +153,9 @@ class KernelScheduler:
         entry = ActiveKernel(kernel, process, fixed_demand, on_finished,
                              on_fully_dispatched, weight=weight)
         self._active[kernel.kernel_id] = entry
-        self._trace(trace_mod.LAUNCH, kernel.name, grid=kernel.grid_tbs,
-                    fixed_demand=fixed_demand)
+        if self.tracer is not None:
+            self._trace(trace_mod.LAUNCH, kernel.name, kernel=kernel.name,
+                        grid=kernel.grid_tbs, fixed_demand=fixed_demand)
         if self.mode is SchedulerMode.FCFS:
             self._fcfs_queue.append(entry)
             self._fcfs_try_start()
@@ -160,8 +169,9 @@ class KernelScheduler:
         if entry is None:
             return
         kernel.finish_time = self.engine.now
-        self._trace(trace_mod.KILL, kernel.name,
-                    done=kernel.stats.tbs_completed)
+        if self.tracer is not None:
+            self._trace(trace_mod.KILL, kernel.name, kernel=kernel.name,
+                        done=kernel.stats.tbs_completed)
         for sm in self.gpu.sms_of(kernel):
             if sm.is_preempting:
                 continue
@@ -187,8 +197,9 @@ class KernelScheduler:
         if entry is None:
             return  # already handled (e.g. killed)
         kernel.finish_time = self.engine.now
-        self._trace(trace_mod.FINISH, kernel.name,
-                    cycles=self.engine.now - (kernel.launch_time or 0.0))
+        if self.tracer is not None:
+            self._trace(trace_mod.FINISH, kernel.name, kernel=kernel.name,
+                        cycles=self.engine.now - (kernel.launch_time or 0.0))
         self.tb_scheduler.drop_kernel(kernel)
         for sm in self.gpu.sms_of(kernel):
             if not sm.is_preempting:
@@ -216,8 +227,13 @@ class KernelScheduler:
                        record: PreemptionRecord) -> None:
         """Handle a finished preemption hand-over."""
         self.records.append(record)
-        self._trace(trace_mod.RELEASE, f"SM{sm.sm_id} <- {record.kernel_name}",
-                    latency=round(record.realized_latency, 1))
+        if self.tracer is not None:
+            self._trace(trace_mod.RELEASE,
+                        f"SM{sm.sm_id} <- {record.kernel_name}",
+                        sm=sm.sm_id, kernel=record.kernel_name,
+                        latency=round(record.realized_latency, 1),
+                        est_latency=self._finite(record.estimated_latency),
+                        est_overhead=self._finite(record.estimated_overhead))
         # A drained SM may have retired its kernel's last block while
         # preempting, in which case no completion reached the listener.
         for entry in list(self._active.values()):
@@ -307,12 +323,21 @@ class KernelScheduler:
             plans = self.policy.plan(candidates, count, self.latency_limit_cycles)
             for plan in plans:
                 if plan.assignments:
-                    self._trace(
-                        trace_mod.PREEMPT,
-                        f"SM{plan.sm.sm_id} of {entry.kernel.name}",
-                        techniques={t.value: c for t, c
-                                    in plan.technique_counts().items()},
-                        est_latency=round(plan.latency_cycles, 1))
+                    if self.tracer is not None:
+                        self._trace(
+                            trace_mod.PREEMPT,
+                            f"SM{plan.sm.sm_id} of {entry.kernel.name}",
+                            sm=plan.sm.sm_id, kernel=entry.kernel.name,
+                            techniques={t.value: c for t, c
+                                        in plan.technique_counts().items()},
+                            est_latency=self._finite(plan.latency_cycles),
+                            est_overhead=self._finite(plan.overhead_insts),
+                            tbs=[{"tb": tb.index, "tech": cost.technique.value,
+                                  "lat": self._finite(cost.latency_cycles),
+                                  "ovh": self._finite(cost.overhead_insts)}
+                                 for tb, cost in sorted(
+                                     plan.costs.items(),
+                                     key=lambda item: item[0].index)])
                     plan.sm.preempt(plan.assignments,
                                     estimated_latency=plan.latency_cycles,
                                     estimated_overhead=plan.overhead_insts)
@@ -338,9 +363,6 @@ class KernelScheduler:
             sm.assign(entry.kernel)
             self.tb_scheduler.fill(sm)
             if sm.resident:
-                self._trace(trace_mod.ASSIGN,
-                            f"SM{sm.sm_id} -> {entry.kernel.name}",
-                            resident=len(sm.resident))
                 return
             sm.unassign()
         # Nobody could use it; leave idle.

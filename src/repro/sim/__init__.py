@@ -1,7 +1,38 @@
-"""Discrete-event simulation engine, RNG streams, and statistics."""
+"""Discrete-event simulation engine, RNG streams, statistics, tracing."""
 
 from repro.sim.engine import Engine, Event
 from repro.sim.rng import RngStreams
-from repro.sim.stats import Counter, Histogram, StatSet
+from repro.sim.stats import Counter, Histogram, Running, StatSet, TimeSeries
+from repro.sim.trace import (
+    TraceRecord,
+    Tracer,
+    dump_jsonl,
+    dumps_jsonl,
+    load_jsonl,
+    loads_jsonl,
+)
+from repro.sim.trace_check import CheckReport, TraceChecker, Violation, check_trace
+from repro.sim.trace_export import dump_chrome, to_chrome
 
-__all__ = ["Engine", "Event", "RngStreams", "Counter", "Histogram", "StatSet"]
+__all__ = [
+    "Engine",
+    "Event",
+    "RngStreams",
+    "Counter",
+    "Histogram",
+    "Running",
+    "StatSet",
+    "TimeSeries",
+    "TraceRecord",
+    "Tracer",
+    "dump_jsonl",
+    "dumps_jsonl",
+    "load_jsonl",
+    "loads_jsonl",
+    "CheckReport",
+    "TraceChecker",
+    "Violation",
+    "check_trace",
+    "dump_chrome",
+    "to_chrome",
+]

@@ -127,6 +127,75 @@ class Histogram:
         return [(self.lo + i * width, self.lo + (i + 1) * width) for i in range(self.bins)]
 
 
+class TimeSeries:
+    """A piecewise-constant (step) signal sampled at event times.
+
+    Samples must arrive in non-decreasing time order; a sample at an
+    existing timestamp overwrites it (the signal changed twice in the
+    same instant and only the final value holds). Used by the timeline
+    builders to track occupancy-style quantities derived from traces.
+    """
+
+    __slots__ = ("times", "values")
+
+    def __init__(self) -> None:
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def add(self, time: float, value: float) -> None:
+        """Record that the signal became ``value`` at ``time``."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"out-of-order sample at {time} (last {self.times[-1]})")
+        if self.times and time == self.times[-1]:
+            self.values[-1] = value
+            return
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def value_at(self, time: float) -> float:
+        """Signal value at ``time`` (0.0 before the first sample)."""
+        if not self.times or time < self.times[0]:
+            return 0.0
+        lo, hi = 0, len(self.times) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.times[mid] <= time:
+                lo = mid
+            else:
+                hi = mid - 1
+        return self.values[lo]
+
+    def time_weighted_mean(self, until: Optional[float] = None) -> float:
+        """Mean of the signal weighted by how long each value held.
+
+        Integrates the step function from the first sample to ``until``
+        (default: the last sample time; a series needs a nonzero span).
+        """
+        if not self.times:
+            return 0.0
+        end = self.times[-1] if until is None else until
+        span = end - self.times[0]
+        if span <= 0:
+            return self.values[-1]
+        area = 0.0
+        for i, value in enumerate(self.values):
+            hold_until = self.times[i + 1] if i + 1 < len(self.times) else end
+            hold_until = min(hold_until, end)
+            if hold_until > self.times[i]:
+                area += value * (hold_until - self.times[i])
+        return area / span
+
+    def integral(self, until: Optional[float] = None) -> float:
+        """Area under the step function up to ``until``."""
+        return self.time_weighted_mean(until) * (
+            (self.times[-1] if until is None else until) - self.times[0]
+            if self.times else 0.0)
+
+
 class StatSet:
     """A named bag of counters and running accumulators."""
 

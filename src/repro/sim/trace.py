@@ -1,24 +1,57 @@
 """Event tracing: a structured record of what the schedulers did.
 
-A :class:`Tracer` collects typed, timestamped records (kernel launches,
-preemption plans, SM hand-overs, kernel completions, deadline events).
-Experiments attach one to the kernel scheduler to debug scheduling
-decisions or to dump a timeline; the default is no tracer, costing
-nothing.
+A :class:`Tracer` collects typed, timestamped records covering the whole
+decision pipeline: kernel launches and completions, preemption *plans*
+(chosen technique plus predicted latency/overhead per thread block),
+per-block flush/switch/drain completions, SM ownership changes, and
+deadline hits/misses. Experiments attach one to a
+:class:`~repro.harness.runner.SimSystem` (or pass ``tracer=`` to the
+scenario runners) to debug scheduling decisions, dump a timeline, or
+feed the :class:`~repro.sim.trace_check.TraceChecker`. The default is no
+tracer: every emission site guards on ``tracer is not None``, so the
+disabled hot path costs a single attribute test.
+
+Traces serialize to JSONL (one header line carrying metadata — clock,
+machine shape, dropped-record count — then one line per record) with a
+byte-stable round-trip: ``dump → load → dump`` reproduces the file
+exactly. :mod:`repro.sim.trace_export` converts a trace to the Chrome
+``trace_event`` format for ``chrome://tracing`` / Perfetto.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
-#: Well-known categories, used for filtering.
-LAUNCH = "launch"
-FINISH = "finish"
-KILL = "kill"
-PREEMPT = "preempt"
-RELEASE = "release"
-ASSIGN = "assign"
+from repro.errors import ConfigError
+
+#: Well-known categories, used for filtering and by the checker.
+#: Kernel lifecycle (emitted by the kernel scheduler / harness):
+LAUNCH = "launch"        # kernel registered with the scheduler
+FINISH = "finish"        # kernel retired its whole grid
+KILL = "kill"            # kernel forcibly removed (missed deadline)
+DEADLINE = "deadline"    # periodic-task deadline hit or miss
+#: Preemption pipeline (kernel scheduler + SM):
+PREEMPT = "preempt"      # plan chosen for one SM (predicted costs)
+RELEASE = "release"      # SM hand-over completed (realized latency)
+FLUSH = "flush"          # one block dropped by the reset circuit
+SWITCH = "switch"        # one block's context save completed
+DRAIN = "drain"          # one draining block ran to completion
+ABORT = "abort"          # one block dropped by a kernel kill
+#: SM occupancy (emitted by the SM):
+ASSIGN = "assign"        # SM bound to a kernel
+IDLE = "idle"            # SM detached outside a preemption hand-over
+DISPATCH = "dispatch"    # one block placed on an SM
+COMPLETE = "complete"    # one block retired normally
+
+#: All known categories (open set: custom categories are permitted).
+CATEGORIES = (LAUNCH, FINISH, KILL, DEADLINE, PREEMPT, RELEASE, FLUSH,
+              SWITCH, DRAIN, ABORT, ASSIGN, IDLE, DISPATCH, COMPLETE)
+
+#: JSONL on-disk format version (bump on incompatible layout changes).
+TRACE_FORMAT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -30,8 +63,16 @@ class TraceRecord:
     message: str
     payload: Dict[str, Any] = field(default_factory=dict)
 
-    def format(self, clock_mhz: float = 1400.0) -> str:
-        """Render the record as one log line."""
+    def format(self, clock_mhz: float) -> str:
+        """Render the record as one log line.
+
+        ``clock_mhz`` must come from the machine that produced the
+        trace (:attr:`~repro.gpu.config.GPUConfig.clock_mhz`); there is
+        deliberately no default so a trace from a reclocked machine can
+        never be rendered at the wrong time base.
+        """
+        if clock_mhz <= 0:
+            raise ConfigError("clock_mhz must be positive")
         extra = " ".join(f"{k}={v}" for k, v in sorted(self.payload.items()))
         stamp = self.time / clock_mhz
         return f"[{stamp:12.2f}us] {self.category:8s} {self.message}" + (
@@ -39,16 +80,31 @@ class TraceRecord:
 
 
 class Tracer:
-    """Bounded in-memory event trace."""
+    """Bounded in-memory event trace with machine metadata.
+
+    ``meta`` carries everything a consumer needs to interpret the
+    records without the live simulation: the core clock, the machine
+    shape (``num_sms``, ``max_tbs_per_sm``), and scenario identity.
+    :class:`~repro.harness.runner.SimSystem` populates it on attach.
+    """
 
     def __init__(self, capacity: int = 100_000,
-                 categories: Optional[Iterable[str]] = None):
+                 categories: Optional[Iterable[str]] = None,
+                 clock_mhz: Optional[float] = None):
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self.categories = set(categories) if categories is not None else None
         self.records: List[TraceRecord] = []
         self.dropped = 0
+        self.meta: Dict[str, Any] = {}
+        if clock_mhz is not None:
+            self.meta["clock_mhz"] = float(clock_mhz)
+
+    @property
+    def clock_mhz(self) -> Optional[float]:
+        """Core clock of the traced machine, if known."""
+        return self.meta.get("clock_mhz")
 
     def emit(self, time: float, category: str, message: str,
              **payload: Any) -> None:
@@ -78,10 +134,25 @@ class Tracer:
             out[record.category] = out.get(record.category, 0) + 1
         return out
 
-    def to_text(self, clock_mhz: float = 1400.0,
+    def _resolve_clock(self, clock_mhz: Optional[float]) -> float:
+        clock = clock_mhz if clock_mhz is not None else self.clock_mhz
+        if clock is None:
+            raise ConfigError(
+                "trace has no clock_mhz metadata; pass clock_mhz explicitly")
+        return clock
+
+    def to_text(self, clock_mhz: Optional[float] = None,
                 category: Optional[str] = None) -> str:
-        """The whole trace as formatted lines."""
-        lines = [r.format(clock_mhz) for r in self.filter(category)]
+        """The whole trace as formatted lines.
+
+        The clock comes from the trace's own metadata when the tracer
+        was built from a :class:`~repro.gpu.config.GPUConfig` (the
+        normal path); passing ``clock_mhz`` overrides it. A tracer with
+        neither raises :class:`~repro.errors.ConfigError` rather than
+        silently assuming a default clock.
+        """
+        clock = self._resolve_clock(clock_mhz)
+        lines = [r.format(clock) for r in self.filter(category)]
         if self.dropped:
             lines.append(f"... {self.dropped} records dropped (capacity "
                          f"{self.capacity})")
@@ -89,3 +160,100 @@ class Tracer:
 
     def __len__(self) -> int:
         return len(self.records)
+
+
+# ----------------------------------------------------------------------
+# JSONL serialization (byte-stable round-trip)
+# ----------------------------------------------------------------------
+
+
+def _dumps_line(obj: Any) -> str:
+    """Canonical single-line JSON: sorted keys, compact separators."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def dumps_jsonl(tracer: Tracer) -> str:
+    """Serialize a trace to JSONL text (header line + one per record)."""
+    header = {
+        "capacity": tracer.capacity,
+        "dropped": tracer.dropped,
+        "meta": tracer.meta,
+        "records": len(tracer.records),
+        "version": TRACE_FORMAT_VERSION,
+    }
+    lines = [_dumps_line(header)]
+    for record in tracer.records:
+        lines.append(_dumps_line({
+            "t": record.time,
+            "cat": record.category,
+            "msg": record.message,
+            "data": record.payload,
+        }))
+    return "\n".join(lines) + "\n"
+
+
+def dump_jsonl(tracer: Tracer, path: Union[str, "os.PathLike[str]"]) -> None:
+    """Write a trace to ``path`` atomically (write-then-rename)."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(dumps_jsonl(tracer))
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def loads_jsonl(text: str) -> Tracer:
+    """Rebuild a :class:`Tracer` from JSONL text (inverse of dumps)."""
+    lines = [line for line in text.split("\n") if line]
+    if not lines:
+        raise ConfigError("empty trace file")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"corrupt trace header: {exc}") from exc
+    if "version" not in header:
+        raise ConfigError("trace file has no header line")
+    version = header["version"]
+    if version != TRACE_FORMAT_VERSION:
+        raise ConfigError(
+            f"trace format version {version} not supported "
+            f"(this build reads version {TRACE_FORMAT_VERSION})")
+    tracer = Tracer(capacity=header.get("capacity", max(1, len(lines) - 1)))
+    tracer.meta = dict(header.get("meta", {}))
+    tracer.dropped = int(header.get("dropped", 0))
+    for lineno, line in enumerate(lines[1:], start=2):
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(
+                f"corrupt trace record on line {lineno}: {exc}") from exc
+        tracer.records.append(TraceRecord(
+            raw["t"], raw["cat"], raw["msg"], raw.get("data", {})))
+    expected = header.get("records")
+    if expected is not None and expected != len(tracer.records):
+        raise ConfigError(
+            f"truncated trace: header promises {expected} records, "
+            f"file has {len(tracer.records)}")
+    return tracer
+
+
+def load_jsonl(path: Union[str, "os.PathLike[str]"]) -> Tracer:
+    """Read a JSONL trace file written by :func:`dump_jsonl`."""
+    with open(os.fspath(path), "r", encoding="utf-8") as handle:
+        return loads_jsonl(handle.read())
+
+
+__all__ = [
+    "ABORT", "ASSIGN", "CATEGORIES", "COMPLETE", "DEADLINE", "DISPATCH",
+    "DRAIN", "FINISH", "FLUSH", "IDLE", "KILL", "LAUNCH", "PREEMPT",
+    "RELEASE", "SWITCH", "TRACE_FORMAT_VERSION", "TraceRecord", "Tracer",
+    "dump_jsonl", "dumps_jsonl", "load_jsonl", "loads_jsonl",
+]

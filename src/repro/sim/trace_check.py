@@ -1,0 +1,283 @@
+"""Trace-invariant checker: validates a trace against scheduler rules.
+
+The simulator's correctness argument is scattered across the kernel
+scheduler, the thread-block scheduler, and the SM state machine; a trace
+records their combined behaviour, so scheduler invariants can be checked
+*after the fact* on any trace — live from a :class:`~repro.sim.trace.Tracer`
+or reloaded from a JSONL file. The checker replays the records through a
+per-SM state machine and per-kernel lifecycle and reports every rule
+violation with its record index and timestamp.
+
+Checked invariants:
+
+* timestamps never go backwards;
+* each kernel is launched once and closed (FINISH/KILL) at most once,
+  and no new work (ASSIGN/DISPATCH/PREEMPT/COMPLETE) references a
+  closed kernel — only wind-down events (RELEASE, DRAIN, SWITCH, FLUSH,
+  ABORT, IDLE) may trail a close;
+* SM ownership is exclusive: ASSIGN requires a free SM, DISPATCH and
+  PREEMPT require the SM to be owned by that kernel, IDLE and RELEASE
+  end ownership with zero resident blocks;
+* SM residency (DISPATCH minus COMPLETE/FLUSH/SWITCH/DRAIN/ABORT) never
+  exceeds ``max_tbs_per_sm`` and never goes negative;
+* every PREEMPT is eventually matched by a RELEASE on the same SM, and
+  DRAIN/SWITCH completions only happen while that preemption is in
+  flight;
+* no block is flushed past its non-idempotent point;
+* every RELEASE carries both the predicted and the realized latency so
+  the cost model stays calibratable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.sim import trace as T
+from repro.sim.trace import TraceRecord, Tracer
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, anchored to a trace record."""
+
+    index: int          # record position in the trace (0-based)
+    time: float         # record timestamp, cycles
+    rule: str           # stable rule identifier, e.g. "residency-exceeded"
+    detail: str         # human-readable explanation
+
+    def __str__(self) -> str:
+        return f"record[{self.index}] t={self.time:.1f} {self.rule}: {self.detail}"
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one checker run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    records_checked: int = 0
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when no invariant was violated."""
+        return not self.violations
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [f"checked {self.records_checked} records: "
+                 + ("OK" if self.ok else f"{len(self.violations)} violation(s)")]
+        for violation in self.violations:
+            lines.append(f"  VIOLATION {violation}")
+        for warning in self.warnings:
+            lines.append(f"  warning: {warning}")
+        return "\n".join(lines)
+
+
+#: Events that may legitimately trail a kernel's FINISH/KILL: they wind
+#: down state created before the close (in-flight preemptions, aborted
+#: blocks, SM detaches). Anything else referencing a closed kernel is a
+#: scheduling bug.
+_WIND_DOWN = frozenset({T.RELEASE, T.DRAIN, T.SWITCH, T.FLUSH, T.ABORT,
+                       T.IDLE, T.DEADLINE})
+
+#: Events that free one resident-block slot.
+_DECREMENTS = frozenset({T.COMPLETE, T.FLUSH, T.SWITCH, T.DRAIN, T.ABORT})
+
+
+class TraceChecker:
+    """Replays a trace and reports every invariant violation.
+
+    ``max_tbs_per_sm`` bounds per-SM residency; when omitted it is read
+    from the trace's ``meta`` (where :class:`~repro.harness.runner.SimSystem`
+    records it) and left unchecked if absent. ``allow_open_at_end``
+    accepts traces cut mid-run (e.g. at a simulation horizon) where a
+    preemption may legitimately still be in flight at the last record;
+    when left ``None`` it is read from the trace's ``meta`` (the pair and
+    periodic runners stamp it, since they stop at the metric horizon).
+    """
+
+    def __init__(self, max_tbs_per_sm: Optional[int] = None,
+                 allow_open_at_end: Optional[bool] = None):
+        self.max_tbs_per_sm = max_tbs_per_sm
+        self.allow_open_at_end = allow_open_at_end
+
+    def check(self, trace: Union[Tracer, Sequence[TraceRecord]],
+              meta: Optional[Dict[str, Any]] = None) -> CheckReport:
+        """Validate a tracer (or bare record list) and return a report."""
+        if isinstance(trace, Tracer):
+            records: Sequence[TraceRecord] = trace.records
+            meta = dict(trace.meta, **(meta or {}))
+            dropped = trace.dropped
+        else:
+            records = trace
+            meta = dict(meta or {})
+            dropped = int(meta.get("dropped", 0))
+        max_tbs = self.max_tbs_per_sm
+        if max_tbs is None:
+            max_tbs = meta.get("max_tbs_per_sm")
+        allow_open = self.allow_open_at_end
+        if allow_open is None:
+            allow_open = bool(meta.get("allow_open_at_end", False))
+
+        report = CheckReport(records_checked=len(records))
+        if dropped:
+            report.warnings.append(
+                f"{dropped} records were dropped at capture; invariants "
+                f"were checked on a truncated trace")
+
+        owner: Dict[int, Optional[str]] = {}        # sm -> kernel name
+        residency: Dict[int, int] = {}              # sm -> resident blocks
+        open_preempt: Dict[int, int] = {}           # sm -> PREEMPT index
+        launched: set = set()
+        closed: set = set()
+        last_time = float("-inf")
+
+        def bad(index: int, record: TraceRecord, rule: str, detail: str) -> None:
+            report.violations.append(
+                Violation(index, record.time, rule, detail))
+
+        for index, record in enumerate(records):
+            cat = record.category
+            data = record.payload
+            report.counts[cat] = report.counts.get(cat, 0) + 1
+
+            if record.time < last_time:
+                bad(index, record, "time-monotonic",
+                    f"timestamp {record.time} before previous {last_time}")
+            last_time = max(last_time, record.time)
+
+            kernel = data.get("kernel")
+            sm = data.get("sm")
+
+            if kernel is not None and cat is not None:
+                if cat == T.LAUNCH:
+                    if kernel in launched:
+                        bad(index, record, "launch-duplicate",
+                            f"kernel {kernel!r} launched twice")
+                    launched.add(kernel)
+                    continue
+                if kernel not in launched:
+                    bad(index, record, "unknown-kernel",
+                        f"{cat} references unlaunched kernel {kernel!r}")
+                elif kernel in closed and cat not in _WIND_DOWN:
+                    bad(index, record, "event-after-close",
+                        f"{cat} for kernel {kernel!r} after its close")
+
+            if cat in (T.FINISH, T.KILL):
+                if kernel in closed:
+                    bad(index, record, "close-duplicate",
+                        f"kernel {kernel!r} closed twice")
+                closed.add(kernel)
+
+            elif cat == T.ASSIGN:
+                if owner.get(sm) is not None:
+                    bad(index, record, "assign-busy",
+                        f"SM{sm} assigned to {kernel!r} while owned by "
+                        f"{owner[sm]!r}")
+                if sm in open_preempt:
+                    bad(index, record, "assign-during-preempt",
+                        f"SM{sm} assigned while a preemption is in flight")
+                owner[sm] = kernel
+
+            elif cat == T.IDLE:
+                if owner.get(sm) is None:
+                    bad(index, record, "idle-unowned",
+                        f"SM{sm} detached while already free")
+                if sm in open_preempt:
+                    bad(index, record, "idle-during-preempt",
+                        f"SM{sm} detached mid-preemption (expected RELEASE)")
+                if residency.get(sm, 0) != 0:
+                    bad(index, record, "idle-not-empty",
+                        f"SM{sm} detached with {residency[sm]} resident blocks")
+                owner[sm] = None
+
+            elif cat == T.DISPATCH:
+                if owner.get(sm) != kernel:
+                    bad(index, record, "dispatch-unowned",
+                        f"block of {kernel!r} dispatched to SM{sm} owned by "
+                        f"{owner.get(sm)!r}")
+                if sm in open_preempt:
+                    bad(index, record, "dispatch-during-preempt",
+                        f"dispatch to SM{sm} mid-preemption")
+                residency[sm] = residency.get(sm, 0) + 1
+                if max_tbs is not None and residency[sm] > max_tbs:
+                    bad(index, record, "residency-exceeded",
+                        f"SM{sm} holds {residency[sm]} blocks "
+                        f"(max_tbs_per_sm={max_tbs})")
+
+            elif cat in _DECREMENTS:
+                if owner.get(sm) != kernel:
+                    bad(index, record, f"{cat}-unowned",
+                        f"{cat} of {kernel!r} on SM{sm} owned by "
+                        f"{owner.get(sm)!r}")
+                if cat == T.COMPLETE and sm in open_preempt:
+                    bad(index, record, "complete-during-preempt",
+                        f"normal completion on SM{sm} mid-preemption "
+                        f"(expected {T.DRAIN})")
+                if cat in (T.DRAIN, T.SWITCH) and sm not in open_preempt:
+                    bad(index, record, f"{cat}-not-preempting",
+                        f"{cat} on SM{sm} with no preemption in flight")
+                if cat == T.ABORT and sm in open_preempt:
+                    bad(index, record, "abort-during-preempt",
+                        f"abort on SM{sm} mid-preemption")
+                if cat == T.FLUSH:
+                    if data.get("idempotent") is False:
+                        bad(index, record, "flush-nonidempotent",
+                            f"block {data.get('tb')} of {kernel!r} flushed "
+                            f"past its non-idempotent point")
+                    nonidem_at = data.get("nonidem_at")
+                    executed = data.get("executed")
+                    if (nonidem_at is not None and executed is not None
+                            and executed > nonidem_at):
+                        bad(index, record, "flush-nonidempotent",
+                            f"block {data.get('tb')} flushed with "
+                            f"{executed} > nonidem_at={nonidem_at}")
+                residency[sm] = residency.get(sm, 0) - 1
+                if residency[sm] < 0:
+                    bad(index, record, "residency-negative",
+                        f"SM{sm} residency went negative")
+                    residency[sm] = 0
+
+            elif cat == T.PREEMPT:
+                if owner.get(sm) != kernel:
+                    bad(index, record, "preempt-unowned",
+                        f"preempt of {kernel!r} on SM{sm} owned by "
+                        f"{owner.get(sm)!r}")
+                if sm in open_preempt:
+                    bad(index, record, "preempt-nested",
+                        f"SM{sm} preempted while already preempting")
+                open_preempt[sm] = index
+
+            elif cat == T.RELEASE:
+                if sm not in open_preempt:
+                    bad(index, record, "release-unmatched",
+                        f"release of SM{sm} with no preemption in flight")
+                open_preempt.pop(sm, None)
+                if residency.get(sm, 0) != 0:
+                    bad(index, record, "release-not-empty",
+                        f"SM{sm} released with {residency[sm]} resident blocks")
+                # est_latency may be null (the cost model's conservative
+                # inf), but both keys must be recorded for calibration.
+                if "latency" not in data or "est_latency" not in data:
+                    bad(index, record, "release-missing-calibration",
+                        f"release of SM{sm} lacks predicted/realized latency")
+                owner[sm] = None
+
+        if open_preempt and not allow_open:
+            for sm, start in sorted(open_preempt.items()):
+                record = records[start]
+                bad(start, record, "preempt-unreleased",
+                    f"PREEMPT on SM{sm} never matched by a RELEASE")
+        return report
+
+
+def check_trace(trace: Union[Tracer, Sequence[TraceRecord]],
+                meta: Optional[Dict[str, Any]] = None,
+                allow_open_at_end: Optional[bool] = None) -> CheckReport:
+    """One-shot convenience wrapper around :class:`TraceChecker`."""
+    return TraceChecker(allow_open_at_end=allow_open_at_end).check(trace, meta)
+
+
+__all__ = ["CheckReport", "TraceChecker", "Violation", "check_trace"]

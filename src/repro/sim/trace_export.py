@@ -1,0 +1,166 @@
+"""Chrome ``trace_event`` exporter.
+
+Converts a :class:`~repro.sim.trace.Tracer` into the JSON object format
+consumed by ``chrome://tracing`` and Perfetto (`trace_event` spec). The
+mapping:
+
+* one process ("chimera"); thread 0 is the kernel scheduler, thread
+  ``sm_id + 1`` is each streaming multiprocessor;
+* SM ownership (ASSIGN → IDLE/RELEASE) and in-flight preemptions
+  (PREEMPT → RELEASE) become complete ("X") slices on the SM's thread;
+* kernel lifecycle (LAUNCH/FINISH/KILL/DEADLINE) and per-block
+  preemption completions (FLUSH/SWITCH/DRAIN/ABORT) become instants;
+* a ``busy_sms`` counter tracks machine occupancy over time.
+
+Timestamps convert from cycles to microseconds using the trace's own
+``clock_mhz`` metadata. Non-finite payload values (the cost model's
+conservative ``inf``) are replaced with ``null`` so the output is always
+strict JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any, Dict, List, Optional, Union
+
+from repro.sim import trace as T
+from repro.sim.trace import Tracer
+
+_SCHED_TID = 0
+
+#: Instants shown on the scheduler thread vs the owning SM's thread.
+_SCHED_INSTANTS = frozenset({T.LAUNCH, T.FINISH, T.KILL, T.DEADLINE})
+_SM_INSTANTS = frozenset({T.FLUSH, T.SWITCH, T.DRAIN, T.ABORT})
+
+
+def _clean(value: Any) -> Any:
+    """Strict-JSON payload value: non-finite floats become None."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: _clean(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_clean(v) for v in value]
+    return value
+
+
+def to_chrome(tracer: Tracer, clock_mhz: Optional[float] = None
+              ) -> Dict[str, Any]:
+    """Build the Chrome ``trace_event`` JSON object for a trace."""
+    clock = tracer._resolve_clock(clock_mhz)
+    events: List[Dict[str, Any]] = []
+    sm_tids: Dict[int, int] = {}
+
+    def us(time: float) -> float:
+        return time / clock
+
+    def tid_for(sm: Optional[int]) -> int:
+        if sm is None:
+            return _SCHED_TID
+        return sm_tids.setdefault(sm, sm + 1)
+
+    def instant(record, tid: int) -> None:
+        events.append({
+            "name": f"{record.category}: {record.message}",
+            "cat": record.category, "ph": "i", "s": "t",
+            "ts": us(record.time), "pid": 0, "tid": tid,
+            "args": _clean(record.payload),
+        })
+
+    # Open slices keyed by SM: (start_time, name, category, args).
+    owned: Dict[int, tuple] = {}
+    preempting: Dict[int, tuple] = {}
+    busy = 0
+    last_time = 0.0
+
+    def close_slice(opened: tuple, sm: int, end: float) -> None:
+        start, name, cat, args = opened
+        events.append({
+            "name": name, "cat": cat, "ph": "X",
+            "ts": us(start), "dur": max(0.0, us(end) - us(start)),
+            "pid": 0, "tid": tid_for(sm), "args": args,
+        })
+
+    def count_busy(time: float) -> None:
+        events.append({
+            "name": "busy_sms", "ph": "C", "ts": us(time),
+            "pid": 0, "tid": _SCHED_TID, "args": {"busy": busy},
+        })
+
+    for record in tracer.records:
+        cat = record.category
+        sm = record.payload.get("sm")
+        last_time = max(last_time, record.time)
+        if cat in _SCHED_INSTANTS:
+            instant(record, _SCHED_TID)
+        elif cat in _SM_INSTANTS:
+            instant(record, tid_for(sm))
+        if sm is None:
+            continue
+        if cat == T.ASSIGN:
+            owned[sm] = (record.time, record.payload.get("kernel", "?"),
+                         "ownership", _clean(record.payload))
+            busy += 1
+            count_busy(record.time)
+        elif cat in (T.IDLE, T.RELEASE):
+            opened = owned.pop(sm, None)
+            if opened is not None:
+                close_slice(opened, sm, record.time)
+                busy -= 1
+                count_busy(record.time)
+            if cat == T.RELEASE:
+                span = preempting.pop(sm, None)
+                if span is not None:
+                    close_slice(span, sm, record.time)
+        elif cat == T.PREEMPT:
+            preempting[sm] = (
+                record.time, f"preempt {record.payload.get('kernel', '?')}",
+                "preemption", _clean(record.payload))
+
+    # Close anything still open at the end of the trace.
+    for sm, opened in sorted(owned.items()):
+        close_slice(opened, sm, last_time)
+    for sm, opened in sorted(preempting.items()):
+        close_slice(opened, sm, last_time)
+
+    # Thread names come last so sm_tids is complete.
+    meta_events: List[Dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": 0, "tid": _SCHED_TID,
+         "args": {"name": "chimera"}},
+        {"name": "thread_name", "ph": "M", "pid": 0, "tid": _SCHED_TID,
+         "args": {"name": "scheduler"}},
+    ]
+    for sm, tid in sorted(sm_tids.items()):
+        meta_events.append({
+            "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+            "args": {"name": f"SM{sm}"}})
+    return {
+        "traceEvents": meta_events + events,
+        "displayTimeUnit": "ms",
+        "otherData": _clean(dict(tracer.meta)),
+    }
+
+
+def dump_chrome(tracer: Tracer, path: Union[str, "os.PathLike[str]"],
+                clock_mhz: Optional[float] = None) -> None:
+    """Write the Chrome trace for ``tracer`` to ``path`` (strict JSON)."""
+    doc = to_chrome(tracer, clock_mhz)
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, allow_nan=False, indent=1)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+__all__ = ["dump_chrome", "to_chrome"]

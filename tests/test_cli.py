@@ -69,3 +69,100 @@ def test_pair(capsys):
 def test_requires_command(capsys):
     with pytest.raises(SystemExit):
         main([])
+
+
+class TestTraceCommand:
+    @pytest.fixture
+    def trace_file(self, tmp_path):
+        from repro.sim import trace as T
+        from repro.sim.trace import Tracer, dump_jsonl
+        tracer = Tracer(clock_mhz=1400.0)
+        tracer.meta["num_sms"] = 2
+        tracer.emit(0.0, T.LAUNCH, "A", kernel="A", grid=1)
+        tracer.emit(0.0, T.ASSIGN, "a", sm=0, kernel="A")
+        tracer.emit(0.0, T.DISPATCH, "d", sm=0, kernel="A", tb=0)
+        tracer.emit(1400.0, T.COMPLETE, "c", sm=0, kernel="A", tb=0)
+        tracer.emit(1400.0, T.FINISH, "A", kernel="A")
+        tracer.emit(1400.0, T.IDLE, "i", sm=0, kernel="A")
+        path = tmp_path / "run.jsonl"
+        dump_jsonl(tracer, path)
+        return path
+
+    @pytest.fixture
+    def broken_trace_file(self, tmp_path):
+        """A trace that violates the checker: PREEMPT never released."""
+        from repro.sim import trace as T
+        from repro.sim.trace import Tracer, dump_jsonl
+        tracer = Tracer(clock_mhz=1400.0)
+        tracer.emit(0.0, T.LAUNCH, "A", kernel="A")
+        tracer.emit(0.0, T.ASSIGN, "a", sm=0, kernel="A")
+        tracer.emit(700.0, T.PREEMPT, "p", sm=0, kernel="A")
+        path = tmp_path / "broken.jsonl"
+        dump_jsonl(tracer, path)
+        return path
+
+    def test_summary(self, capsys, trace_file):
+        code, out = run_cli(capsys, "trace", str(trace_file))
+        assert code == 0
+        assert "span:" in out and "launch=1" in out
+
+    def test_check_clean(self, capsys, trace_file):
+        code, out = run_cli(capsys, "trace", str(trace_file), "--check")
+        assert code == 0
+        assert "OK" in out
+
+    def test_check_violation_fails(self, capsys, broken_trace_file):
+        code, out = run_cli(capsys, "trace", str(broken_trace_file),
+                            "--check")
+        assert code == 1
+        assert "preempt-unreleased" in out
+
+    def test_allow_open_accepts_cut_trace(self, capsys, broken_trace_file):
+        code, out = run_cli(capsys, "trace", str(broken_trace_file),
+                            "--check", "--allow-open")
+        assert code == 0
+
+    def test_chrome_export(self, capsys, trace_file, tmp_path):
+        import json
+        out_path = tmp_path / "chrome.json"
+        code, out = run_cli(capsys, "trace", str(trace_file),
+                            "--chrome", str(out_path))
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["traceEvents"]
+
+    def test_chrome_refuses_multiple_files(self, capsys, trace_file,
+                                           tmp_path):
+        code = main(["trace", str(trace_file), str(trace_file),
+                     "--chrome", str(tmp_path / "x.json")])
+        assert code == 2
+
+    def test_unreadable_file(self, capsys, tmp_path):
+        missing = tmp_path / "nope.jsonl"
+        code = main(["trace", str(missing)])
+        assert code == 1
+
+    def test_corrupt_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        code = main(["trace", str(bad)])
+        assert code == 1
+
+
+def test_periodic_with_trace_capture(capsys, tmp_path, monkeypatch):
+    """--trace wires end to end: run, capture, then validate via the
+    trace subcommand."""
+    trace_dir = tmp_path / "traces"
+    # Pre-set via monkeypatch so the CLI's own os.environ write (same
+    # value) is rolled back at teardown instead of leaking.
+    monkeypatch.setenv("CHIMERA_TRACE", str(trace_dir))
+    code, out = run_cli(capsys, "periodic", "--bench", "BS",
+                        "--policy", "chimera", "--periods", "2",
+                        "--seed", "1", "--jobs", "1",
+                        "--trace", str(trace_dir))
+    assert code == 0
+    files = sorted(trace_dir.glob("*.jsonl"))
+    assert len(files) == 1
+    code, out = run_cli(capsys, "trace", str(files[0]), "--check")
+    assert code == 0
+    assert "OK" in out

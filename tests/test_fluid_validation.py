@@ -13,10 +13,16 @@ import pytest
 
 from repro.core.chimera import SingleTechniquePolicy
 from repro.core.techniques import Technique
+from repro.functional.gpusim import CycleGPU
 from repro.gpu.config import GPUConfig
 from repro.gpu.kernel import Kernel
+from repro.idempotence.instrument import instrument
+from repro.idempotence.kernels import vector_add
+from repro.sim import trace as trace_cat
 from repro.sim.engine import Engine
 from repro.sim.rng import RngStreams
+from repro.sim.trace import Tracer
+from repro.sim.trace_check import TraceChecker
 from repro.units import cycles_to_us
 from repro.workloads.specs import kernel_spec
 from tests.conftest import build_system, make_spec
@@ -131,6 +137,93 @@ class TestPreemptionLatencyArithmetic:
         save = small_config.context_switch_cycles(2 * 10 * 1024)
         expected = a.stats.switches * save * a.spec.tb_rate
         assert a.stats.stall_insts == pytest.approx(expected, rel=1e-9)
+
+
+class TestDifferentialTracing:
+    """The same tiny workload traced on both timing substrates.
+
+    A 4-block kernel runs on the cycle-level :class:`CycleGPU` and, with
+    matching geometry, on the fluid model. The substrates share nothing
+    but the trace vocabulary, so agreement on event counts and causal
+    ordering is evidence the instrumentation means the same thing in
+    both — and both traces must satisfy the scheduler invariants.
+    """
+
+    GRID, SMS, PER_SM = 4, 2, 2
+
+    def _cycle_trace(self, flush_at=None):
+        prog = instrument(vector_add(64))
+        tracer = Tracer(clock_mhz=1400.0)
+        gpu = CycleGPU(prog, self.GRID, 16, num_sms=self.SMS,
+                       blocks_per_sm=self.PER_SM, tracer=tracer)
+        if flush_at is not None:
+            gpu.step(flush_at)
+            assert gpu.try_flush(0)
+        gpu.run()
+        return tracer
+
+    def _fluid_trace(self):
+        config = GPUConfig(num_sms=self.SMS, num_memory_partitions=1,
+                           memory_bandwidth_gbps=177.4 * 2 / 30)
+        engine = Engine()
+        tracer = Tracer(clock_mhz=config.clock_mhz)
+        from repro.core.chimera import ChimeraPolicy
+        from repro.gpu.gpu import GPU
+        from repro.sched.kernel_scheduler import (KernelScheduler,
+                                                  SchedulerMode)
+        from repro.sched.tb_scheduler import ThreadBlockScheduler
+        tb = ThreadBlockScheduler()
+        ks = KernelScheduler(engine, config, tb, ChimeraPolicy(config),
+                             SchedulerMode.SPATIAL, tracer=tracer)
+        gpu = GPU(config, engine, tb, tracer=tracer)
+        ks.attach_gpu(gpu)
+        kernel = Kernel(det_spec(tbs_per_sm=self.PER_SM), self.GRID,
+                        RngStreams(1), name="vector_add")
+        ks.launch_kernel(kernel)
+        engine.run()
+        return tracer
+
+    def test_event_counts_agree(self):
+        cyc = self._cycle_trace().counts()
+        flu = self._fluid_trace().counts()
+        for cat in (trace_cat.LAUNCH, trace_cat.FINISH, trace_cat.DISPATCH,
+                    trace_cat.COMPLETE):
+            assert cyc.get(cat, 0) == flu.get(cat, 0), cat
+        assert cyc[trace_cat.DISPATCH] == self.GRID
+        # Both machines bind every SM to the kernel exactly once.
+        assert cyc[trace_cat.ASSIGN] == flu[trace_cat.ASSIGN] == self.SMS
+
+    def test_causal_ordering_agrees(self):
+        """LAUNCH precedes every DISPATCH; each block's DISPATCH precedes
+        its COMPLETE; FINISH follows every COMPLETE — on both substrates."""
+        for tracer in (self._cycle_trace(), self._fluid_trace()):
+            order = {cat: [] for cat in trace_cat.CATEGORIES}
+            for index, record in enumerate(tracer.records):
+                order[record.category].append(index)
+            assert order[trace_cat.LAUNCH][0] < min(order[trace_cat.DISPATCH])
+            assert max(order[trace_cat.COMPLETE]) <= order[trace_cat.FINISH][0]
+            dispatched = {}
+            for record in tracer.records:
+                if record.category == trace_cat.DISPATCH:
+                    dispatched.setdefault(record.payload["tb"], record.time)
+                elif record.category == trace_cat.COMPLETE:
+                    assert record.payload["tb"] in dispatched
+                    assert record.time >= dispatched[record.payload["tb"]]
+
+    def test_both_traces_pass_the_checker(self):
+        for tracer in (self._cycle_trace(), self._fluid_trace()):
+            report = TraceChecker(max_tbs_per_sm=self.PER_SM).check(tracer)
+            assert report.ok, report.summary()
+
+    def test_cycle_level_flush_is_traced_and_clean(self):
+        tracer = self._cycle_trace(flush_at=300)
+        counts = tracer.counts()
+        assert counts.get(trace_cat.FLUSH, 0) >= 1
+        # Flushed blocks rerun: extra dispatches match the flushes.
+        assert counts[trace_cat.DISPATCH] == self.GRID + counts[trace_cat.FLUSH]
+        assert counts[trace_cat.COMPLETE] == self.GRID
+        report = TraceChecker(max_tbs_per_sm=self.PER_SM).check(tracer)
+        assert report.ok, report.summary()
 
 
 class TestTable2Consistency:

@@ -9,7 +9,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim.stats import Counter, Histogram, Running, StatSet
+from repro.sim.stats import Counter, Histogram, Running, StatSet, TimeSeries
 
 
 class TestCounter:
@@ -158,6 +158,56 @@ class TestStatSet:
         s = StatSet()
         assert s.counter("a") is s.counter("a")
         assert s.running("b") is s.running("b")
+
+
+class TestTimeSeries:
+    def test_add_and_len(self):
+        ts = TimeSeries()
+        ts.add(0.0, 1.0)
+        ts.add(5.0, 3.0)
+        assert len(ts) == 2
+
+    def test_rejects_out_of_order(self):
+        ts = TimeSeries()
+        ts.add(5.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.add(4.0, 2.0)
+
+    def test_same_timestamp_overwrites(self):
+        ts = TimeSeries()
+        ts.add(1.0, 1.0)
+        ts.add(1.0, 7.0)
+        assert len(ts) == 1
+        assert ts.value_at(1.0) == 7.0
+
+    def test_value_at_is_a_step_function(self):
+        ts = TimeSeries()
+        ts.add(10.0, 2.0)
+        ts.add(20.0, 5.0)
+        assert ts.value_at(5.0) == 0.0
+        assert ts.value_at(10.0) == 2.0
+        assert ts.value_at(15.0) == 2.0
+        assert ts.value_at(25.0) == 5.0
+
+    def test_time_weighted_mean(self):
+        ts = TimeSeries()
+        ts.add(0.0, 2.0)
+        ts.add(10.0, 4.0)
+        # 2 for [0,10), 4 for [10,20) -> mean 3 over [0,20).
+        assert ts.time_weighted_mean(20.0) == pytest.approx(3.0)
+
+    def test_integral(self):
+        ts = TimeSeries()
+        ts.add(0.0, 1.0)
+        ts.add(4.0, 0.0)
+        ts.add(6.0, 2.0)
+        assert ts.integral(10.0) == pytest.approx(4.0 + 0.0 + 8.0)
+
+    def test_empty_series(self):
+        ts = TimeSeries()
+        assert len(ts) == 0
+        assert ts.value_at(100.0) == 0.0
+        assert ts.integral(10.0) == 0.0
 
 
 def test_running_handles_identical_values():

@@ -251,3 +251,66 @@ class TestKnobs:
         result = _runner(tmp_path).run([spec])[0]
         assert result.policy == "fcfs"
         assert set(result.metric_time_cycles) == {"LUD", "BS"}
+
+
+class TestTraceKnobs:
+    def test_trace_dir_default_is_off(self, monkeypatch):
+        from repro.harness.sweep import default_trace_dir
+        monkeypatch.delenv("CHIMERA_TRACE", raising=False)
+        assert default_trace_dir() is None
+
+    def test_trace_capacity_default_and_override(self, monkeypatch):
+        from repro.harness.sweep import default_trace_capacity
+        monkeypatch.delenv("CHIMERA_TRACE_CAPACITY", raising=False)
+        assert default_trace_capacity() == 500_000
+        monkeypatch.setenv("CHIMERA_TRACE_CAPACITY", "1234")
+        assert default_trace_capacity() == 1234
+
+    def test_trace_capacity_rejects_garbage(self, monkeypatch):
+        from repro.errors import ConfigError
+        from repro.harness.sweep import default_trace_capacity
+        monkeypatch.setenv("CHIMERA_TRACE_CAPACITY", "many")
+        with pytest.raises(ConfigError):
+            default_trace_capacity()
+        monkeypatch.setenv("CHIMERA_TRACE_CAPACITY", "0")
+        with pytest.raises(ConfigError):
+            default_trace_capacity()
+
+    def test_trace_path_is_filesystem_safe_and_distinct(self, tmp_path):
+        from repro.harness.sweep import trace_path_for
+        workload = MultiprogramWorkload(("LUD", "BS"), budget_insts=2e6)
+        a = trace_path_for(RunSpec.pair(workload, "chimera", seed=1),
+                           str(tmp_path))
+        b = trace_path_for(RunSpec.pair(workload, "chimera", seed=2),
+                           str(tmp_path))
+        for path in (a, b):
+            name = path.split("/")[-1]
+            assert name.endswith(".jsonl")
+            assert "[" not in name and " " not in name
+        assert a != b  # seed is part of the cache key -> distinct files
+
+    def test_executed_spec_writes_trace_with_identity(self, tmp_path,
+                                                      monkeypatch):
+        from repro.sim.trace import load_jsonl
+        trace_dir = tmp_path / "traces"
+        monkeypatch.setenv("CHIMERA_TRACE", str(trace_dir))
+        spec = RunSpec.periodic("BS", "chimera", periods=PERIODS, seed=5)
+        _runner(tmp_path, enabled=False).run([spec])
+        files = list(trace_dir.glob("*.jsonl"))
+        assert len(files) == 1
+        tracer = load_jsonl(files[0])
+        assert tracer.meta["spec"] == spec.describe()
+        assert tracer.meta["spec_key"] == spec.cache_key()
+        assert tracer.meta["policy"] == "chimera"
+        assert tracer.records
+
+    def test_capacity_env_caps_capture(self, tmp_path, monkeypatch):
+        from repro.sim.trace import load_jsonl
+        trace_dir = tmp_path / "traces"
+        monkeypatch.setenv("CHIMERA_TRACE", str(trace_dir))
+        monkeypatch.setenv("CHIMERA_TRACE_CAPACITY", "10")
+        spec = RunSpec.periodic("BS", "chimera", periods=PERIODS, seed=5)
+        _runner(tmp_path, enabled=False).run([spec])
+        tracer = load_jsonl(next(trace_dir.glob("*.jsonl")))
+        assert len(tracer.records) == 10
+        assert tracer.dropped > 0

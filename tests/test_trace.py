@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.core.chimera import ChimeraPolicy
+from repro.errors import ConfigError
 from repro.gpu.gpu import GPU
 from repro.gpu.kernel import Kernel
 from repro.sched.kernel_scheduler import KernelScheduler, SchedulerMode
@@ -12,7 +15,14 @@ from repro.sched.tb_scheduler import ThreadBlockScheduler
 from repro.sim import trace as trace_mod
 from repro.sim.engine import Engine
 from repro.sim.rng import RngStreams
-from repro.sim.trace import TraceRecord, Tracer
+from repro.sim.trace import (
+    TraceRecord,
+    Tracer,
+    dump_jsonl,
+    dumps_jsonl,
+    load_jsonl,
+    loads_jsonl,
+)
 from tests.conftest import make_spec
 
 
@@ -43,7 +53,7 @@ class TestTracer:
         assert len(tracer) == 1
 
     def test_capacity_drops_and_reports(self):
-        tracer = Tracer(capacity=2)
+        tracer = Tracer(capacity=2, clock_mhz=1400.0)
         for i in range(5):
             tracer.emit(float(i), "a", f"m{i}")
         assert len(tracer) == 2
@@ -63,19 +73,106 @@ class TestTracer:
         assert "1.00us" in text
         assert "launch" in text and "grid=8" in text
 
+    def test_record_format_uses_given_clock(self):
+        record = TraceRecord(700.0, "launch", "k0")
+        assert "1.00us" in record.format(clock_mhz=700.0)
+        assert "0.50us" in record.format(clock_mhz=1400.0)
+
+    def test_record_format_rejects_bad_clock(self):
+        record = TraceRecord(1.0, "a", "m")
+        with pytest.raises(ConfigError):
+            record.format(clock_mhz=0.0)
+
+    def test_to_text_needs_a_clock(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "a", "m")
+        with pytest.raises(ConfigError):
+            tracer.to_text()
+        assert "a" in tracer.to_text(clock_mhz=1400.0)
+
+    def test_clock_from_metadata(self):
+        tracer = Tracer(clock_mhz=700.0)
+        tracer.emit(700.0, "a", "m")
+        assert tracer.clock_mhz == 700.0
+        assert "1.00us" in tracer.to_text()
+
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             Tracer(capacity=0)
 
 
+class TestJsonl:
+    def _sample(self):
+        tracer = Tracer(capacity=100, clock_mhz=1400.0)
+        tracer.meta["num_sms"] = 4
+        tracer.emit(0.0, "launch", "A", kernel="A", grid=8)
+        tracer.emit(5.5, "assign", "SM0 -> A", sm=0, kernel="A")
+        tracer.emit(9.25, "finish", "A", kernel="A", cycles=9.25)
+        return tracer
+
+    def test_round_trip_preserves_records(self):
+        tracer = self._sample()
+        clone = loads_jsonl(dumps_jsonl(tracer))
+        assert clone.records == tracer.records
+        assert clone.meta == tracer.meta
+        assert clone.capacity == tracer.capacity
+        assert clone.dropped == tracer.dropped
+
+    def test_round_trip_is_byte_stable(self):
+        text = dumps_jsonl(self._sample())
+        assert dumps_jsonl(loads_jsonl(text)) == text
+
+    def test_file_round_trip(self, tmp_path):
+        tracer = self._sample()
+        path = tmp_path / "sub" / "trace.jsonl"
+        dump_jsonl(tracer, path)
+        clone = load_jsonl(path)
+        assert clone.records == tracer.records
+
+    def test_every_line_is_json(self):
+        for line in dumps_jsonl(self._sample()).splitlines():
+            json.loads(line)
+
+    def test_header_carries_dropped(self):
+        tracer = Tracer(capacity=1)
+        tracer.emit(0.0, "a", "x")
+        tracer.emit(1.0, "a", "y")
+        clone = loads_jsonl(dumps_jsonl(tracer))
+        assert clone.dropped == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            loads_jsonl("")
+
+    def test_rejects_headerless(self):
+        with pytest.raises(ConfigError):
+            loads_jsonl('{"t":0.0,"cat":"a","msg":"x","data":{}}\n')
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ConfigError, match="version"):
+            loads_jsonl('{"version":999,"records":0}\n')
+
+    def test_rejects_truncated(self):
+        text = dumps_jsonl(self._sample())
+        truncated = "\n".join(text.splitlines()[:-1]) + "\n"
+        with pytest.raises(ConfigError, match="truncated"):
+            loads_jsonl(truncated)
+
+    def test_rejects_corrupt_record(self):
+        text = dumps_jsonl(self._sample())
+        mangled = text.replace('"cat":"assign"', '"cat":"assign')
+        with pytest.raises(ConfigError, match="corrupt"):
+            loads_jsonl(mangled)
+
+
 class TestSchedulerTracing:
     def _build(self, config):
         engine = Engine()
-        tracer = Tracer()
+        tracer = Tracer(clock_mhz=config.clock_mhz)
         tb = ThreadBlockScheduler()
         ks = KernelScheduler(engine, config, tb, ChimeraPolicy(config),
                              SchedulerMode.SPATIAL, tracer=tracer)
-        gpu = GPU(config, engine, tb)
+        gpu = GPU(config, engine, tb, tracer=tracer)
         ks.attach_gpu(gpu)
         return engine, ks, tracer
 
@@ -88,6 +185,8 @@ class TestSchedulerTracing:
         assert counts[trace_mod.LAUNCH] == 1
         assert counts[trace_mod.FINISH] == 1
         assert counts.get(trace_mod.ASSIGN, 0) >= 1
+        assert counts.get(trace_mod.DISPATCH, 0) == 8
+        assert counts.get(trace_mod.COMPLETE, 0) == 8
 
     def test_preemptions_traced(self, small_config):
         engine, ks, tracer = self._build(small_config)
@@ -104,6 +203,30 @@ class TestSchedulerTracing:
         text = tracer.to_text(small_config.clock_mhz)
         assert "preempt" in text and "release" in text
 
+    def test_preempt_carries_per_tb_predictions(self, small_config):
+        engine, ks, tracer = self._build(small_config)
+        a = Kernel(make_spec(benchmark="AA", avg_drain_us=2000.0,
+                             tbs_per_sm=2, tb_cv=0.0), 32, RngStreams(1))
+        ks.launch_kernel(a)
+        engine.run(until=100_000.0)
+        b = Kernel(make_spec(benchmark="BB", tbs_per_sm=2,
+                             avg_drain_us=100.0), 4, RngStreams(2))
+        ks.launch_kernel(b)
+        engine.run(until=300_000.0)
+        preempts = tracer.filter(trace_mod.PREEMPT)
+        assert preempts
+        for record in preempts:
+            assert record.payload["sm"] >= 0
+            per_tb = record.payload["tbs"]
+            assert per_tb, "plan should name its thread blocks"
+            for entry in per_tb:
+                assert set(entry) == {"tb", "tech", "lat", "ovh"}
+        releases = tracer.filter(trace_mod.RELEASE)
+        assert releases
+        for record in releases:
+            assert "latency" in record.payload
+            assert "est_latency" in record.payload
+
     def test_no_tracer_is_silent(self, small_config):
         engine = Engine()
         tb = ThreadBlockScheduler()
@@ -115,3 +238,4 @@ class TestSchedulerTracing:
         ks.launch_kernel(kernel)
         engine.run()
         assert ks.tracer is None
+        assert all(sm.tracer is None for sm in gpu.sms)

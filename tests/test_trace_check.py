@@ -1,0 +1,316 @@
+"""Unit tests for the trace-invariant checker.
+
+Each invariant gets a minimal hand-built trace that violates exactly it,
+plus a well-formed variant that passes; the end-to-end class then runs
+real scenarios through every policy and asserts their traces are clean.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import run_pair, run_periodic, run_solo
+from repro.sim import trace as T
+from repro.sim.trace import TraceRecord, Tracer
+from repro.sim.trace_check import CheckReport, TraceChecker, check_trace
+from repro.workloads.multiprogram import MultiprogramWorkload
+
+
+def R(t, cat, **data):
+    return TraceRecord(float(t), cat, f"{cat}@{t}", data)
+
+
+def rules(report: CheckReport):
+    return {v.rule for v in report.violations}
+
+
+#: A minimal clean lifecycle: launch, assign, dispatch, complete, idle,
+#: finish — the smallest trace every rule agrees on.
+def clean_records():
+    return [
+        R(0, T.LAUNCH, kernel="A", grid=1),
+        R(1, T.ASSIGN, sm=0, kernel="A"),
+        R(2, T.DISPATCH, sm=0, kernel="A", tb=0),
+        R(9, T.COMPLETE, sm=0, kernel="A", tb=0),
+        R(9, T.FINISH, kernel="A", cycles=9.0),
+        R(9, T.IDLE, sm=0, kernel="A"),
+    ]
+
+
+class TestLifecycleRules:
+    def test_clean_trace_passes(self):
+        report = check_trace(clean_records())
+        assert report.ok, report.summary()
+        assert report.records_checked == 6
+        assert report.counts[T.DISPATCH] == 1
+
+    def test_time_must_be_monotonic(self):
+        records = [R(5, T.LAUNCH, kernel="A"), R(4, T.LAUNCH, kernel="B")]
+        assert "time-monotonic" in rules(check_trace(records))
+
+    def test_duplicate_launch(self):
+        records = [R(0, T.LAUNCH, kernel="A"), R(1, T.LAUNCH, kernel="A")]
+        assert "launch-duplicate" in rules(check_trace(records))
+
+    def test_unknown_kernel(self):
+        records = [R(0, T.ASSIGN, sm=0, kernel="ghost")]
+        assert "unknown-kernel" in rules(check_trace(records))
+
+    def test_event_after_close(self):
+        records = [
+            R(0, T.LAUNCH, kernel="A"),
+            R(1, T.FINISH, kernel="A"),
+            R(2, T.ASSIGN, sm=0, kernel="A"),
+        ]
+        assert "event-after-close" in rules(check_trace(records))
+
+    def test_wind_down_after_close_is_fine(self):
+        records = [
+            R(0, T.LAUNCH, kernel="A"),
+            R(1, T.ASSIGN, sm=0, kernel="A"),
+            R(2, T.FINISH, kernel="A"),
+            R(3, T.IDLE, sm=0, kernel="A"),
+        ]
+        assert check_trace(records).ok
+
+    def test_double_close(self):
+        records = [
+            R(0, T.LAUNCH, kernel="A"),
+            R(1, T.FINISH, kernel="A"),
+            R(2, T.KILL, kernel="A"),
+        ]
+        assert "close-duplicate" in rules(check_trace(records))
+
+
+class TestOccupancyRules:
+    def test_assign_busy_sm(self):
+        records = [
+            R(0, T.LAUNCH, kernel="A"),
+            R(0, T.LAUNCH, kernel="B"),
+            R(1, T.ASSIGN, sm=0, kernel="A"),
+            R(2, T.ASSIGN, sm=0, kernel="B"),
+        ]
+        assert "assign-busy" in rules(check_trace(records))
+
+    def test_idle_while_free(self):
+        records = [
+            R(0, T.LAUNCH, kernel="A"),
+            R(1, T.IDLE, sm=0, kernel="A"),
+        ]
+        assert "idle-unowned" in rules(check_trace(records))
+
+    def test_idle_with_resident_blocks(self):
+        records = [
+            R(0, T.LAUNCH, kernel="A"),
+            R(1, T.ASSIGN, sm=0, kernel="A"),
+            R(2, T.DISPATCH, sm=0, kernel="A", tb=0),
+            R(3, T.IDLE, sm=0, kernel="A"),
+        ]
+        assert "idle-not-empty" in rules(check_trace(records))
+
+    def test_dispatch_to_foreign_sm(self):
+        records = [
+            R(0, T.LAUNCH, kernel="A"),
+            R(0, T.LAUNCH, kernel="B"),
+            R(1, T.ASSIGN, sm=0, kernel="A"),
+            R(2, T.DISPATCH, sm=0, kernel="B", tb=0),
+        ]
+        assert "dispatch-unowned" in rules(check_trace(records))
+
+    def test_residency_cap_from_argument(self):
+        records = [
+            R(0, T.LAUNCH, kernel="A"),
+            R(1, T.ASSIGN, sm=0, kernel="A"),
+            R(2, T.DISPATCH, sm=0, kernel="A", tb=0),
+            R(3, T.DISPATCH, sm=0, kernel="A", tb=1),
+            R(4, T.DISPATCH, sm=0, kernel="A", tb=2),
+        ]
+        report = TraceChecker(max_tbs_per_sm=2).check(records)
+        assert "residency-exceeded" in rules(report)
+        # Without a cap the same trace is fine.
+        assert "residency-exceeded" not in rules(check_trace(records))
+
+    def test_residency_cap_from_meta(self):
+        tracer = Tracer()
+        tracer.meta["max_tbs_per_sm"] = 1
+        tracer.emit(0, T.LAUNCH, "A", kernel="A")
+        tracer.emit(1, T.ASSIGN, "a", sm=0, kernel="A")
+        tracer.emit(2, T.DISPATCH, "d0", sm=0, kernel="A", tb=0)
+        tracer.emit(3, T.DISPATCH, "d1", sm=0, kernel="A", tb=1)
+        assert "residency-exceeded" in rules(TraceChecker().check(tracer))
+
+    def test_complete_without_dispatch_goes_negative(self):
+        records = [
+            R(0, T.LAUNCH, kernel="A"),
+            R(1, T.ASSIGN, sm=0, kernel="A"),
+            R(2, T.COMPLETE, sm=0, kernel="A", tb=0),
+        ]
+        assert "residency-negative" in rules(check_trace(records))
+
+    def test_dropped_records_warn(self):
+        tracer = Tracer(capacity=1)
+        tracer.emit(0, T.LAUNCH, "A", kernel="A")
+        tracer.emit(1, T.FINISH, "A", kernel="A")
+        report = TraceChecker().check(tracer)
+        assert report.warnings
+
+
+def preempt_prefix():
+    """A victim mid-preemption on SM0 (two blocks resident)."""
+    return [
+        R(0, T.LAUNCH, kernel="A"),
+        R(1, T.ASSIGN, sm=0, kernel="A"),
+        R(2, T.DISPATCH, sm=0, kernel="A", tb=0),
+        R(2, T.DISPATCH, sm=0, kernel="A", tb=1),
+        R(5, T.PREEMPT, sm=0, kernel="A", techniques={"drain": 2}),
+    ]
+
+
+class TestPreemptionRules:
+    def _release(self, t):
+        return R(t, T.RELEASE, sm=0, kernel="A", latency=3.0,
+                 est_latency=3.0)
+
+    def test_clean_drain_preemption_passes(self):
+        records = preempt_prefix() + [
+            R(6, T.DRAIN, sm=0, kernel="A", tb=0),
+            R(7, T.DRAIN, sm=0, kernel="A", tb=1),
+            self._release(7),
+        ]
+        report = check_trace(records)
+        assert report.ok, report.summary()
+
+    def test_preempt_requires_ownership(self):
+        records = [
+            R(0, T.LAUNCH, kernel="A"),
+            R(1, T.PREEMPT, sm=0, kernel="A"),
+        ]
+        assert "preempt-unowned" in rules(
+            check_trace(records, allow_open_at_end=True))
+
+    def test_nested_preempt(self):
+        records = preempt_prefix() + [
+            R(6, T.PREEMPT, sm=0, kernel="A"),
+        ]
+        assert "preempt-nested" in rules(
+            check_trace(records, allow_open_at_end=True))
+
+    def test_unreleased_preempt_flagged_at_end(self):
+        report = check_trace(preempt_prefix())
+        assert "preempt-unreleased" in rules(report)
+        assert check_trace(preempt_prefix(), allow_open_at_end=True).ok
+
+    def test_release_without_preempt(self):
+        records = [
+            R(0, T.LAUNCH, kernel="A"),
+            R(1, T.ASSIGN, sm=0, kernel="A"),
+            self._release(2),
+        ]
+        assert "release-unmatched" in rules(check_trace(records))
+
+    def test_release_with_resident_blocks(self):
+        records = preempt_prefix() + [
+            R(6, T.DRAIN, sm=0, kernel="A", tb=0),
+            self._release(7),  # tb1 still resident
+        ]
+        assert "release-not-empty" in rules(check_trace(records))
+
+    def test_release_must_carry_calibration(self):
+        records = preempt_prefix() + [
+            R(6, T.DRAIN, sm=0, kernel="A", tb=0),
+            R(7, T.DRAIN, sm=0, kernel="A", tb=1),
+            R(7, T.RELEASE, sm=0, kernel="A"),  # no latency keys
+        ]
+        assert "release-missing-calibration" in rules(check_trace(records))
+
+    def test_null_est_latency_is_acceptable(self):
+        """The conservative cost model predicts inf, serialized as null;
+        the key must be present but may be null."""
+        records = preempt_prefix() + [
+            R(6, T.DRAIN, sm=0, kernel="A", tb=0),
+            R(7, T.DRAIN, sm=0, kernel="A", tb=1),
+            R(7, T.RELEASE, sm=0, kernel="A", latency=2.0, est_latency=None),
+        ]
+        assert check_trace(records).ok
+
+    def test_normal_complete_during_preempt(self):
+        records = preempt_prefix() + [
+            R(6, T.COMPLETE, sm=0, kernel="A", tb=0),
+        ]
+        assert "complete-during-preempt" in rules(
+            check_trace(records, allow_open_at_end=True))
+
+    def test_drain_outside_preemption(self):
+        records = [
+            R(0, T.LAUNCH, kernel="A"),
+            R(1, T.ASSIGN, sm=0, kernel="A"),
+            R(2, T.DISPATCH, sm=0, kernel="A", tb=0),
+            R(3, T.DRAIN, sm=0, kernel="A", tb=0),
+        ]
+        assert "drain-not-preempting" in rules(check_trace(records))
+
+    def test_dispatch_during_preemption(self):
+        records = preempt_prefix() + [
+            R(6, T.DISPATCH, sm=0, kernel="A", tb=2),
+        ]
+        assert "dispatch-during-preempt" in rules(
+            check_trace(records, allow_open_at_end=True))
+
+    def test_flush_outside_preemption_is_fine(self):
+        """CycleGPU's reset circuit flushes without a scheduler PREEMPT."""
+        records = [
+            R(0, T.LAUNCH, kernel="A"),
+            R(1, T.ASSIGN, sm=0, kernel="A"),
+            R(2, T.DISPATCH, sm=0, kernel="A", tb=0),
+            R(3, T.FLUSH, sm=0, kernel="A", tb=0, idempotent=True),
+        ]
+        assert check_trace(records).ok
+
+    def test_flush_past_nonidempotent_point(self):
+        records = preempt_prefix() + [
+            R(6, T.FLUSH, sm=0, kernel="A", tb=0, idempotent=False),
+            R(6, T.FLUSH, sm=0, kernel="A", tb=1,
+              executed=500.0, nonidem_at=400.0),
+            self._release(6),
+        ]
+        report = check_trace(records)
+        assert [v.rule for v in report.violations].count(
+            "flush-nonidempotent") == 2
+
+
+class TestEndToEndTraces:
+    """Real scenario runs must produce violation-free traces."""
+
+    def _check(self, tracer):
+        report = TraceChecker().check(tracer)
+        assert report.ok, report.summary()
+        return report
+
+    def test_solo_trace_is_clean(self):
+        tracer = Tracer()
+        run_solo("BS", 2e6, seed=1, tracer=tracer)
+        report = self._check(tracer)
+        assert report.counts[T.LAUNCH] >= 1
+
+    @pytest.mark.parametrize("policy", ["chimera", "drain", "switch",
+                                        "flush"])
+    def test_pair_trace_is_clean_for_every_policy(self, policy):
+        tracer = Tracer()
+        workload = MultiprogramWorkload(("LUD", "BS"), budget_insts=2e6)
+        run_pair(workload, policy, seed=1, tracer=tracer)
+        report = self._check(tracer)
+        if policy != "flush":
+            # flush may abort preemptions; the others must preempt.
+            assert report.counts.get(T.PREEMPT, 0) >= 1
+
+    def test_periodic_trace_is_clean_and_has_deadlines(self):
+        tracer = Tracer()
+        run_periodic("BS", "chimera", periods=3, seed=1, tracer=tracer)
+        report = self._check(tracer)
+        assert report.counts.get(T.DEADLINE, 0) == 3
+
+    def test_meta_supplies_residency_cap(self):
+        tracer = Tracer()
+        run_solo("BS", 2e6, seed=1, tracer=tracer)
+        assert tracer.meta.get("max_tbs_per_sm")
+        assert self._check(tracer)

@@ -1,0 +1,168 @@
+"""Tests for the Chrome trace_event exporter and the derived timelines."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.harness.runner import run_pair, run_periodic
+from repro.metrics.timeline import TraceTimelines
+from repro.sim import trace as T
+from repro.sim.trace import Tracer
+from repro.sim.trace_export import dump_chrome, to_chrome
+from repro.workloads.multiprogram import MultiprogramWorkload
+
+
+def small_trace():
+    tracer = Tracer(clock_mhz=1400.0)
+    tracer.meta["num_sms"] = 2
+    tracer.emit(0.0, T.LAUNCH, "A", kernel="A", grid=4)
+    tracer.emit(0.0, T.ASSIGN, "SM0 -> A", sm=0, kernel="A")
+    tracer.emit(0.0, T.ASSIGN, "SM1 -> A", sm=1, kernel="A")
+    tracer.emit(0.0, T.DISPATCH, "d", sm=0, kernel="A", tb=0)
+    tracer.emit(0.0, T.DISPATCH, "d", sm=1, kernel="A", tb=1)
+    tracer.emit(700.0, T.PREEMPT, "plan", sm=1, kernel="A",
+                est_latency=float("inf"))
+    tracer.emit(1400.0, T.DRAIN, "drained", sm=1, kernel="A", tb=1)
+    tracer.emit(1400.0, T.RELEASE, "handover", sm=1, kernel="A",
+                latency=700.0, est_latency=None)
+    tracer.emit(2800.0, T.COMPLETE, "c", sm=0, kernel="A", tb=0)
+    tracer.emit(2800.0, T.FINISH, "A", kernel="A", cycles=2800.0)
+    tracer.emit(2800.0, T.IDLE, "SM0 idle", sm=0, kernel="A")
+    return tracer
+
+
+class TestChromeExport:
+    def test_is_strict_json(self):
+        doc = to_chrome(small_trace())
+        # allow_nan=False would raise if any inf/nan survived cleaning.
+        json.dumps(doc, allow_nan=False)
+
+    def test_every_resident_sm_has_a_slice(self):
+        doc = to_chrome(small_trace())
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["tid"] for e in slices} >= {1, 2}
+
+    def test_slice_times_are_microseconds(self):
+        doc = to_chrome(small_trace())
+        ownership = [e for e in doc["traceEvents"]
+                     if e["ph"] == "X" and e["cat"] == "ownership"]
+        sm0 = next(e for e in ownership if e["tid"] == 1)
+        assert sm0["ts"] == pytest.approx(0.0)
+        assert sm0["dur"] == pytest.approx(2.0)  # 2800 cycles @ 1400 MHz
+
+    def test_preemption_slice_spans_preempt_to_release(self):
+        doc = to_chrome(small_trace())
+        span = next(e for e in doc["traceEvents"]
+                    if e["ph"] == "X" and e["cat"] == "preemption")
+        assert span["ts"] == pytest.approx(0.5)
+        assert span["dur"] == pytest.approx(0.5)
+        assert span["args"]["est_latency"] is None  # inf cleaned to null
+
+    def test_lifecycle_events_are_scheduler_instants(self):
+        doc = to_chrome(small_trace())
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        sched = [e for e in instants if e["cat"] in ("launch", "finish")]
+        assert len(sched) == 2
+        assert all(e["tid"] == 0 for e in sched)
+
+    def test_busy_counter_tracks_occupancy(self):
+        doc = to_chrome(small_trace())
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert [c["args"]["busy"] for c in counters] == [1, 2, 1, 0]
+
+    def test_threads_are_named(self):
+        doc = to_chrome(small_trace())
+        names = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "M"}
+        assert {"chimera", "scheduler", "SM0", "SM1"} <= names
+
+    def test_dump_chrome_round_trips_through_json(self, tmp_path):
+        path = tmp_path / "out" / "trace.json"
+        dump_chrome(small_trace(), path)
+        doc = json.loads(path.read_text())
+        assert doc["otherData"]["num_sms"] == 2
+        assert doc["traceEvents"]
+
+    def test_periodic_case_study_loads_as_chrome_trace(self, tmp_path):
+        """The acceptance scenario: a periodic run exports to valid JSON
+        with at least one event on every resident SM."""
+        config = GPUConfig()
+        tracer = Tracer(clock_mhz=config.clock_mhz)
+        run_periodic("BS", "chimera", periods=2, seed=1, config=config,
+                     tracer=tracer)
+        path = tmp_path / "periodic.json"
+        dump_chrome(tracer, path)
+        doc = json.loads(path.read_text())
+        resident = {r.payload["sm"] for r in tracer.filter(T.ASSIGN)}
+        assert resident
+        for sm in resident:
+            tid = sm + 1
+            assert any(e.get("tid") == tid and e["ph"] in ("X", "i")
+                       for e in doc["traceEvents"]), f"SM{sm} has no events"
+
+
+class TestTraceTimelines:
+    def test_requires_a_clock(self):
+        tracer = Tracer()
+        tracer.emit(0.0, T.LAUNCH, "A", kernel="A")
+        with pytest.raises(ValueError):
+            TraceTimelines.from_trace(tracer)
+        assert TraceTimelines.from_trace(tracer, clock_mhz=1400.0)
+
+    def test_busy_fractions(self):
+        tl = TraceTimelines.from_trace(small_trace())
+        assert tl.busy_fraction(0) == pytest.approx(1.0)
+        assert tl.busy_fraction(1) == pytest.approx(0.5)
+        assert tl.busy_fraction(99) == 0.0
+
+    def test_span_and_occupancy(self):
+        tl = TraceTimelines.from_trace(small_trace())
+        assert tl.span_us == pytest.approx(2.0)
+        # Two SMs busy for the first half, one for the second.
+        assert tl.mean_busy_sms() == pytest.approx(1.5)
+
+    def test_latency_distribution(self):
+        tl = TraceTimelines.from_trace(small_trace())
+        assert tl.latency_us.count == 1
+        assert tl.latency_us.mean == pytest.approx(0.5)
+        # Null prediction (conservative inf) contributes no pair.
+        assert tl.calibration == []
+        assert tl.calibration_error() is None
+
+    def test_calibration_pairs(self):
+        tracer = small_trace()
+        tracer.emit(2900.0, T.ASSIGN, "a", sm=1, kernel="A")
+        tracer.emit(3000.0, T.PREEMPT, "p", sm=1, kernel="A")
+        tracer.emit(3100.0, T.RELEASE, "r", sm=1, kernel="A",
+                    latency=100.0, est_latency=120.0)
+        tl = TraceTimelines.from_trace(tracer)
+        assert tl.calibration == [(120.0, 100.0)]
+        assert tl.calibration_error() == pytest.approx(20.0 / 1400.0)
+
+    def test_deadline_outcomes(self):
+        tracer = small_trace()
+        tracer.emit(2900.0, T.DEADLINE, "met", kernel="RT#0", violated=False)
+        tracer.emit(3000.0, T.DEADLINE, "miss", kernel="RT#1", violated=True)
+        tl = TraceTimelines.from_trace(tracer)
+        assert (tl.deadline_hits, tl.deadline_misses) == (1, 1)
+        assert "deadlines: 1/2 met" in tl.summary()
+
+    def test_open_ownership_extends_to_trace_end(self):
+        tracer = Tracer(clock_mhz=1400.0)
+        tracer.emit(0.0, T.LAUNCH, "A", kernel="A")
+        tracer.emit(0.0, T.ASSIGN, "a", sm=0, kernel="A")
+        tracer.emit(1400.0, T.FINISH, "A", kernel="A")
+        tl = TraceTimelines.from_trace(tracer)
+        assert tl.busy_fraction(0) == pytest.approx(1.0)
+
+    def test_summary_on_real_pair_run(self):
+        tracer = Tracer()
+        workload = MultiprogramWorkload(("LUD", "BS"), budget_insts=2e6)
+        run_pair(workload, "chimera", seed=1, tracer=tracer)
+        tl = TraceTimelines.from_trace(tracer)
+        text = tl.summary()
+        assert "span:" in text and "events:" in text and "busy:" in text
+        assert tl.mean_busy_sms() > 0

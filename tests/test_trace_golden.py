@@ -1,0 +1,107 @@
+"""Golden-trace regression test.
+
+A canonical two-kernel preemption scenario on a 4-SM machine is traced
+and compared byte-for-byte against ``tests/data/golden_two_kernel.jsonl``.
+Any change to event ordering, payload layout, or JSONL serialization
+shows up as a diff here and must be accompanied by regenerating the
+golden file (``python tests/test_trace_golden.py``) and bumping
+``TRACE_FORMAT_VERSION`` when the layout changed incompatibly.
+
+The scenario is fully deterministic: cv=0 kernels, fixed seeds, explicit
+kernel names (the global kernel-id counter never leaks into the trace).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.chimera import ChimeraPolicy
+from repro.gpu.config import GPUConfig
+from repro.gpu.gpu import GPU
+from repro.gpu.kernel import Kernel
+from repro.sched.kernel_scheduler import KernelScheduler, SchedulerMode
+from repro.sched.tb_scheduler import ThreadBlockScheduler
+from repro.sim import trace as T
+from repro.sim.engine import Engine
+from repro.sim.rng import RngStreams
+from repro.sim.trace import Tracer, dumps_jsonl, loads_jsonl
+from repro.sim.trace_check import TraceChecker
+from tests.conftest import make_spec
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "data",
+                      "golden_two_kernel.jsonl")
+
+
+def build_golden_trace() -> Tracer:
+    """The canonical scenario: a long-draining victim preempted by a
+    short kernel on a 4-SM machine, run to completion."""
+    config = GPUConfig(num_sms=4, num_memory_partitions=2,
+                       memory_bandwidth_gbps=177.4 * 4 / 30)
+    engine = Engine()
+    tracer = Tracer(clock_mhz=config.clock_mhz)
+    tracer.meta["num_sms"] = config.num_sms
+    tracer.meta["max_tbs_per_sm"] = 8
+    tb = ThreadBlockScheduler()
+    ks = KernelScheduler(engine, config, tb, ChimeraPolicy(config),
+                         SchedulerMode.SPATIAL, tracer=tracer)
+    gpu = GPU(config, engine, tb, tracer=tracer)
+    ks.attach_gpu(gpu)
+    victim = Kernel(make_spec(benchmark="AA", avg_drain_us=2000.0,
+                              tbs_per_sm=2, tb_cv=0.0), 16,
+                    RngStreams(1), name="victim")
+    ks.launch_kernel(victim)
+    engine.run(until=100_000.0)
+    intruder = Kernel(make_spec(benchmark="BB", tbs_per_sm=2,
+                                avg_drain_us=100.0, tb_cv=0.0), 4,
+                      RngStreams(2), name="intruder")
+    ks.launch_kernel(intruder)
+    engine.run()
+    return tracer
+
+
+class TestGoldenTrace:
+    def test_golden_file_exists(self):
+        assert os.path.exists(GOLDEN), (
+            f"missing {GOLDEN}; regenerate with "
+            f"`python tests/test_trace_golden.py`")
+
+    def test_trace_matches_golden_bytes(self):
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            golden = handle.read()
+        assert dumps_jsonl(build_golden_trace()) == golden, (
+            "trace changed; if intentional, regenerate the golden file "
+            "with `python tests/test_trace_golden.py`")
+
+    def test_golden_round_trip_is_byte_stable(self):
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            golden = handle.read()
+        assert dumps_jsonl(loads_jsonl(golden)) == golden
+
+    def test_golden_passes_the_checker(self):
+        report = TraceChecker().check(loads_jsonl(open(GOLDEN).read()))
+        assert report.ok, report.summary()
+
+    def test_pinned_event_sequence(self):
+        """The high-level shape of the scenario, robust to payload
+        tweaks: both launches, at least one preemption plan with its
+        release, and both kernels finishing — in that causal order."""
+        tracer = build_golden_trace()
+        cats = [r.category for r in tracer.records]
+        launches = [r.message for r in tracer.records
+                    if r.category == T.LAUNCH]
+        assert launches == ["victim", "intruder"]
+        assert cats.index(T.LAUNCH) < cats.index(T.PREEMPT)
+        assert cats.index(T.PREEMPT) < cats.index(T.RELEASE)
+        finishes = [r.payload["kernel"] for r in tracer.records
+                    if r.category == T.FINISH]
+        assert sorted(finishes) == ["intruder", "victim"]
+        counts = tracer.counts()
+        assert counts[T.PREEMPT] == counts[T.RELEASE] >= 1
+        assert counts[T.DISPATCH] >= 20  # 16 victim + 4 intruder blocks
+
+
+if __name__ == "__main__":
+    os.makedirs(os.path.dirname(GOLDEN), exist_ok=True)
+    with open(GOLDEN, "w", encoding="utf-8") as handle:
+        handle.write(dumps_jsonl(build_golden_trace()))
+    print(f"wrote {GOLDEN}")

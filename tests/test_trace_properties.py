@@ -1,0 +1,79 @@
+"""Property-based tests: scheduler invariants hold on randomized runs.
+
+Hypothesis drives randomized multiprogram scenarios — benchmark pair,
+preemption policy, and RNG seed — and asserts the
+:class:`~repro.sim.trace_check.TraceChecker` finds no violation in the
+resulting trace. This is the trace pipeline's job security: whatever the
+scheduler does under any seed, the recorded behaviour must satisfy the
+state-machine rules (exclusive SM ownership, matched PREEMPT/RELEASE,
+bounded residency, no non-idempotent flush).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.runner import run_pair, run_periodic
+from repro.sim.trace import Tracer
+from repro.sim.trace_check import TraceChecker
+from repro.workloads.multiprogram import MultiprogramWorkload
+
+BUDGET = 1.5e6
+POLICIES = ["chimera", "drain", "switch", "flush"]
+LABELS = ["BS", "LUD", "MUM", "HS"]
+
+seeds = st.integers(min_value=1, max_value=2**31 - 1)
+
+
+def assert_clean(tracer: Tracer) -> None:
+    report = TraceChecker().check(tracer)
+    assert report.ok, report.summary()
+
+
+class TestPairInvariants:
+    @settings(max_examples=8, deadline=None)
+    @given(policy=st.sampled_from(POLICIES),
+           labels=st.lists(st.sampled_from(LABELS), min_size=2, max_size=3,
+                           unique=True),
+           seed=seeds)
+    def test_any_pair_any_policy_any_seed(self, policy, labels, seed):
+        tracer = Tracer()
+        workload = MultiprogramWorkload(tuple(labels), budget_insts=BUDGET)
+        run_pair(workload, policy, seed=seed, tracer=tracer)
+        assert_clean(tracer)
+
+    @settings(max_examples=4, deadline=None)
+    @given(seed=seeds)
+    def test_fcfs_never_preempts(self, seed):
+        from repro.sched.kernel_scheduler import SchedulerMode
+        from repro.sim import trace as T
+        tracer = Tracer()
+        workload = MultiprogramWorkload(("LUD", "BS"), budget_insts=BUDGET)
+        run_pair(workload, None, mode=SchedulerMode.FCFS, seed=seed,
+                 tracer=tracer)
+        assert_clean(tracer)
+        assert tracer.counts().get(T.PREEMPT, 0) == 0
+
+
+class TestPeriodicInvariants:
+    @settings(max_examples=6, deadline=None)
+    @given(policy=st.sampled_from(POLICIES), seed=seeds)
+    def test_periodic_under_any_policy(self, policy, seed):
+        tracer = Tracer()
+        run_periodic("BS", policy, periods=2, seed=seed, tracer=tracer)
+        assert_clean(tracer)
+
+
+class TestCapacityTruncation:
+    @settings(max_examples=4, deadline=None)
+    @given(capacity=st.integers(min_value=1, max_value=200), seed=seeds)
+    def test_truncated_capture_still_warns_not_crashes(self, capacity, seed):
+        """A tiny capture buffer must degrade to a warning, never to a
+        checker crash or a bogus violation class mix-up."""
+        tracer = Tracer(capacity=capacity)
+        workload = MultiprogramWorkload(("LUD", "BS"), budget_insts=BUDGET)
+        run_pair(workload, "chimera", seed=seed, tracer=tracer)
+        report = TraceChecker().check(tracer)
+        if tracer.dropped:
+            assert report.warnings
