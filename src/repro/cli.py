@@ -89,6 +89,22 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--chrome", metavar="OUT.json", default=None,
                        help="export one trace to Chrome trace_event JSON "
                             "(chrome://tracing, Perfetto)")
+
+    cycle = sub.add_parser(
+        "cycle", help="run a sample IR kernel on the cycle-level GPU")
+    cycle.add_argument("--kernel", default="vector_add",
+                       help="sample kernel name (see `repro analyze`)")
+    cycle.add_argument("--n", type=_positive_int, default=256,
+                       help="problem size passed to the kernel factory")
+    cycle.add_argument("--sms", type=_positive_int, default=4)
+    cycle.add_argument("--tpb", type=_positive_int, default=16,
+                       help="threads per block")
+    cycle.add_argument("--blocks-per-sm", type=_positive_int, default=2)
+    cycle.add_argument("--scheduler", default="gto", choices=("rr", "gto"))
+    cycle.add_argument("--cycle-lockstep", action="store_true",
+                       help="tick every cycle instead of the synchronized "
+                            "fast-forward (also: CHIMERA_CYCLE_LOCKSTEP); "
+                            "results are bit-identical, only slower")
     return parser
 
 
@@ -336,6 +352,47 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_cycle(args: argparse.Namespace) -> int:
+    """``cycle``: run one sample kernel on the cycle-level device."""
+    import time
+
+    from repro.functional.gpusim import CycleGPU
+    from repro.functional.warpsim import SchedulerKind
+    from repro.idempotence.kernels import all_sample_kernels
+
+    if args.n % args.tpb:
+        print("--n must be a multiple of --tpb", file=sys.stderr)
+        return 2
+    grid = args.n // args.tpb
+    kernels = all_sample_kernels(n=args.n, threads_per_block=args.tpb,
+                                 num_blocks=grid)
+    if args.kernel not in kernels:
+        print(f"unknown kernel {args.kernel!r}; choose from "
+              f"{', '.join(sorted(kernels))}", file=sys.stderr)
+        return 2
+    sched = (SchedulerKind.ROUND_ROBIN if args.scheduler == "rr"
+             else SchedulerKind.GREEDY_THEN_OLDEST)
+    gpu = CycleGPU(kernels[args.kernel], grid_blocks=grid,
+                   threads_per_block=args.tpb, num_sms=args.sms,
+                   blocks_per_sm=args.blocks_per_sm, scheduler=sched,
+                   lockstep=True if args.cycle_lockstep else None)
+    start = time.perf_counter()
+    result = gpu.run()
+    wall = time.perf_counter() - start
+    ipc = result.total_instructions / max(result.cycles, 1)
+    print(f"kernel             {args.kernel}")
+    print(f"grid               {grid} blocks x {args.tpb} threads")
+    print(f"device             {args.sms} SMs x {args.blocks_per_sm} blocks")
+    print(f"scheduler          {args.scheduler}")
+    print(f"clock mode         {'lockstep' if gpu.lockstep else 'fast-forward'}")
+    print(f"cycles             {result.cycles}")
+    print(f"warp instructions  {result.total_instructions}")
+    print(f"device IPC         {ipc:.3f}")
+    print(f"wall time          {wall:.3f} s "
+          f"({result.cycles / max(wall, 1e-9):,.0f} cycles/s)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -353,6 +410,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_pair(args)
     if args.command == "trace":
         return cmd_trace(args)
+    if args.command == "cycle":
+        return cmd_cycle(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -11,13 +11,21 @@ blocks to rerun from scratch elsewhere — the hardware operation §3.4
 describes, demonstrated on an instruction-accurate substrate rather
 than the fluid model.
 
-This is deliberately small-scale (tests use a handful of SMs and
-blocks); the fluid simulator remains the vehicle for the paper's
-full-size experiments.
+The device clock is event-driven by default: SMs stay in lockstep, but
+when a cycle ends with *no* SM able to issue (every warp parked on a
+memory latency or barrier), the device computes the global minimum
+wake-up across all SMs' wake heaps and jumps every co-clocked SM there
+at once. The jump changes nothing observable — cycle counts, issue/idle
+breakdowns, block latencies, flush grant/deny decisions, trace ordering
+and memory contents are bit-identical to ticking through the dead
+cycles one by one. Pass ``lockstep=True`` (or set
+``CHIMERA_CYCLE_LOCKSTEP``) to force the naive per-cycle loop for
+differential testing.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
@@ -33,6 +41,15 @@ from repro.sim import trace as trace_mod
 from repro.sim.trace import Tracer
 
 MAX_CYCLES = 20_000_000
+
+#: Environment knob forcing the per-cycle lockstep loop (differential
+#: debugging of the synchronized fast-forward).
+LOCKSTEP_ENV = "CHIMERA_CYCLE_LOCKSTEP"
+
+
+def lockstep_from_env() -> bool:
+    """True when ``CHIMERA_CYCLE_LOCKSTEP`` requests the naive loop."""
+    return bool(os.environ.get(LOCKSTEP_ENV, "").strip())
 
 
 @dataclass
@@ -62,7 +79,8 @@ class CycleGPU:
                  config: Optional[GPUConfig] = None,
                  scheduler: SchedulerKind = SchedulerKind.GREEDY_THEN_OLDEST,
                  gmem: Optional[GlobalMemory] = None,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 lockstep: Optional[bool] = None):
         if grid_blocks < 1 or num_sms < 1 or blocks_per_sm < 1:
             raise ConfigError("grid, SMs and blocks/SM must be positive")
         self.prog = prog
@@ -72,6 +90,8 @@ class CycleGPU:
         self.threads_per_block = threads_per_block
         self.blocks_per_sm = blocks_per_sm
         self.config = config or GPUConfig()
+        #: Per-cycle co-clocking instead of synchronized fast-forward.
+        self.lockstep = lockstep_from_env() if lockstep is None else lockstep
         self.gmem = gmem if gmem is not None else GlobalMemory(dict(prog.buffers))
         self.monitor = IdempotenceMonitor(num_sms)
         self.sms: List[WarpLevelSM] = [
@@ -83,11 +103,13 @@ class CycleGPU:
         #: Pending block ids: preempted blocks go to the front.
         self.queue: Deque[int] = deque(range(grid_blocks))
         self.completed: Dict[int, bool] = {}
+        self._completed_count = 0
         self.cycle = 0
         self.flush_attempts = 0
         self.flushes_granted = 0
         self.flushes_denied = 0
         self.blocks_requeued = 0
+        self._dispatched = False
         self._trace(trace_mod.LAUNCH, prog.name, kernel=prog.name,
                     grid=grid_blocks)
         for sm in self.sms:
@@ -106,24 +128,28 @@ class CycleGPU:
 
     def _dispatch(self, sm: WarpLevelSM, block_id: int) -> None:
         sm.add_block(block_id)
+        self._dispatched = True
         self._trace(trace_mod.DISPATCH, f"SM{sm.sm_id} <- tb{block_id}",
                     sm=sm.sm_id, kernel=self.prog.name, tb=block_id)
 
     def _dispatch_all(self) -> None:
         for sm in self.sms:
-            while self.queue and len(self._resident_live(sm)) < self.blocks_per_sm:
-                self._dispatch(sm, self.queue.popleft())
+            self._refill(sm)
 
     def _retire_finished(self, sm: WarpLevelSM) -> None:
-        for block in list(sm.blocks):
-            if block.done and not self.completed.get(block.block_id, False):
-                self.completed[block.block_id] = True
-                self.monitor.clear_block(sm.sm_id, block.block_id)
-                self._trace(trace_mod.COMPLETE,
-                            f"SM{sm.sm_id} tb{block.block_id} done",
-                            sm=sm.sm_id, kernel=self.prog.name,
-                            tb=block.block_id)
-        if self.done and not self._finish_traced:
+        finished = sm._just_finished
+        if finished:
+            for block in finished:
+                if not self.completed.get(block.block_id, False):
+                    self.completed[block.block_id] = True
+                    self._completed_count += 1
+                    self.monitor.clear_block(sm.sm_id, block.block_id)
+                    self._trace(trace_mod.COMPLETE,
+                                f"SM{sm.sm_id} tb{block.block_id} done",
+                                sm=sm.sm_id, kernel=self.prog.name,
+                                tb=block.block_id)
+            finished.clear()
+        if not self._finish_traced and self.done:
             self._finish_traced = True
             self._trace(trace_mod.FINISH, self.prog.name,
                         kernel=self.prog.name, cycles=float(self.cycle))
@@ -131,24 +157,74 @@ class CycleGPU:
     @property
     def done(self) -> bool:
         """True when nothing is left to execute."""
-        return len([1 for v in self.completed.values() if v]) >= self.grid_blocks
+        return self._completed_count >= self.grid_blocks
 
     # ------------------------------------------------------------------
 
     def step(self, cycles: int = 1) -> None:
-        """Advance every SM ``cycles`` ticks (skipping finished ones)."""
-        for _ in range(cycles):
+        """Advance the device by up to ``cycles`` ticks (stopping early
+        when the grid completes). All SM clocks advance in lockstep;
+        unless :attr:`lockstep` is set, stretches where no SM can issue
+        are jumped in one synchronized skip."""
+        remaining = cycles
+        sms = self.sms
+        while remaining > 0:
             if self.done:
                 return
             self.cycle += 1
-            for sm in self.sms:
-                if any(not b.done for b in sm.blocks):
-                    sm._tick()
-                self._retire_finished(sm)
-                self._refill(sm)
+            remaining -= 1
+            self._dispatched = False
+            issued = False
+            for sm in sms:
+                if sm.live_blocks:
+                    if sm._tick():
+                        issued = True
+                        if sm._just_finished:
+                            self._retire_finished(sm)
+                            self._refill(sm)
+                if self.queue and sm.live_blocks < self.blocks_per_sm:
+                    self._refill(sm)
+            if issued or self.lockstep or self._dispatched or remaining == 0:
+                continue
+            # Synchronized fast-forward: nothing issued and nothing new
+            # was dispatched, so every active SM idles until its next
+            # wake-up. Jump all clocks to the earliest one, capped at
+            # this call's cycle budget.
+            skip = self._idle_skip(remaining)
+            if skip > 0:
+                self.cycle += skip
+                remaining -= skip
+                for sm in sms:
+                    if sm.live_blocks:
+                        sm.cycle += skip
+                        sm.idle_cycles += skip
+
+    def _idle_skip(self, remaining: int) -> int:
+        """Dead cycles that can be jumped after an all-idle tick.
+
+        Wake-ups live in each SM's local clock; SM clocks can lag the
+        device clock (an SM only ticks while it has live blocks), so
+        each is converted through its own offset before taking the
+        global minimum. Pending dispatcher work never extends a skip: a
+        free slot with a queued block is filled the same tick it
+        appears, which issues on the next tick.
+        """
+        target = None
+        for sm in self.sms:
+            if not sm.live_blocks:
+                continue
+            wake = sm.next_wake()
+            if wake is None:  # pragma: no cover - barriers release eagerly
+                return 0
+            at = self.cycle + (wake - sm.cycle)
+            if target is None or at < target:
+                target = at
+        if target is None:
+            return 0
+        return min(target - self.cycle - 1, remaining)
 
     def _refill(self, sm: WarpLevelSM) -> None:
-        while self.queue and len(self._resident_live(sm)) < self.blocks_per_sm:
+        while self.queue and sm.live_blocks < self.blocks_per_sm:
             self._dispatch(sm, self.queue.popleft())
 
     def run(self, max_cycles: int = MAX_CYCLES) -> CycleGPUResult:
@@ -157,14 +233,14 @@ class CycleGPU:
             if self.cycle >= max_cycles:
                 raise ExecutionError(
                     f"{self.prog.name}: exceeded {max_cycles} cycles")
-            self.step()
+            self.step(max_cycles - self.cycle)
         return self.result()
 
     def result(self) -> CycleGPUResult:
         """Aggregate statistics at the current moment."""
         return CycleGPUResult(
             cycles=self.cycle,
-            blocks_completed=sum(1 for v in self.completed.values() if v),
+            blocks_completed=self._completed_count,
             flush_attempts=self.flush_attempts,
             flushes_granted=self.flushes_granted,
             flushes_denied=self.flushes_denied,
@@ -191,8 +267,7 @@ class CycleGPU:
             raise ConfigError(f"no SM {sm_id}")
         sm = self.sms[sm_id]
         self.flush_attempts += 1
-        live = self._resident_live(sm)
-        if not live:
+        if not sm.live_blocks:
             self.flushes_granted += 1
             sm.blocks = []
             return True
@@ -200,6 +275,7 @@ class CycleGPU:
             self.flushes_denied += 1
             return False
         # Reset circuit: drop all state, requeue the live blocks.
+        live = sm.flush_live_blocks()
         for block in reversed(live):
             self.queue.appendleft(block.block_id)
             self.blocks_requeued += 1
@@ -207,7 +283,6 @@ class CycleGPU:
                         f"SM{sm_id} tb{block.block_id} flushed",
                         sm=sm_id, kernel=self.prog.name, tb=block.block_id,
                         idempotent=True)
-        sm.blocks = [b for b in sm.blocks if b.done]
         self.monitor.clear_sm(sm_id)
         self.flushes_granted += 1
         return True

@@ -44,30 +44,34 @@ class GlobalMemory:
 
     def load(self, buffer: str, addr: int) -> int:
         """Read one word from a named buffer."""
-        return self._cell(buffer, addr)
+        buf = self._buffers.get(buffer)
+        if buf is not None and 0 <= addr < len(buf):
+            return buf[addr]
+        self._fault(buffer, addr)
 
     def store(self, buffer: str, addr: int, value: int) -> None:
         """Write one word to a named buffer."""
-        self._check(buffer, addr)
-        self._buffers[buffer][addr] = value
+        buf = self._buffers.get(buffer)
+        if buf is not None and 0 <= addr < len(buf):
+            buf[addr] = value
+            return
+        self._fault(buffer, addr)
 
     def atomic_add(self, buffer: str, addr: int, value: int) -> int:
         """Atomic fetch-and-add; returns the old value."""
-        old = self._cell(buffer, addr)
-        self._buffers[buffer][addr] = old + value
-        return old
+        buf = self._buffers.get(buffer)
+        if buf is not None and 0 <= addr < len(buf):
+            old = buf[addr]
+            buf[addr] = old + value
+            return old
+        self._fault(buffer, addr)
 
-    def _cell(self, buffer: str, addr: int) -> int:
-        self._check(buffer, addr)
-        return self._buffers[buffer][addr]
-
-    def _check(self, buffer: str, addr: int) -> None:
+    def _fault(self, buffer: str, addr: int) -> None:
         if buffer not in self._buffers:
             raise ExecutionError(f"unknown buffer {buffer!r}")
-        if not 0 <= addr < len(self._buffers[buffer]):
-            raise ExecutionError(
-                f"{buffer}[{addr}] out of range (size "
-                f"{len(self._buffers[buffer])})")
+        raise ExecutionError(
+            f"{buffer}[{addr}] out of range (size "
+            f"{len(self._buffers[buffer])})")
 
     def snapshot(self) -> Dict[str, List[int]]:
         """Deep copy of all buffer contents as plain lists."""
@@ -140,6 +144,11 @@ class FunctionalBlockRun:
         self.executed = 0
         self.first_mark_at: Optional[int] = None
         self.marks = 0
+        # Dispatch is resolved once per static instruction, not once per
+        # executed instruction: _step indexes these lists by pc.
+        self._instrs = prog.instrs
+        self._handlers = [_HANDLERS.get(i.op) or _unhandled_op(i.op)
+                          for i in prog.instrs]
 
     # ------------------------------------------------------------------
 
@@ -177,15 +186,12 @@ class FunctionalBlockRun:
     # ------------------------------------------------------------------
 
     def _step(self, t: _Thread) -> None:
-        if t.pc >= len(self.prog.instrs):
+        pc = t.pc
+        if pc >= len(self._instrs):
             raise ExecutionError(f"{self.prog.name}: thread {t.tid} fell off "
                                  "the end (missing EXIT)")
-        instr = self.prog.instrs[t.pc]
         self.executed += 1
-        handler = _HANDLERS.get(instr.op)
-        if handler is None:
-            raise ExecutionError(f"unhandled op {instr.op}")
-        handler(self, t, instr)
+        self._handlers[pc](self, t, self._instrs[pc])
 
     # --- handlers ------------------------------------------------------
 
@@ -291,6 +297,12 @@ class FunctionalBlockRun:
         if self.monitor is not None:
             self.monitor.notify(self.sm_id, self.block_key)
         t.pc += 1
+
+
+def _unhandled_op(op: Op):
+    def handler(self, t, i):
+        raise ExecutionError(f"unhandled op {op}")
+    return handler
 
 
 _HANDLERS = {

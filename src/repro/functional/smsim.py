@@ -115,6 +115,50 @@ def _count_global_accesses(prog: KernelProgram, run: FunctionalBlockRun) -> floa
     return run.executed * global_static / total_static
 
 
+@dataclass(frozen=True)
+class CrossCheck:
+    """Roofline vs cycle-accurate agreement for one kernel geometry."""
+
+    name: str
+    roofline_cycles_per_block: float
+    clocked_cycles_per_block: float
+
+    @property
+    def ratio(self) -> float:
+        """Roofline over clocked (1.0 = perfect agreement)."""
+        return self.roofline_cycles_per_block / max(
+            self.clocked_cycles_per_block, 1e-9)
+
+    def within(self, low: float = 0.25, high: float = 4.0) -> bool:
+        """True when the models agree within the given factor band."""
+        return low < self.ratio < high
+
+
+def cross_validate(prog: KernelProgram, threads_per_block: int,
+                   resident_blocks: int = 4,
+                   config: Optional[GPUConfig] = None,
+                   fast_forward: bool = True) -> CrossCheck:
+    """Run both timing models on one kernel and report their ratio.
+
+    The clocked side goes through :func:`~repro.functional.warpsim.clock_kernel`
+    (event-driven by default); the differential suite uses this to show
+    the fast-forward rewrite did not move the roofline agreement.
+    """
+    from repro.functional.warpsim import clock_kernel
+
+    config = config or GPUConfig()
+    clocked = clock_kernel(prog, threads_per_block,
+                           resident_blocks=resident_blocks, config=config,
+                           fast_forward=fast_forward)
+    roofline = measure_kernel(prog, threads_per_block, config,
+                              resident_blocks=resident_blocks)
+    return CrossCheck(
+        name=prog.name,
+        roofline_cycles_per_block=roofline.cycles_per_block,
+        clocked_cycles_per_block=clocked.cycles / max(resident_blocks, 1),
+    )
+
+
 def spec_from_ir(prog: KernelProgram, threads_per_block: int,
                  context_kb_per_tb: float = 8.0,
                  tbs_per_sm: int = 4,

@@ -13,13 +13,27 @@ for the memory latency, and barriers synchronize the warps of a block.
 It produces the same aggregates as the roofline (cycles/block, SM IPC)
 from first principles, so the two models cross-validate, and it exposes
 per-cycle behaviour (issue counts, stall breakdowns) the roofline cannot.
+
+The scheduler hot path is event-driven: warps parked on a memory
+latency sit in a min-heap of ``(ready_at, warp_id)`` wake-ups, the
+ready set is maintained incrementally (on issue, wake-up, barrier
+arrival/release, completion and flush), and barrier releases fire at
+the event that completes them instead of being polled every cycle.
+A tick therefore costs O(log W) instead of a full rebuild-and-scan of
+the warp list, and when no warp is ready the SM can jump its clock to
+the next wake-up (``fast_forward``) without changing a single observable
+number: cycle counts, issue/idle breakdowns, block latencies, pick
+order and memory contents are bit-identical to the naive per-cycle
+polling loop this replaces.
 """
 
 from __future__ import annotations
 
 import enum
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from heapq import heappop, heappush
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError, ExecutionError
 from repro.functional.machine import GlobalMemory, _Thread
@@ -60,10 +74,14 @@ def _op_latency(op: Op) -> int:
 
 
 class _Warp:
-    """A SIMT warp: lockstep threads with min-PC reconvergence."""
+    """A SIMT warp: lockstep threads with min-PC reconvergence.
+
+    ``done`` and ``next_pc`` are maintained incrementally by the SM on
+    each issue rather than recomputed over the lanes on every query.
+    """
 
     __slots__ = ("warp_id", "block", "threads", "ready_at", "at_barrier",
-                 "issued")
+                 "issued", "done", "next_pc", "live_lanes")
 
     def __init__(self, warp_id: int, block: "_Block", threads: List[_Thread]):
         self.warp_id = warp_id
@@ -72,19 +90,13 @@ class _Warp:
         self.ready_at = 0
         self.at_barrier = False
         self.issued = 0
-
-    @property
-    def done(self) -> bool:
-        """True when nothing is left to execute."""
-        return all(t.done for t in self.threads)
-
-    def next_pc(self) -> int:
-        """Smallest PC among unfinished lanes (min-PC reconvergence)."""
-        return min(t.pc for t in self.threads if not t.done)
+        self.done = False
+        self.next_pc = 0
+        self.live_lanes = len(threads)
 
     def active_threads(self) -> List[_Thread]:
         """Lanes executing at the warp's current PC."""
-        pc = self.next_pc()
+        pc = self.next_pc
         return [t for t in self.threads if not t.done and t.pc == pc]
 
 
@@ -95,16 +107,19 @@ class _Block:
     shared: List[int] = field(default_factory=list)
     start_cycle: int = 0
     finish_cycle: Optional[int] = None
+    #: Warps with unfinished lanes (maintained by the SM).
+    live_warps: int = 0
+    #: Live warps currently parked at the barrier.
+    waiting_warps: int = 0
 
     @property
     def done(self) -> bool:
         """True when nothing is left to execute."""
-        return all(w.done for w in self.warps)
+        return self.live_warps == 0
 
     def barrier_release_ready(self) -> bool:
         """True when every live warp reached the barrier."""
-        live = [w for w in self.warps if not w.done]
-        return bool(live) and all(w.at_barrier for w in live)
+        return self.live_warps > 0 and self.waiting_warps == self.live_warps
 
 
 @dataclass
@@ -137,8 +152,166 @@ class WarpSimResult:
         return sum(self.block_latencies) / len(self.block_latencies)
 
 
+# ----------------------------------------------------------------------
+# Per-lane execution handlers, dispatched through a precomputed
+# per-instruction table instead of a long if/elif chain.
+# ----------------------------------------------------------------------
+
+def _ln_movi(sm, warp, t, i):
+    t.regs[i.dst] = i.imm or 0
+    t.pc += 1
+
+
+def _ln_mov(sm, warp, t, i):
+    t.regs[i.dst] = t.regs[i.src0]
+    t.pc += 1
+
+
+def _make_alu(fn) -> Callable:
+    def handler(sm, warp, t, i, _fn=fn):
+        regs = t.regs
+        regs[i.dst] = _fn(regs[i.src0], regs[i.src1])
+        t.pc += 1
+    return handler
+
+
+def _ln_div(sm, warp, t, i):
+    regs = t.regs
+    if regs[i.src1] == 0:
+        raise ExecutionError("division by zero")
+    regs[i.dst] = regs[i.src0] // regs[i.src1]
+    t.pc += 1
+
+
+def _ln_mod(sm, warp, t, i):
+    regs = t.regs
+    if regs[i.src1] == 0:
+        raise ExecutionError("modulo by zero")
+    regs[i.dst] = regs[i.src0] % regs[i.src1]
+    t.pc += 1
+
+
+def _ln_tid(sm, warp, t, i):
+    t.regs[i.dst] = t.tid
+    t.pc += 1
+
+
+def _ln_ctaid(sm, warp, t, i):
+    t.regs[i.dst] = warp.block.block_id
+    t.pc += 1
+
+
+def _ln_ntid(sm, warp, t, i):
+    t.regs[i.dst] = sm.threads_per_block
+    t.pc += 1
+
+
+def _ln_ldg(sm, warp, t, i):
+    t.regs[i.dst] = sm.gmem.load(i.buffer, t.regs[i.src0])
+    t.pc += 1
+
+
+def _ln_stg(sm, warp, t, i):
+    sm.gmem.store(i.buffer, t.regs[i.src0], t.regs[i.src1])
+    t.pc += 1
+
+
+def _ln_atom(sm, warp, t, i):
+    old = sm.gmem.atomic_add(i.buffer, t.regs[i.src0], t.regs[i.src1])
+    if i.dst is not None:
+        t.regs[i.dst] = old
+    t.pc += 1
+
+
+def _ln_lds(sm, warp, t, i):
+    t.regs[i.dst] = warp.block.shared[t.regs[i.src0]]
+    t.pc += 1
+
+
+def _ln_sts(sm, warp, t, i):
+    warp.block.shared[t.regs[i.src0]] = t.regs[i.src1]
+    t.pc += 1
+
+
+def _ln_bra(sm, warp, t, i):
+    t.pc = sm.prog.labels[i.label]
+
+
+def _ln_cbra(sm, warp, t, i):
+    if t.regs[i.src0] != 0:
+        t.pc = sm.prog.labels[i.label]
+    else:
+        t.pc += 1
+
+
+def _ln_bar(sm, warp, t, i):
+    warp.at_barrier = True
+    t.pc += 1
+
+
+def _ln_exit(sm, warp, t, i):
+    t.done = True
+    warp.live_lanes -= 1
+
+
+def _ln_mark(sm, warp, t, i):
+    if sm.monitor is not None:
+        sm.monitor.notify(sm.sm_id, warp.block.block_id)
+    t.pc += 1
+
+
+_LANE_HANDLERS: Dict[Op, Callable] = {
+    Op.MOVI: _ln_movi,
+    Op.MOV: _ln_mov,
+    Op.ADD: _make_alu(lambda a, b: a + b),
+    Op.SUB: _make_alu(lambda a, b: a - b),
+    Op.MUL: _make_alu(lambda a, b: a * b),
+    Op.DIV: _ln_div,
+    Op.MOD: _ln_mod,
+    Op.MIN: _make_alu(min),
+    Op.MAX: _make_alu(max),
+    Op.AND: _make_alu(lambda a, b: a & b),
+    Op.OR: _make_alu(lambda a, b: a | b),
+    Op.XOR: _make_alu(lambda a, b: a ^ b),
+    Op.SHL: _make_alu(lambda a, b: a << b),
+    Op.SHR: _make_alu(lambda a, b: a >> b),
+    Op.SETLT: _make_alu(lambda a, b: int(a < b)),
+    Op.SETLE: _make_alu(lambda a, b: int(a <= b)),
+    Op.SETEQ: _make_alu(lambda a, b: int(a == b)),
+    Op.SETNE: _make_alu(lambda a, b: int(a != b)),
+    Op.TID: _ln_tid,
+    Op.CTAID: _ln_ctaid,
+    Op.NTID: _ln_ntid,
+    Op.LDG: _ln_ldg,
+    Op.STG: _ln_stg,
+    Op.ATOM: _ln_atom,
+    Op.LDS: _ln_lds,
+    Op.STS: _ln_sts,
+    Op.BRA: _ln_bra,
+    Op.CBRA: _ln_cbra,
+    Op.BAR: _ln_bar,
+    Op.EXIT: _ln_exit,
+    Op.MARK: _ln_mark,
+}
+
+
+def _unhandled_op(op: Op) -> Callable:
+    def handler(sm, warp, t, i):  # pragma: no cover - exhaustive enum
+        raise ExecutionError(f"unhandled op {op}")
+    return handler
+
+
 class WarpLevelSM:
-    """One SM executing resident blocks of a kernel, cycle by cycle."""
+    """One SM executing resident blocks of a kernel, cycle by cycle.
+
+    Scheduling is event-driven: a warp that issues is parked in the
+    wake-up heap until ``ready_at``; warps at a barrier are counted per
+    block and released by the event (barrier arrival or warp
+    completion) that satisfies the barrier. The ready set — the warps
+    that could issue *this* cycle — is therefore maintained
+    incrementally, and picking the next warp never scans warps that
+    cannot issue.
+    """
 
     def __init__(self, prog: KernelProgram, threads_per_block: int,
                  config: Optional[GPUConfig] = None,
@@ -158,7 +331,8 @@ class WarpLevelSM:
         self.sm_id = sm_id
         #: Skip dead cycles to the next wake-up. Disabled when several
         #: SMs are co-clocked by a device-level loop (their cycle
-        #: counters must advance in lockstep).
+        #: counters must advance in lockstep; the device skips instead,
+        #: see :meth:`CycleGPU.step`).
         self.fast_forward = fast_forward
         self.blocks: List[_Block] = []
         self.cycle = 0
@@ -169,6 +343,28 @@ class WarpLevelSM:
         self.idle_cycles = 0
         self.warp_instructions = 0
         self.block_latencies: List[int] = []
+        # --- event-driven scheduler state -----------------------------
+        #: Live (not done, not at-barrier) warps by id.
+        self._warps: Dict[int, _Warp] = {}
+        #: (ready_at, warp_id) wake-ups for parked warps. Entries whose
+        #: warp id is no longer registered (flushed) are skipped lazily.
+        self._wake_heap: List[Tuple[int, int]] = []
+        #: Warp ids that can issue at the current cycle.
+        self._ready: set = set()
+        #: Scheduler-specific ready index: a lazy min-heap of ids (GTO)
+        #: or a bisect-maintained sorted id list (RR cursor successor).
+        self._ready_heap: List[int] = []
+        self._ready_sorted: List[int] = []
+        #: Blocks with unfinished warps (O(1) liveness for the device).
+        self.live_blocks = 0
+        #: Blocks that completed since the device last drained this list
+        #: (retirement hook for :class:`CycleGPU`).
+        self._just_finished: List[_Block] = []
+        #: Per-instruction dispatch tables (index = pc).
+        self._handlers: List[Callable] = [
+            _LANE_HANDLERS.get(i.op) or _unhandled_op(i.op)
+            for i in prog.instrs]
+        self._latencies: List[int] = [_op_latency(i.op) for i in prog.instrs]
 
     # ------------------------------------------------------------------
 
@@ -184,12 +380,29 @@ class WarpLevelSM:
             warp = _Warp(self._warp_count, block, threads[lane0:lane0 + width])
             self._warp_count += 1
             block.warps.append(warp)
+            self._warps[warp.warp_id] = warp
+            self._ready_add(warp.warp_id)
+        block.live_warps = len(block.warps)
         self.blocks.append(block)
+        self.live_blocks += 1
         return block
+
+    def flush_live_blocks(self) -> List[_Block]:
+        """Drop every unfinished block (the reset circuit): their warps
+        leave the schedulers and the blocks are removed from residency.
+        Returns the dropped blocks in residency order."""
+        live = [b for b in self.blocks if b.live_warps > 0]
+        for block in live:
+            for warp in block.warps:
+                if self._warps.pop(warp.warp_id, None) is not None:
+                    self._ready_discard(warp.warp_id)
+        self.blocks = [b for b in self.blocks if b.live_warps == 0]
+        self.live_blocks = 0
+        return live
 
     def run(self, max_cycles: int = MAX_CYCLES) -> WarpSimResult:
         """Clock the SM until every resident block completes."""
-        while any(not b.done for b in self.blocks):
+        while self.live_blocks:
             if self.cycle >= max_cycles:
                 raise ExecutionError(
                     f"{self.prog.name}: exceeded {max_cycles} cycles")
@@ -205,174 +418,168 @@ class WarpLevelSM:
         )
 
     # ------------------------------------------------------------------
+    # ready-set maintenance
+    # ------------------------------------------------------------------
 
-    def _tick(self) -> None:
-        self.cycle += 1
-        self._release_barriers()
-        warp = self._pick_warp()
-        if warp is None:
-            self.idle_cycles += 1
-            if self.fast_forward:
-                self._fast_forward()
+    def _ready_add(self, warp_id: int) -> None:
+        ready = self._ready
+        if warp_id in ready:
             return
-        self._issue(warp)
-        self.issue_cycles += 1
-
-    def _release_barriers(self) -> None:
-        for block in self.blocks:
-            if block.barrier_release_ready():
-                for warp in block.warps:
-                    warp.at_barrier = False
-
-    def _ready(self, warp: _Warp) -> bool:
-        return (not warp.done and not warp.at_barrier
-                and warp.ready_at <= self.cycle)
-
-    def _all_warps(self) -> List[_Warp]:
-        return [w for b in self.blocks for w in b.warps]
-
-    def _pick_warp(self) -> Optional[_Warp]:
-        warps = self._all_warps()
-        ready = [w for w in warps if self._ready(w)]
-        if not ready:
-            return None
+        ready.add(warp_id)
         if self.scheduler is SchedulerKind.GREEDY_THEN_OLDEST:
-            if self._last_issued in ready:
-                return self._last_issued
-            return min(ready, key=lambda w: w.warp_id)
-        # Round-robin from the cursor.
-        order = sorted(ready, key=lambda w: ((w.warp_id - self._rr_cursor)
-                                             % max(self._warp_count, 1)))
-        pick = order[0]
-        self._rr_cursor = (pick.warp_id + 1) % max(self._warp_count, 1)
-        return pick
+            heappush(self._ready_heap, warp_id)
+        else:
+            insort(self._ready_sorted, warp_id)
+
+    def _ready_discard(self, warp_id: int) -> None:
+        ready = self._ready
+        if warp_id not in ready:
+            return
+        ready.discard(warp_id)
+        if self.scheduler is SchedulerKind.ROUND_ROBIN:
+            lst = self._ready_sorted
+            lst.pop(bisect_left(lst, warp_id))
+        # GTO heap entries are invalidated lazily on the next pick.
+
+    def _schedule_wake(self, warp: _Warp, at: int) -> None:
+        if at <= self.cycle:
+            self._ready_add(warp.warp_id)
+        else:
+            heappush(self._wake_heap, (at, warp.warp_id))
+
+    def _drain_wakes(self) -> None:
+        heap = self._wake_heap
+        cycle = self.cycle
+        warps = self._warps
+        while heap and heap[0][0] <= cycle:
+            _, warp_id = heappop(heap)
+            if warp_id in warps:  # flushed warps' entries are stale
+                self._ready_add(warp_id)
+
+    def next_wake(self) -> Optional[int]:
+        """Earliest pending wake-up in this SM's local clock, or None.
+
+        Only meaningful when the ready set is empty (after an idle
+        tick); the device-level fast-forward uses it to compute the
+        global skip target.
+        """
+        heap = self._wake_heap
+        warps = self._warps
+        while heap:
+            at, warp_id = heap[0]
+            if warp_id in warps:
+                return at
+            heappop(heap)
+        return None
+
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> bool:
+        """Advance one cycle; returns True when an instruction issued."""
+        self.cycle += 1
+        heap = self._wake_heap
+        if heap and heap[0][0] <= self.cycle:
+            self._drain_wakes()
+        if self._ready:
+            self._issue(self._pick_warp())
+            self.issue_cycles += 1
+            return True
+        self.idle_cycles += 1
+        if self.fast_forward:
+            self._fast_forward()
+        return False
+
+    def _pick_warp(self) -> _Warp:
+        """Arbitrate among the ready warps (the ready set is non-empty)."""
+        if self.scheduler is SchedulerKind.GREEDY_THEN_OLDEST:
+            last = self._last_issued
+            ready = self._ready
+            if last is not None and last.warp_id in ready:
+                return last
+            heap = self._ready_heap
+            while heap[0] not in ready:
+                heappop(heap)
+            return self._warps[heap[0]]
+        # Round-robin: first ready id at or after the cursor, cyclically.
+        lst = self._ready_sorted
+        i = bisect_left(lst, self._rr_cursor)
+        pick_id = lst[i] if i < len(lst) else lst[0]
+        self._rr_cursor = (pick_id + 1) % max(self._warp_count, 1)
+        return self._warps[pick_id]
 
     def _fast_forward(self) -> None:
         """Skip dead cycles to the next warp wake-up (keeps long memory
         latencies cheap to simulate without changing the cycle count)."""
-        pending = [w.ready_at for w in self._all_warps()
-                   if not w.done and not w.at_barrier]
-        if pending:
-            target = min(pending)
-            if target > self.cycle:
-                self.idle_cycles += target - self.cycle - 1
-                self.cycle = target - 1
+        target = self.next_wake()
+        if target is not None and target > self.cycle:
+            self.idle_cycles += target - self.cycle - 1
+            self.cycle = target - 1
 
     # ------------------------------------------------------------------
 
     def _issue(self, warp: _Warp) -> None:
-        pc = warp.next_pc()
+        pc = warp.next_pc
         if pc >= len(self.prog.instrs):
             raise ExecutionError(f"{self.prog.name}: warp fell off the end")
         instr = self.prog.instrs[pc]
-        active = warp.active_threads()
-        for thread in active:
-            self._execute_lane(warp, thread, instr)
+        handler = self._handlers[pc]
+        threads = warp.threads
+        for thread in threads:
+            if not thread.done and thread.pc == pc:
+                handler(self, warp, thread, instr)
         warp.issued += 1
         self.warp_instructions += 1
-        warp.ready_at = self.cycle + _op_latency(instr.op)
+        warp.ready_at = self.cycle + self._latencies[pc]
         self._last_issued = warp
-        if warp.block.done and warp.block.finish_cycle is None:
-            warp.block.finish_cycle = self.cycle
-            self.block_latencies.append(self.cycle - warp.block.start_cycle)
-
-    def _execute_lane(self, warp: _Warp, t: _Thread, i: Instr) -> None:
-        block = warp.block
-        regs = t.regs
-
-        def r(reg):
-            return regs[reg]
-
-        op = i.op
-        if op is Op.MOVI:
-            regs[i.dst] = i.imm or 0
-        elif op is Op.MOV:
-            regs[i.dst] = r(i.src0)
-        elif op is Op.ADD:
-            regs[i.dst] = r(i.src0) + r(i.src1)
-        elif op is Op.SUB:
-            regs[i.dst] = r(i.src0) - r(i.src1)
-        elif op is Op.MUL:
-            regs[i.dst] = r(i.src0) * r(i.src1)
-        elif op is Op.DIV:
-            if r(i.src1) == 0:
-                raise ExecutionError("division by zero")
-            regs[i.dst] = r(i.src0) // r(i.src1)
-        elif op is Op.MOD:
-            if r(i.src1) == 0:
-                raise ExecutionError("modulo by zero")
-            regs[i.dst] = r(i.src0) % r(i.src1)
-        elif op is Op.MIN:
-            regs[i.dst] = min(r(i.src0), r(i.src1))
-        elif op is Op.MAX:
-            regs[i.dst] = max(r(i.src0), r(i.src1))
-        elif op is Op.AND:
-            regs[i.dst] = r(i.src0) & r(i.src1)
-        elif op is Op.OR:
-            regs[i.dst] = r(i.src0) | r(i.src1)
-        elif op is Op.XOR:
-            regs[i.dst] = r(i.src0) ^ r(i.src1)
-        elif op is Op.SHL:
-            regs[i.dst] = r(i.src0) << r(i.src1)
-        elif op is Op.SHR:
-            regs[i.dst] = r(i.src0) >> r(i.src1)
-        elif op is Op.SETLT:
-            regs[i.dst] = int(r(i.src0) < r(i.src1))
-        elif op is Op.SETLE:
-            regs[i.dst] = int(r(i.src0) <= r(i.src1))
-        elif op is Op.SETEQ:
-            regs[i.dst] = int(r(i.src0) == r(i.src1))
-        elif op is Op.SETNE:
-            regs[i.dst] = int(r(i.src0) != r(i.src1))
-        elif op is Op.TID:
-            regs[i.dst] = t.tid
-        elif op is Op.CTAID:
-            regs[i.dst] = block.block_id
-        elif op is Op.NTID:
-            regs[i.dst] = self.threads_per_block
-        elif op is Op.LDG:
-            regs[i.dst] = self.gmem.load(i.buffer, r(i.src0))
-        elif op is Op.STG:
-            self.gmem.store(i.buffer, r(i.src0), r(i.src1))
-        elif op is Op.ATOM:
-            old = self.gmem.atomic_add(i.buffer, r(i.src0), r(i.src1))
-            if i.dst is not None:
-                regs[i.dst] = old
-        elif op is Op.LDS:
-            regs[i.dst] = block.shared[r(i.src0)]
-        elif op is Op.STS:
-            block.shared[r(i.src0)] = r(i.src1)
-        elif op is Op.BRA:
-            t.pc = self.prog.labels[i.label]
-            return
-        elif op is Op.CBRA:
-            if r(i.src0) != 0:
-                t.pc = self.prog.labels[i.label]
+        self._ready_discard(warp.warp_id)
+        if warp.live_lanes:
+            warp.next_pc = min(t.pc for t in threads if not t.done)
+            if warp.at_barrier:
+                block = warp.block
+                block.waiting_warps += 1
+                self._maybe_release_barrier(block)
             else:
-                t.pc += 1
+                heappush(self._wake_heap, (warp.ready_at, warp.warp_id))
+        else:
+            self._retire_warp(warp)
+
+    def _retire_warp(self, warp: _Warp) -> None:
+        warp.done = True
+        del self._warps[warp.warp_id]
+        block = warp.block
+        block.live_warps -= 1
+        if block.live_warps == 0:
+            self.live_blocks -= 1
+            if block.finish_cycle is None:
+                block.finish_cycle = self.cycle
+                self.block_latencies.append(self.cycle - block.start_cycle)
+                self._just_finished.append(block)
+        else:
+            # A sibling's exit can complete a barrier: every remaining
+            # live warp may now be waiting.
+            self._maybe_release_barrier(block)
+
+    def _maybe_release_barrier(self, block: _Block) -> None:
+        if block.waiting_warps != block.live_warps or block.live_warps == 0:
             return
-        elif op is Op.BAR:
-            warp.at_barrier = True
-            t.pc += 1
-            return
-        elif op is Op.EXIT:
-            t.done = True
-            return
-        elif op is Op.MARK:
-            if self.monitor is not None:
-                self.monitor.notify(self.sm_id, block.block_id)
-        else:  # pragma: no cover - exhaustive
-            raise ExecutionError(f"unhandled op {op}")
-        t.pc += 1
+        next_cycle = self.cycle + 1
+        for warp in block.warps:
+            if warp.at_barrier:
+                warp.at_barrier = False
+                at = warp.ready_at
+                self._schedule_wake(warp, at if at > next_cycle else next_cycle)
+        block.waiting_warps = 0
 
 
 def clock_kernel(prog: KernelProgram, threads_per_block: int,
                  resident_blocks: int = 4,
                  config: Optional[GPUConfig] = None,
                  scheduler: SchedulerKind = SchedulerKind.GREEDY_THEN_OLDEST,
-                 gmem: Optional[GlobalMemory] = None) -> WarpSimResult:
+                 gmem: Optional[GlobalMemory] = None,
+                 fast_forward: bool = True) -> WarpSimResult:
     """Convenience wrapper: one SM, ``resident_blocks`` blocks, run all."""
-    sm = WarpLevelSM(prog, threads_per_block, config, scheduler, gmem)
+    sm = WarpLevelSM(prog, threads_per_block, config, scheduler, gmem,
+                     fast_forward=fast_forward)
     for block_id in range(resident_blocks):
         sm.add_block(block_id)
     return sm.run()

@@ -184,9 +184,10 @@ class StreamingMultiprocessor:
             tb.begin_load(now)
             load_cycles = self.memory.record_dma(tb.context_bytes, self.sm_id)
             self.kernel.stats.stall_insts += load_cycles * tb.rate
+            # No label: this fires once per restored TB — millions per
+            # sweep — and labels are only read on error paths.
             self._load_events[tb.index] = self.engine.schedule(
-                load_cycles, lambda: self._finish_load(tb),
-                f"SM{self.sm_id}:load:{tb.index}")
+                load_cycles, lambda: self._finish_load(tb))
         else:
             tb.start_running(now)
             self._schedule_completion(tb)
@@ -198,8 +199,10 @@ class StreamingMultiprocessor:
 
     def _schedule_completion(self, tb: ThreadBlock) -> None:
         delay = tb.completion_delay()
+        # No label: the per-TB completion event is the hottest schedule
+        # call in the fluid model (once per TB per dispatch).
         self._completion_events[tb.index] = self.engine.schedule(
-            delay, lambda: self._complete(tb), f"SM{self.sm_id}:done:{tb.index}")
+            delay, lambda: self._complete(tb))
 
     def _complete(self, tb: ThreadBlock) -> None:
         self._completion_events.pop(tb.index, None)

@@ -11,7 +11,7 @@ Mailboxes are cleared when the blocks they described leave the SM
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.errors import SimulationError
 
@@ -30,6 +30,10 @@ class IdempotenceMonitor:
         self._dirty_blocks: Set[Tuple[int, int]] = set()
         #: Count of notifications per SM (diagnostics).
         self.notifications: Dict[int, int] = {i: 0 for i in range(num_sms)}
+        #: Every notify in arrival order — the differential tests assert
+        #: the event-driven engine produces the exact same sequence of
+        #: mailbox stores as the lockstep one.
+        self.history: List[Tuple[int, int]] = []
 
     def mailbox_address(self, sm_id: int) -> int:
         """The SM's pre-defined mailbox word address."""
@@ -41,6 +45,7 @@ class IdempotenceMonitor:
         self._check_sm(sm_id)
         self._dirty_blocks.add((sm_id, block_key))
         self.notifications[sm_id] += 1
+        self.history.append((sm_id, block_key))
 
     def block_flushable(self, sm_id: int, block_key: int) -> bool:
         """Relaxed condition: flushable until its first MARK executes."""

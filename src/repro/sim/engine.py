@@ -15,9 +15,14 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 from repro.errors import SimulationError
+
+#: Labels may be plain strings or zero-argument callables producing one.
+#: Callables are only invoked on the cold paths (``repr`` and error
+#: messages), so hot schedulers can avoid building f-strings per event.
+Label = Union[str, Callable[[], str]]
 
 
 class Event:
@@ -29,7 +34,7 @@ class Event:
 
     __slots__ = ("time", "seq", "callback", "label", "_cancelled", "_engine")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None], label: str,
+    def __init__(self, time: float, seq: int, callback: Callable[[], None], label: Label,
                  engine: Optional["Engine"] = None):
         self.time = time
         self.seq = seq
@@ -37,6 +42,11 @@ class Event:
         self.label = label
         self._cancelled = False
         self._engine = engine
+
+    def label_text(self) -> str:
+        """The label, resolving a lazy (callable) label if needed."""
+        label = self.label
+        return label() if callable(label) else label
 
     def cancel(self) -> None:
         """Mark this event so that it is skipped when popped."""
@@ -55,7 +65,7 @@ class Event:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         flag = " cancelled" if self._cancelled else ""
-        return f"<Event {self.label!r} @ {self.time:.1f}{flag}>"
+        return f"<Event {self.label_text()!r} @ {self.time:.1f}{flag}>"
 
 
 class Engine:
@@ -94,16 +104,23 @@ class Engine:
         """Bookkeeping hook called by Event.cancel()."""
         self._live -= 1
 
-    def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
-        """Schedule ``callback`` to fire ``delay`` cycles from now."""
+    def schedule(self, delay: float, callback: Callable[[], None], label: Label = "") -> Event:
+        """Schedule ``callback`` to fire ``delay`` cycles from now.
+
+        ``label`` is optional debug metadata: a string, or a zero-arg
+        callable resolved only when the label is actually displayed.
+        Hot paths should omit it (or pass a callable) rather than build
+        per-event f-strings.
+        """
         if delay < 0:
-            raise SimulationError(f"cannot schedule event {label!r} in the past (delay={delay})")
+            text = label() if callable(label) else label
+            raise SimulationError(f"cannot schedule event {text!r} in the past (delay={delay})")
         event = Event(self._now + delay, next(self._seq), callback, label, engine=self)
         heapq.heappush(self._queue, (event.time, event.seq, event))
         self._live += 1
         return event
 
-    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+    def schedule_at(self, time: float, callback: Callable[[], None], label: Label = "") -> Event:
         """Schedule ``callback`` to fire at absolute ``time``."""
         return self.schedule(time - self._now, callback, label)
 
@@ -121,7 +138,7 @@ class Engine:
                 continue
             if event.time < self._now:
                 raise SimulationError(
-                    f"event {event.label!r} scheduled at {event.time} but now is {self._now}"
+                    f"event {event.label_text()!r} scheduled at {event.time} but now is {self._now}"
                 )
             self._now = event.time
             self._fired += 1

@@ -142,3 +142,34 @@ def test_zero_delay_event_fires_at_current_time():
     engine.schedule(10, lambda: engine.schedule(0, lambda: seen.append(engine.now)))
     engine.run()
     assert seen == [10]
+
+
+def test_lazy_label_not_resolved_on_hot_path():
+    engine = Engine()
+    calls = []
+
+    def label():
+        calls.append(1)
+        return "lazy"
+
+    event = engine.schedule(1, lambda: None, label)
+    engine.run()
+    assert calls == []            # scheduling and firing never format it
+    assert event.label_text() == "lazy"
+    assert calls == [1]
+
+
+def test_lazy_label_appears_in_repr_and_errors():
+    engine = Engine()
+    event = engine.schedule(1, lambda: None, lambda: "tb42")
+    assert "tb42" in repr(event)
+    with pytest.raises(SimulationError, match="tb42"):
+        engine.schedule(-1, lambda: None, lambda: "tb42")
+
+
+def test_plain_string_labels_still_work():
+    engine = Engine()
+    event = engine.schedule(1, lambda: None, "plain")
+    assert event.label == "plain"
+    assert event.label_text() == "plain"
+    assert "plain" in repr(event)

@@ -151,3 +151,39 @@ class TestAtomicsAcrossSMs:
         gpu.run()
         for v in range(8):
             assert g["hist"][v] == data.count(v)
+
+
+class TestLockstepFlag:
+    """The synchronized fast-forward is purely a wall-clock trick."""
+
+    def _run(self, lockstep, flush_at=None, victim=0):
+        prog = instrument(vector_scale_inplace(N))
+        gpu, g = make_gpu(prog, {"data": list(range(N))},
+                          num_sms=2, blocks_per_sm=1, lockstep=lockstep)
+        decisions = []
+        if flush_at is not None:
+            gpu.step(flush_at)
+            if not gpu.done:
+                decisions.append(gpu.try_flush(victim))
+        gpu.run()
+        return gpu.result(), g.snapshot(), decisions, gpu.monitor.history
+
+    def test_plain_run_bit_identical(self):
+        assert self._run(False) == self._run(True)
+
+    def test_flush_under_load_bit_identical(self):
+        for flush_at in (37, 411, 1203):
+            for victim in (0, 1):
+                fast = self._run(False, flush_at=flush_at, victim=victim)
+                slow = self._run(True, flush_at=flush_at, victim=victim)
+                assert fast == slow, (flush_at, victim)
+
+    def test_step_budget_respected_when_skipping(self):
+        prog = vector_add(N)
+        fast, _ = make_gpu(prog, VEC_INIT, lockstep=False)
+        slow, _ = make_gpu(prog, VEC_INIT, lockstep=True)
+        for _ in range(6):
+            fast.step(100)
+            slow.step(100)
+            assert fast.cycle == slow.cycle
+            assert [s.cycle for s in fast.sms] == [s.cycle for s in slow.sms]

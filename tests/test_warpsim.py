@@ -175,3 +175,60 @@ class TestValidation:
         sm.add_block(0)
         with pytest.raises(ExecutionError):
             sm.run(max_cycles=100)
+
+
+class TestFastForwardAccounting:
+    """Pin the idle-cycle bookkeeping across fast-forward skips.
+
+    The skip jumps ``cycle`` to ``target - 1`` and credits
+    ``target - cycle - 1`` idle cycles on top of the idle tick that
+    triggered it; these literals pin the arithmetic for a kernel whose
+    exact timeline is derivable by hand (single warp, serial issues).
+    """
+
+    def _two_loads(self):
+        from repro.idempotence.ir import program
+
+        # tid(1) . ldg(400) . ldg(400) . stg(400) . exit: back-to-back
+        # 400-cycle stalls -> three consecutive skips.
+        return (program("two_loads", num_regs=4)
+                .buffer("a", 8).buffer("b", 8)
+                .tid(0)
+                .ldg(1, "a", 0)
+                .ldg(2, "a", 0)
+                .stg("b", 0, 1)
+                .exit()
+                .build())
+
+    @pytest.mark.parametrize("fast_forward", [False, True])
+    def test_exact_cycle_breakdown(self, fast_forward):
+        result = clock_kernel(self._two_loads(), 8, resident_blocks=1,
+                              fast_forward=fast_forward)
+        # c1 TID, c2 LDG, c402 LDG, c802 STG, c1202 EXIT.
+        assert result.cycles == 1202
+        assert result.issue_cycles == 5
+        assert result.idle_cycles == 1197
+        assert result.warp_instructions == 5
+        assert result.blocks_completed == 1
+
+    def test_breakdown_always_partitions_cycles(self):
+        for make in (lambda: vector_add(N), lambda: stencil3(N),
+                     lambda: block_reduce_sum(TPB, 4),
+                     lambda: histogram_atomic(N, 8)):
+            for ff in (False, True):
+                r = clock_kernel(make(), TPB, resident_blocks=4,
+                                 fast_forward=ff)
+                assert r.issue_cycles + r.idle_cycles == r.cycles, make
+
+    def test_fast_forward_matches_lockstep_exactly(self):
+        for make in (lambda: vector_add(N), lambda: stencil3(N),
+                     lambda: block_reduce_sum(TPB, 4),
+                     lambda: late_writeback(N, loop_iters=16)):
+            prog = make()
+            per_mode = []
+            for ff in (False, True):
+                g = GlobalMemory(dict(prog.buffers))
+                r = clock_kernel(prog, TPB, resident_blocks=4, gmem=g,
+                                 fast_forward=ff)
+                per_mode.append((r, g.snapshot()))
+            assert per_mode[0] == per_mode[1], prog.name
