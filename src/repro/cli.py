@@ -34,7 +34,7 @@ from typing import List, Optional
 
 from repro.core.chimera import POLICY_NAMES
 from repro.core.estimates import figure2_rows, figure3_rows
-from repro.gpu.config import GPUConfig
+from repro.gpu.config import DEFAULT_QOS_SLACK, GPUConfig, QOS_MODES
 from repro.metrics.report import format_percent, format_table
 from repro.workloads.specs import all_kernel_specs, benchmark_labels
 
@@ -152,6 +152,16 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
                         help="capture a per-spec event trace (JSONL) into "
                              "DIR; implies --no-cache so every spec "
                              "actually executes")
+    parser.add_argument("--qos-mode", default=None, choices=QOS_MODES,
+                        help="preemption QoS guard: off (passive ledger), "
+                             "warn (trace VIOLATION at deadline), escalate "
+                             "(re-plan lagging blocks), strict (abort the "
+                             "run); default: CHIMERA_QOS_MODE or off")
+    parser.add_argument("--qos-slack", type=_nonnegative_float, default=None,
+                        metavar="FRAC",
+                        help="guard deadline slack as a fraction of the "
+                             "latency budget (default: CHIMERA_QOS_SLACK "
+                             f"or {DEFAULT_QOS_SLACK})")
 
 
 def _make_runner(args: argparse.Namespace):
@@ -168,6 +178,13 @@ def _make_runner(args: argparse.Namespace):
         # runs bypass the cache entirely.
         os.environ["CHIMERA_TRACE"] = args.trace
         cache.enabled = False
+    # The guard config reaches worker processes the same way the trace
+    # destination does: GPUConfig defaults read these variables, and the
+    # qos fields participate in each spec's cache key.
+    if getattr(args, "qos_mode", None):
+        os.environ["CHIMERA_QOS_MODE"] = args.qos_mode
+    if getattr(args, "qos_slack", None) is not None:
+        os.environ["CHIMERA_QOS_SLACK"] = repr(args.qos_slack)
     return SweepRunner(jobs=args.jobs, cache=cache, timeout=args.timeout,
                        max_retries=args.max_retries,
                        strict=False if args.keep_going else None)

@@ -18,7 +18,7 @@ resident thread block be preempted?
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Sequence
 
 from repro.core.cost import CostEstimator, SMPlan
 from repro.core.selection import select_preemptions
@@ -28,6 +28,7 @@ from repro.gpu.config import GPUConfig
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.gpu.sm import StreamingMultiprocessor
+    from repro.gpu.threadblock import ThreadBlock
 
 
 class PreemptionPolicy:
@@ -120,6 +121,30 @@ class SingleTechniquePolicy(PreemptionPolicy):
                 cost = self.estimator.drain_cost(tb, stats, max_executed)
             chosen[tb] = cost
         return self.estimator.combine(sm, chosen)
+
+
+def plan_escalation(sm: "StreamingMultiprocessor",
+                    estimator: CostEstimator) -> "Dict[ThreadBlock, Technique]":
+    """Choose escalation targets for an overdue in-flight preemption.
+
+    Follows the paper's cost ordering: a lagging *draining* block moves
+    to flush when the reset circuit can still be used (flushable under
+    the estimator's idempotence rule), else to context switch; a block
+    stuck in a context *save* can only move to flush, and only while
+    flushable. Blocks with no legal cheaper technique are left alone —
+    the guard reports the violation instead.
+    """
+    draining, saving = sm.preempting_blocks()
+    assignments: "Dict[ThreadBlock, Technique]" = {}
+    for tb in draining:
+        if estimator.flush_cost(tb) is not None:
+            assignments[tb] = Technique.FLUSH
+        else:
+            assignments[tb] = Technique.SWITCH
+    for tb in saving:
+        if estimator.flush_cost(tb) is not None:
+            assignments[tb] = Technique.FLUSH
+    return assignments
 
 
 #: Policy names accepted by :func:`make_policy`, in reporting order.

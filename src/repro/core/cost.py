@@ -43,6 +43,26 @@ if TYPE_CHECKING:  # pragma: no cover
 CONSERVATIVE = math.inf
 
 
+def _estimate_skew(kernel_id: int) -> Optional[float]:
+    """Fault-injected cost-model skew for one kernel launch, or None.
+
+    Imported lazily: the fault registry lives in the harness layer, and
+    a module-level import here would cycle through
+    ``repro.harness.__init__`` back into this module.
+    """
+    from repro.harness import faults
+
+    return faults.estimate_skew(kernel_id)
+
+
+def _skewed(latency: float, tb: ThreadBlock) -> float:
+    """Apply any ``corrupt-estimate`` fault to a latency estimate."""
+    if not math.isfinite(latency):
+        return latency
+    skew = _estimate_skew(tb.kernel.kernel_id)
+    return latency if skew is None else latency * skew
+
+
 @dataclass(frozen=True)
 class TBCost:
     """Estimated cost of preempting one block with one technique."""
@@ -174,7 +194,7 @@ class CostEstimator:
             overhead = CONSERVATIVE
         else:
             overhead = 2.0 * latency / cpi
-        return TBCost(tb, Technique.SWITCH, latency, overhead)
+        return TBCost(tb, Technique.SWITCH, _skewed(latency, tb), overhead)
 
     def drain_cost(self, tb: ThreadBlock, stats: OnlineKernelStats,
                    max_executed: float) -> TBCost:
@@ -191,7 +211,7 @@ class CostEstimator:
             remaining = total - tb.executed_insts
             latency = remaining * cpi
         overhead = max(0.0, max_executed - tb.executed_insts)
-        return TBCost(tb, Technique.DRAIN, latency, overhead)
+        return TBCost(tb, Technique.DRAIN, _skewed(latency, tb), overhead)
 
     def flush_cost(self, tb: ThreadBlock) -> Optional[TBCost]:
         """None when flushing is illegal for this block right now."""

@@ -28,7 +28,42 @@ class SchedulingError(ReproError):
 
 
 class PreemptionError(ReproError):
-    """A preemption request could not be carried out."""
+    """A preemption request could not be carried out.
+
+    Preemption failures carry structured context so supervisors (the
+    :class:`~repro.sched.guard.PreemptionGuard`, the sweep harness) can
+    report *which* preemption went wrong without parsing the message:
+    ``sim_time`` (cycles), ``sm_id``, ``kernel`` (name), and
+    ``snapshot`` (a JSON-able dict of the in-flight plan or violation
+    record, when one exists).
+    """
+
+    def __init__(self, message: str, *, sim_time=None, sm_id=None,
+                 kernel=None, snapshot=None):
+        super().__init__(message)
+        self.sim_time = sim_time
+        self.sm_id = sm_id
+        self.kernel = kernel
+        self.snapshot = dict(snapshot) if snapshot else {}
+
+
+class PreemptionDeadlineError(PreemptionError):
+    """A strict QoS guard detected a preemption past its latency budget.
+
+    Raised by :class:`~repro.sched.guard.PreemptionGuard` in ``strict``
+    mode when an in-flight preemption is still unresolved at
+    ``budget × (1 + slack)``; ``snapshot`` holds the full violation
+    record (per-TB predicted techniques/latencies, the budget, the
+    deadline, and which blocks were still lagging).
+    """
+
+
+class EscalationError(PreemptionError):
+    """An escalation request was illegal for the SM's current state.
+
+    Examples: escalating a block that is not part of the in-flight
+    preemption, or flushing a block past its non-idempotent point.
+    """
 
 
 class SweepError(ReproError):

@@ -8,10 +8,39 @@ memory subsystem with 6 partitions totalling 177.4 GB/s.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
 from repro.units import KB, bytes_per_cycle, us_to_cycles
+
+#: Preemption-QoS guard modes (see :mod:`repro.sched.guard`):
+#: ``off`` keeps the passive violation ledger only, ``warn`` detects
+#: budget overruns at the deadline and emits VIOLATION trace events,
+#: ``escalate`` re-plans lagging blocks toward cheaper techniques, and
+#: ``strict`` aborts the run with
+#: :class:`~repro.errors.PreemptionDeadlineError`.
+QOS_MODES = ("off", "warn", "escalate", "strict")
+
+#: Default watchdog slack on top of the preemption latency budget.
+DEFAULT_QOS_SLACK = 0.25
+
+
+def _default_qos_mode() -> str:
+    """QoS guard mode from ``CHIMERA_QOS_MODE`` (default ``off``)."""
+    return os.environ.get("CHIMERA_QOS_MODE", "").strip().lower() or "off"
+
+
+def _default_qos_slack() -> float:
+    """Watchdog slack fraction from ``CHIMERA_QOS_SLACK``."""
+    raw = os.environ.get("CHIMERA_QOS_SLACK", "").strip()
+    if not raw:
+        return DEFAULT_QOS_SLACK
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise ConfigError(
+            f"CHIMERA_QOS_SLACK must be a number, got {raw!r}") from exc
 
 
 @dataclass(frozen=True)
@@ -39,6 +68,16 @@ class GPUConfig:
     #: Scheduling overhead charged per preemption decision, in cycles.
     decision_overhead_cycles: float = 0.0
 
+    #: Preemption-QoS guard mode (one of :data:`QOS_MODES`). Defaults
+    #: to ``CHIMERA_QOS_MODE`` at construction time so sweeps inherit
+    #: the knob through the environment (and it participates in the
+    #: RunSpec cache key, like every other config field).
+    qos_mode: str = field(default_factory=_default_qos_mode)
+
+    #: Watchdog slack: the guard's enforcement deadline is
+    #: ``budget × (1 + qos_slack)``. Defaults to ``CHIMERA_QOS_SLACK``.
+    qos_slack: float = field(default_factory=_default_qos_slack)
+
     def __post_init__(self) -> None:
         if self.num_sms < 1:
             raise ConfigError("num_sms must be >= 1")
@@ -54,6 +93,11 @@ class GPUConfig:
             raise ConfigError("num_memory_partitions must be >= 1")
         if self.shared_memory_bytes < 0 or self.registers_per_sm < 0:
             raise ConfigError("per-SM storage sizes must be non-negative")
+        if self.qos_mode not in QOS_MODES:
+            raise ConfigError(
+                f"qos_mode must be one of {QOS_MODES}, got {self.qos_mode!r}")
+        if self.qos_slack < 0:
+            raise ConfigError("qos_slack must be >= 0")
 
     @property
     def bandwidth_bytes_per_cycle(self) -> float:

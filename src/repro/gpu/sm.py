@@ -18,16 +18,23 @@ Preemption follows the paper's mechanics:
 The SM hands itself over once every drained block finished *and* the
 save DMA (if any) completed. Realized preemption latency is measured
 from the preemption call to that hand-over.
+
+While a preemption is in flight the :class:`~repro.sched.guard.PreemptionGuard`
+may :meth:`~StreamingMultiprocessor.escalate` lagging blocks toward a
+cheaper technique (drain→switch, drain/switch→flush) when the realized
+latency is about to blow the plan's budget; the per-block hand-over
+events recorded on the :class:`PreemptionRecord` feed the guard's
+predicted-vs-realized calibration ledger.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol
+from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.core.techniques import Technique
-from repro.errors import PreemptionError, SchedulingError
+from repro.errors import EscalationError, PreemptionError, SchedulingError
 from repro.gpu.config import GPUConfig
 from repro.gpu.kernel import Kernel
 from repro.gpu.memory import MemorySubsystem
@@ -55,6 +62,12 @@ class PreemptionRecord:
     techniques: Dict[Technique, int] = field(default_factory=dict)
     estimated_latency: float = 0.0
     estimated_overhead: float = 0.0
+    #: Blocks re-planned mid-flight by the QoS guard.
+    escalations: int = 0
+    #: Per-block hand-over events ``(tb_index, technique, latency)``
+    #: where latency is cycles since the preemption request — the
+    #: realized side of the guard's per-technique calibration.
+    tb_events: List[Tuple[int, str, float]] = field(default_factory=list)
 
     @property
     def realized_latency(self) -> float:
@@ -96,7 +109,10 @@ class StreamingMultiprocessor:
         # preemption bookkeeping
         self._record: Optional[PreemptionRecord] = None
         self._draining: List[ThreadBlock] = []
-        self._save_pending = False
+        #: Blocks whose context-save DMA is in flight. Escalation may
+        #: pull a block out mid-save (flush) or add new saves, so this
+        #: is a list rather than the single pending flag it once was.
+        self._saving: List[ThreadBlock] = []
         #: (vacate_time, fluid_rate) per slot emptied mid-preemption.
         self._vacated: List[tuple[float, float]] = []
 
@@ -214,6 +230,10 @@ class StreamingMultiprocessor:
             if tb in self._draining:
                 self._draining.remove(tb)
             self._vacated.append((now, tb.rate))
+            if self._record is not None:
+                self._record.tb_events.append(
+                    (tb.index, Technique.DRAIN.value,
+                     now - self._record.request_time))
             if self.tracer is not None:
                 self._trace(trace_mod.DRAIN, f"{tb.kernel.name}#{tb.index}",
                             kernel=tb.kernel.name, tb=tb.index)
@@ -239,10 +259,15 @@ class StreamingMultiprocessor:
         hands over.
         """
         if self.state is not SMState.RUNNING or self.kernel is None:
-            raise PreemptionError(f"SM{self.sm_id}: preempt while {self.state.value}")
+            raise PreemptionError(
+                f"SM{self.sm_id}: preempt while {self.state.value}",
+                sim_time=self.engine.now, sm_id=self.sm_id,
+                kernel=self.kernel.name if self.kernel else None)
         if set(plan) != set(self.resident):
             raise PreemptionError(
-                f"SM{self.sm_id}: plan does not cover resident blocks")
+                f"SM{self.sm_id}: plan does not cover resident blocks",
+                sim_time=self.engine.now, sm_id=self.sm_id,
+                kernel=self.kernel.name)
         now = self.engine.now
         self.advance()
         kernel = self.kernel
@@ -259,7 +284,7 @@ class StreamingMultiprocessor:
         self.state = SMState.PREEMPTING
         self._record = record
         self._draining = []
-        self._save_pending = False
+        self._saving = []
         self._vacated = []
 
         switch_bytes = 0
@@ -277,6 +302,7 @@ class StreamingMultiprocessor:
                 kernel.note_off_sm(tb)
                 self.resident.remove(tb)
                 self._vacated.append((now, tb.rate))
+                record.tb_events.append((tb.index, Technique.FLUSH.value, 0.0))
                 if self.tracer is not None:
                     flush_extra = {}
                     if tb.nonidem_at != float("inf"):
@@ -296,6 +322,8 @@ class StreamingMultiprocessor:
                     self.resident.remove(tb)
                     self._vacated.append((now, tb.rate))
                     kernel.stats.switches += 1
+                    record.tb_events.append(
+                        (tb.index, Technique.SWITCH.value, 0.0))
                     if self.tracer is not None:
                         self._trace(trace_mod.SWITCH,
                                     f"{kernel.name}#{tb.index}",
@@ -311,18 +339,43 @@ class StreamingMultiprocessor:
             elif tech is Technique.DRAIN:
                 self._draining.append(tb)
                 kernel.stats.drains += 1
+                self._maybe_stall_drain(tb)
             else:  # pragma: no cover - exhaustive enum
                 raise PreemptionError(f"unknown technique {tech}")
 
         if switched:
-            self._save_pending = True
-            save_cycles = self.memory.record_dma(switch_bytes, self.sm_id)
-            for tb in switched:
-                kernel.stats.stall_insts += save_cycles * tb.rate
-            self.engine.schedule(save_cycles, lambda: self._finish_save(switched),
-                                 f"SM{self.sm_id}:save")
+            self._start_save(switched, switch_bytes)
         self._maybe_release()
         return record
+
+    def _start_save(self, switched: List[ThreadBlock], switch_bytes: int) -> None:
+        """Kick off one serialized context-save DMA for ``switched``."""
+        kernel = self.kernel
+        self._saving.extend(switched)
+        save_cycles = self.memory.record_dma(switch_bytes, self.sm_id)
+        for tb in switched:
+            kernel.stats.stall_insts += save_cycles * tb.rate
+        self.engine.schedule(save_cycles, lambda: self._finish_save(switched),
+                             f"SM{self.sm_id}:save")
+
+    def _maybe_stall_drain(self, tb: ThreadBlock) -> None:
+        """Apply any ``stall-drain`` fault to a freshly draining block:
+        the straggler occupies its slot ``factor``x longer than its
+        remaining-time estimate (see :mod:`repro.harness.faults`)."""
+        # Imported lazily: the fault registry lives in the harness
+        # layer, which transitively imports this module.
+        from repro.harness import faults
+
+        factor = faults.drain_stall_factor(self.sm_id)
+        if factor is None or factor == 1.0:
+            return
+        event = self._completion_events.pop(tb.index, None)
+        if event is None:
+            return  # no completion in flight (e.g. restore DMA pending)
+        event.cancel()
+        delay = max(0.0, event.time - self.engine.now) * factor
+        self._completion_events[tb.index] = self.engine.schedule(
+            delay, lambda: self._complete(tb))
 
     def _cancel_tb_events(self, tb: ThreadBlock) -> None:
         event = self._completion_events.pop(tb.index, None)
@@ -334,27 +387,41 @@ class StreamingMultiprocessor:
 
     def _finish_save(self, switched: List[ThreadBlock]) -> None:
         now = self.engine.now
+        # Escalation may have flushed members of this batch mid-save, or
+        # resolved the whole preemption; act only on the still-saving.
+        pending = [tb for tb in switched if tb in self._saving]
+        if not pending:
+            return
         kernel = self.kernel
-        assert kernel is not None
-        for tb in switched:
+        record = self._record
+        if kernel is None or record is None:
+            raise PreemptionError(
+                f"SM{self.sm_id}: save DMA completed with no preemption "
+                f"in flight", sim_time=now, sm_id=self.sm_id)
+        for tb in pending:
+            self._saving.remove(tb)
             tb.save_context(now)
             kernel.note_off_sm(tb)
             self.resident.remove(tb)
             self._vacated.append((now, tb.rate))
+            record.tb_events.append(
+                (tb.index, Technique.SWITCH.value, now - record.request_time))
             if self.tracer is not None:
                 self._trace(trace_mod.SWITCH, f"{kernel.name}#{tb.index}",
                             kernel=kernel.name, tb=tb.index,
                             context_bytes=tb.context_bytes, from_load=False)
             self.listener.on_tb_preempted(tb)
-        self._save_pending = False
         self._maybe_release()
 
     def _maybe_release(self) -> None:
         if self.state is not SMState.PREEMPTING:
             return
-        if self._draining or self._save_pending:
+        if self._draining or self._saving:
             return
-        assert self._record is not None and self.kernel is not None
+        if self._record is None or self.kernel is None:
+            raise PreemptionError(
+                f"SM{self.sm_id}: preempting with no record or kernel",
+                sim_time=self.engine.now, sm_id=self.sm_id)
         now = self.engine.now
         record = self._record
         record.release_time = now
@@ -371,6 +438,144 @@ class StreamingMultiprocessor:
         self.state = SMState.IDLE
         self.listener.on_sm_released(self, record)
 
+    # ------------------------------------------------------------------
+    # mid-flight escalation (QoS guard)
+    # ------------------------------------------------------------------
+
+    def preempting_blocks(self) -> Tuple[List[ThreadBlock], List[ThreadBlock]]:
+        """The blocks still in flight for the current preemption:
+        ``(draining, saving)``. Empty lists when not preempting."""
+        return (list(self._draining), list(self._saving))
+
+    def escalate(self, assignments: Dict[ThreadBlock, Technique]) -> None:
+        """Re-plan lagging blocks of an in-flight preemption.
+
+        ``assignments`` maps still-in-flight blocks to cheaper
+        techniques per the paper's cost ordering: a draining block may
+        escalate to SWITCH or (if still idempotent) FLUSH; a block whose
+        context save is in flight may only escalate to FLUSH. Raises
+        :class:`~repro.errors.EscalationError` for anything else. May
+        synchronously resolve the preemption (hand the SM over) before
+        returning.
+        """
+        now = self.engine.now
+        if self.state is not SMState.PREEMPTING or self._record is None:
+            raise EscalationError(
+                f"SM{self.sm_id}: escalate with no preemption in flight",
+                sim_time=now, sm_id=self.sm_id)
+        kernel = self.kernel
+        record = self._record
+        self.advance()
+        switch_bytes = 0
+        newly_switched: List[ThreadBlock] = []
+        for tb, tech in assignments.items():
+            if tb in self._draining:
+                if tech is Technique.FLUSH:
+                    if not tb.idempotent_now:
+                        raise EscalationError(
+                            f"SM{self.sm_id}: flush-escalate past "
+                            f"non-idempotent point ({kernel.name}#{tb.index})",
+                            sim_time=now, sm_id=self.sm_id,
+                            kernel=kernel.name)
+                    self._cancel_tb_events(tb)
+                    self._draining.remove(tb)
+                    if self.tracer is not None:
+                        executed = tb.executed_insts
+                    discarded = tb.flush(now)
+                    kernel.stats.insts_discarded += discarded
+                    kernel.stats.flushes += 1
+                    kernel.stats.drains -= 1
+                    kernel.note_off_sm(tb)
+                    self.resident.remove(tb)
+                    self._vacated.append((now, tb.rate))
+                    self._shift_technique(record, Technique.DRAIN,
+                                          Technique.FLUSH)
+                    record.tb_events.append(
+                        (tb.index, Technique.FLUSH.value,
+                         now - record.request_time))
+                    if self.tracer is not None:
+                        flush_extra = {}
+                        if tb.nonidem_at != float("inf"):
+                            flush_extra["nonidem_at"] = tb.nonidem_at
+                        self._trace(trace_mod.FLUSH,
+                                    f"{kernel.name}#{tb.index}",
+                                    kernel=kernel.name, tb=tb.index,
+                                    discarded=discarded, executed=executed,
+                                    idempotent=True, escalated=True,
+                                    **flush_extra)
+                    self.listener.on_tb_preempted(tb)
+                elif tech is Technique.SWITCH:
+                    self._cancel_tb_events(tb)
+                    self._draining.remove(tb)
+                    tb.halt(now)
+                    switch_bytes += tb.context_bytes
+                    newly_switched.append(tb)
+                    kernel.stats.switches += 1
+                    kernel.stats.drains -= 1
+                    self._shift_technique(record, Technique.DRAIN,
+                                          Technique.SWITCH)
+                else:
+                    raise EscalationError(
+                        f"SM{self.sm_id}: cannot escalate draining block "
+                        f"to {tech.value}", sim_time=now, sm_id=self.sm_id,
+                        kernel=kernel.name)
+            elif tb in self._saving:
+                if tech is not Technique.FLUSH:
+                    raise EscalationError(
+                        f"SM{self.sm_id}: cannot escalate saving block "
+                        f"to {tech.value}", sim_time=now, sm_id=self.sm_id,
+                        kernel=kernel.name)
+                if not tb.idempotent_now:
+                    raise EscalationError(
+                        f"SM{self.sm_id}: flush-escalate past "
+                        f"non-idempotent point ({kernel.name}#{tb.index})",
+                        sim_time=now, sm_id=self.sm_id, kernel=kernel.name)
+                self._saving.remove(tb)
+                if self.tracer is not None:
+                    executed = tb.executed_insts
+                discarded = tb.flush(now)
+                kernel.stats.insts_discarded += discarded
+                kernel.stats.flushes += 1
+                kernel.stats.switches -= 1
+                kernel.note_off_sm(tb)
+                self.resident.remove(tb)
+                self._vacated.append((now, tb.rate))
+                self._shift_technique(record, Technique.SWITCH,
+                                      Technique.FLUSH)
+                record.tb_events.append(
+                    (tb.index, Technique.FLUSH.value,
+                     now - record.request_time))
+                if self.tracer is not None:
+                    flush_extra = {}
+                    if tb.nonidem_at != float("inf"):
+                        flush_extra["nonidem_at"] = tb.nonidem_at
+                    self._trace(trace_mod.FLUSH, f"{kernel.name}#{tb.index}",
+                                kernel=kernel.name, tb=tb.index,
+                                discarded=discarded, executed=executed,
+                                idempotent=True, escalated=True,
+                                **flush_extra)
+                self.listener.on_tb_preempted(tb)
+            else:
+                raise EscalationError(
+                    f"SM{self.sm_id}: block {kernel.name}#{tb.index} is not "
+                    f"in flight for this preemption",
+                    sim_time=now, sm_id=self.sm_id, kernel=kernel.name)
+        record.escalations += len(assignments)
+        if newly_switched:
+            self._start_save(newly_switched, switch_bytes)
+        self._maybe_release()
+
+    @staticmethod
+    def _shift_technique(record: PreemptionRecord, old: Technique,
+                         new: Technique) -> None:
+        """Move one block's count in ``record.techniques`` on escalation."""
+        remaining = record.techniques.get(old, 0) - 1
+        if remaining > 0:
+            record.techniques[old] = remaining
+        else:
+            record.techniques.pop(old, None)
+        record.techniques[new] = record.techniques.get(new, 0) + 1
+
     def abort_all(self) -> List[ThreadBlock]:
         """Drop every resident block without preserving anything.
 
@@ -379,7 +584,10 @@ class StreamingMultiprocessor:
         unassigns it.
         """
         if self.state is SMState.PREEMPTING:
-            raise PreemptionError(f"SM{self.sm_id}: abort mid-preemption")
+            raise PreemptionError(
+                f"SM{self.sm_id}: abort mid-preemption",
+                sim_time=self.engine.now, sm_id=self.sm_id,
+                kernel=self.kernel.name if self.kernel else None)
         self.advance()
         dropped: List[ThreadBlock] = []
         for tb in list(self.resident):

@@ -32,11 +32,26 @@ flaky-then-succeed; ``inf`` fires forever). Kinds:
 * ``corrupt`` — overwrite the ``index``-th cache ``put()`` of this
   process with garbage bytes, exercising corrupt-entry recovery
 
+Two further kinds inject faults into the *simulated machine* rather
+than the sweep harness, so the preemption-QoS guard's detection and
+escalation branches (:mod:`repro.sched.guard`) are exercisable
+deterministically. For these the trailing slot is a positive float
+**factor**, not an attempt budget, and ``index`` names a simulated
+entity rather than a spec position:
+
+* ``stall-drain@sm[:factor]``      — draining thread blocks on SM
+  ``sm`` (or every SM with ``*``) run ``factor``× their remaining-time
+  estimate (default 8), modeling a straggler drain
+* ``corrupt-estimate@kernel[:factor]`` — the cost model's latency
+  estimates for launch ``kernel`` come out at ``factor``× truth
+  (default 0.25, i.e. a 4× under-prediction)
+
 Examples::
 
     CHIMERA_FAULTS="fail@1"            # spec 1 fails once, retry succeeds
     CHIMERA_FAULTS="crash@0:inf"       # spec 0 always crashes its worker
     CHIMERA_FAULTS="hang@2,corrupt@0"  # spec 2 hangs; first put corrupted
+    CHIMERA_FAULTS="stall-drain@0:8"   # SM 0's drains run 8x the estimate
 """
 
 from __future__ import annotations
@@ -56,7 +71,11 @@ CORRUPT_PAYLOAD = b"\x00chimera fault injection: deliberately corrupt\x00"
 #: Worker exit code used by the ``crash`` fault.
 CRASH_EXIT_CODE = 13
 
-_KINDS = ("fail", "crash", "hang", "corrupt")
+_KINDS = ("fail", "crash", "hang", "corrupt", "stall-drain",
+          "corrupt-estimate")
+
+#: Kinds whose trailing slot is a float factor, with their defaults.
+_SIM_FACTOR_DEFAULTS = {"stall-drain": 8.0, "corrupt-estimate": 0.25}
 
 #: PID of the process that imported this module. Forked pool workers
 #: inherit the value, so a differing ``os.getpid()`` marks a worker.
@@ -73,7 +92,12 @@ class FaultInjected(ReproError):
 
 @dataclass(frozen=True)
 class Fault:
-    """One directive: a kind, a target spec index, an attempt budget."""
+    """One directive: a kind, a target index, a trailing number.
+
+    For harness kinds the trailing number is an attempt budget; for the
+    sim-level kinds (``stall-drain``, ``corrupt-estimate``) it is a
+    positive float factor and ``index`` names an SM / kernel launch.
+    """
 
     kind: str
     index: Optional[int]      # None targets every index
@@ -133,7 +157,21 @@ def parse_plan(text: str) -> FaultPlan:
             if index < 0:
                 raise ConfigError(f"CHIMERA_FAULTS index must be >= 0: {part!r}")
         attempts_s = attempts_s.strip()
-        if not attempts_s:
+        if kind in _SIM_FACTOR_DEFAULTS:
+            if not attempts_s:
+                attempts = _SIM_FACTOR_DEFAULTS[kind]
+            else:
+                try:
+                    attempts = float(attempts_s)
+                except ValueError as exc:
+                    raise ConfigError(
+                        f"bad CHIMERA_FAULTS factor {attempts_s!r} in {part!r}"
+                    ) from exc
+                if attempts <= 0 or not math.isfinite(attempts):
+                    raise ConfigError(
+                        f"CHIMERA_FAULTS factor must be a positive finite "
+                        f"number: {part!r}")
+        elif not attempts_s:
             attempts = 1.0
         elif attempts_s in ("inf", "*"):
             attempts = math.inf
@@ -246,6 +284,36 @@ def should_corrupt_put(key: str) -> bool:
     return plan.corrupts_put(seq)
 
 
+def _sim_factor(kind: str, index: int) -> Optional[float]:
+    plan = active_plan()
+    if plan is None:
+        return None
+    for fault in plan.faults:
+        if fault.kind == kind and (fault.index is None
+                                   or fault.index == index):
+            return fault.attempts
+    return None
+
+
+def drain_stall_factor(sm_id: int) -> Optional[float]:
+    """Straggler factor for drains on ``sm_id``, or None if unfaulted.
+
+    Queried by the SM when it puts a thread block into drain: a factor
+    ``f`` makes the block take ``f``× its remaining-time estimate.
+    """
+    return _sim_factor("stall-drain", sm_id)
+
+
+def estimate_skew(kernel_id: int) -> Optional[float]:
+    """Cost-estimate skew for kernel launch ``kernel_id``, or None.
+
+    Queried by the cost model: a skew ``s`` multiplies predicted
+    latencies by ``s`` (``s < 1`` under-predicts, so the realized
+    latency overruns the plan and the QoS watchdog fires).
+    """
+    return _sim_factor("corrupt-estimate", kernel_id)
+
+
 __all__ = [
     "CORRUPT_PAYLOAD",
     "CRASH_EXIT_CODE",
@@ -254,6 +322,8 @@ __all__ = [
     "FaultPlan",
     "active_plan",
     "clear",
+    "drain_stall_factor",
+    "estimate_skew",
     "hang_seconds",
     "in_worker",
     "inject_before_execute",

@@ -9,15 +9,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.chimera import PreemptionPolicy, make_policy
+from repro.core.cost import CostEstimator
 from repro.errors import ConfigError, SimulationError
 from repro.gpu.config import GPUConfig
 from repro.gpu.gpu import GPU
 from repro.gpu.kernel import Kernel
 from repro.gpu.sm import PreemptionRecord
 from repro.metrics.metrics import TechniqueMix, ViolationSummary
+from repro.sched.guard import GuardPolicy, PreemptionGuard
 from repro.sched.kernel_scheduler import KernelScheduler, SchedulerMode
 from repro.sched.process import BenchmarkProcess
 from repro.sched.tb_scheduler import ThreadBlockScheduler
@@ -71,9 +73,21 @@ class SimSystem:
                 raise ConfigError("spatial mode needs a policy name")
             policy = make_policy(policy_name, self.config)
         self.policy = policy
+        guard_policy = GuardPolicy.parse(self.config.qos_mode)
+        estimator = getattr(policy, "estimator", None)
+        if estimator is None:
+            estimator = CostEstimator(self.config)
+        self.guard = PreemptionGuard(self.engine, guard_policy,
+                                     slack=self.config.qos_slack,
+                                     estimator=estimator, tracer=tracer)
+        if tracer is not None and guard_policy is not GuardPolicy.OFF:
+            # Stamped only when the guard is active so that guarded-off
+            # runs keep producing byte-identical traces (golden files).
+            tracer.meta.setdefault("qos_mode", guard_policy.value)
+            tracer.meta.setdefault("qos_slack", self.config.qos_slack)
         self.kernel_scheduler = KernelScheduler(
             self.engine, self.config, self.tb_scheduler, policy, mode,
-            latency_limit_us, tracer=tracer)
+            latency_limit_us, tracer=tracer, guard=self.guard)
         self.gpu = GPU(self.config, self.engine, self.tb_scheduler,
                        tracer=tracer)
         self.kernel_scheduler.attach_gpu(self.gpu)
@@ -141,6 +155,11 @@ class SimSystem:
                 mix.add(tech, count)
         return mix
 
+    def qos_summary(self) -> Dict[str, Any]:
+        """The guard's ledger rollup (violations, escalations,
+        calibration) for this run."""
+        return self.guard.summary()
+
 
 # ----------------------------------------------------------------------
 # results
@@ -168,6 +187,8 @@ class PairResult:
     useful_insts: Dict[str, float]
     preemption_records: int
     technique_mix: TechniqueMix
+    #: QoS guard ledger rollup (see :meth:`SimSystem.qos_summary`).
+    qos: Dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass
@@ -183,6 +204,8 @@ class PeriodicResult:
     useful_insts: float
     wasted_insts: float
     periods: int
+    #: QoS guard ledger rollup (see :meth:`SimSystem.qos_summary`).
+    qos: Dict[str, Any] = field(default_factory=dict)
 
 
 # ----------------------------------------------------------------------
@@ -257,6 +280,7 @@ def run_pair(workload: MultiprogramWorkload, policy_name: Optional[str],
         useful_insts=useful,
         preemption_records=len(system.records),
         technique_mix=system.technique_mix(),
+        qos=system.qos_summary(),
     )
 
 
@@ -358,4 +382,5 @@ def run_periodic(label: str, policy_name: str,
         useful_insts=useful,
         wasted_insts=wasted,
         periods=periods,
+        qos=system.qos_summary(),
     )

@@ -107,7 +107,9 @@ RunResult = Union[SoloResult, PairResult, PeriodicResult]
 
 #: Spec-format version: bump when RunSpec semantics change so stale
 #: cache entries from an older layout can never be replayed.
-SPEC_VERSION = 1
+#: v2: GPUConfig gained qos_mode/qos_slack and results carry a ``qos``
+#: ledger summary — v1 entries predate both.
+SPEC_VERSION = 2
 
 #: Pool rebuilds tolerated before degrading to serial execution.
 DEFAULT_MAX_POOL_REBUILDS = 2
@@ -347,6 +349,10 @@ class SweepStats:
     #: Sum of per-spec execution times — what a one-process sweep would
     #: have cost (cached specs contribute their recorded durations).
     serial_equiv_s: float = 0.0
+    #: QoS guard rollup over every executed result that carried a
+    #: ledger summary: budget overruns and mid-flight escalations.
+    qos_violations: int = 0
+    qos_escalations: int = 0
 
     def merge(self, other: "SweepStats") -> None:
         """Fold another accumulator into this one."""
@@ -360,6 +366,8 @@ class SweepStats:
         self.degraded = self.degraded or other.degraded
         self.wall_s += other.wall_s
         self.serial_equiv_s += other.serial_equiv_s
+        self.qos_violations += other.qos_violations
+        self.qos_escalations += other.qos_escalations
 
     @property
     def speedup(self) -> float:
@@ -381,6 +389,8 @@ class SweepStats:
             "wall_s": round(self.wall_s, 4),
             "serial_equiv_s": round(self.serial_equiv_s, 4),
             "speedup": round(self.speedup, 2),
+            "qos_violations": self.qos_violations,
+            "qos_escalations": self.qos_escalations,
         }
 
 
@@ -577,6 +587,10 @@ class SweepRunner:
         self.cache.put(key, result, duration)
         stats.executed += 1
         stats.serial_equiv_s += duration
+        qos = getattr(result, "qos", None)
+        if qos:
+            stats.qos_violations += int(qos.get("violations", 0))
+            stats.qos_escalations += int(qos.get("escalations", 0))
 
     def _backoff_delay(self, attempt: int) -> float:
         """Exponential backoff before retry ``attempt`` (1-based)."""

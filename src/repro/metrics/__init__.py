@@ -7,11 +7,15 @@ from repro.metrics.metrics import (
     ViolationSummary,
     TechniqueMix,
 )
+from repro.metrics.qos import QoSLedger, QoSRecord, TechniqueSample
 from repro.metrics.report import format_table, format_percent
 from repro.metrics.timeline import SMTimeline, TraceTimelines
 
 __all__ = [
+    "QoSLedger",
+    "QoSRecord",
     "SMTimeline",
+    "TechniqueSample",
     "TraceTimelines",
     "antt",
     "stp",

@@ -1,0 +1,157 @@
+"""Preemption-QoS accounting: the violation ledger.
+
+The :class:`~repro.sched.guard.PreemptionGuard` closes one
+:class:`QoSRecord` per supervised preemption (or aborts it when the
+preempted kernel is killed mid-flight). The :class:`QoSLedger`
+accumulates them and answers the questions the harness reports on:
+
+* how many preemptions blew their latency budget (and by how much, at
+  the tail),
+* how many needed mid-flight escalation to recover, and
+* how well the cost model predicts each technique — per-technique
+  realized/predicted latency ratios, the calibration signal every
+  future cost-model improvement feeds on.
+
+All quantities are in cycles; ``summary()`` returns a JSON-ready dict
+that rides on :class:`~repro.harness.runner.PairResult` /
+:class:`~repro.harness.runner.PeriodicResult` and folds into
+``SweepStats``/``timings.json``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["QoSLedger", "QoSRecord", "TechniqueSample"]
+
+
+@dataclass(frozen=True)
+class TechniqueSample:
+    """Predicted vs realized latency for one thread block's preemption.
+
+    ``technique`` is the *planned* technique (the prediction being
+    calibrated); when the guard escalated the block mid-flight the
+    realized latency belongs to the escalated mechanism and
+    ``escalated`` is True, so calibration can exclude those samples.
+    """
+
+    technique: str
+    predicted_cycles: float
+    realized_cycles: float
+    escalated: bool = False
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """Realized over predicted, or None when the prediction was the
+        cost model's conservative infinity (or non-positive)."""
+        if not math.isfinite(self.predicted_cycles) or self.predicted_cycles <= 0:
+            return None
+        return self.realized_cycles / self.predicted_cycles
+
+
+@dataclass(frozen=True)
+class QoSRecord:
+    """One supervised preemption, as the guard closed it."""
+
+    sm_id: int
+    kernel: str
+    request_time: float
+    resolve_time: float
+    budget_cycles: float
+    #: Absolute enforcement deadline: request + budget x (1 + slack).
+    deadline: float
+    realized_latency: float
+    violated: bool = False
+    #: Blocks re-planned mid-flight by the guard.
+    escalations: int = 0
+    #: Kernel killed while the preemption was in flight.
+    aborted: bool = False
+    samples: Tuple[TechniqueSample, ...] = ()
+
+    @property
+    def budget_ratio(self) -> Optional[float]:
+        """Realized latency over the raw budget (pre-slack), or None
+        when the budget is unbounded."""
+        if not math.isfinite(self.budget_cycles) or self.budget_cycles <= 0:
+            return None
+        return self.realized_latency / self.budget_cycles
+
+
+class QoSLedger:
+    """Accumulates :class:`QoSRecord` objects and summarizes them."""
+
+    def __init__(self) -> None:
+        self.records: List[QoSRecord] = []
+
+    def add(self, record: QoSRecord) -> None:
+        """Append one closed (or aborted) preemption record."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def violations(self) -> int:
+        """Preemptions that overran budget x (1 + slack)."""
+        return sum(1 for r in self.records if r.violated)
+
+    @property
+    def escalations(self) -> int:
+        """Blocks the guard re-planned mid-flight, over all records."""
+        return sum(r.escalations for r in self.records)
+
+    @property
+    def aborted(self) -> int:
+        """Preemptions abandoned because their kernel was killed."""
+        return sum(1 for r in self.records if r.aborted)
+
+    def worst_budget_ratio(self) -> Optional[float]:
+        """Tail latency vs budget: the worst realized/budget ratio."""
+        ratios = [r.budget_ratio for r in self.records
+                  if r.budget_ratio is not None and not r.aborted]
+        return max(ratios) if ratios else None
+
+    def calibration(self) -> Dict[str, Dict[str, float]]:
+        """Per-technique mispredict statistics from the closed records.
+
+        For each planned technique with at least one calibratable
+        sample (finite positive prediction, not escalated away):
+        sample count, mean and worst realized/predicted ratio.
+        """
+        buckets: Dict[str, List[float]] = {}
+        for record in self.records:
+            for sample in record.samples:
+                if sample.escalated:
+                    continue
+                ratio = sample.ratio
+                if ratio is None:
+                    continue
+                buckets.setdefault(sample.technique, []).append(ratio)
+        return {
+            tech: {
+                "samples": len(ratios),
+                "mean_ratio": sum(ratios) / len(ratios),
+                "worst_ratio": max(ratios),
+            }
+            for tech, ratios in sorted(buckets.items())
+        }
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready rollup for results and ``timings.json``."""
+        worst = self.worst_budget_ratio()
+        return {
+            "preemptions": len(self.records),
+            "violations": self.violations,
+            "escalations": self.escalations,
+            "aborted": self.aborted,
+            "worst_budget_ratio": (round(worst, 4)
+                                   if worst is not None else None),
+            "calibration": {
+                tech: {"samples": stats["samples"],
+                       "mean_ratio": round(stats["mean_ratio"], 4),
+                       "worst_ratio": round(stats["worst_ratio"], 4)}
+                for tech, stats in self.calibration().items()
+            },
+        }

@@ -1,0 +1,317 @@
+"""Preemption QoS guard: supervises in-flight preemptions.
+
+The kernel scheduler plans each preemption against a latency budget
+(``limit_cycles``, the paper's user-supplied constraint), but the plan is
+only a *prediction* — drain times come from an online cost model that
+can be wrong, and the machine state can shift under the plan. The
+:class:`PreemptionGuard` closes that loop: it registers every PREEMPT
+plan the scheduler issues, arms a watchdog at the enforcement deadline
+``budget × (1 + slack)``, and when a preemption is still unresolved at
+the deadline it detects the lagging blocks and reacts per the configured
+:class:`GuardPolicy`:
+
+* ``off``      — passive: no watchdog, no trace events; violations are
+  still detected when the preemption resolves and recorded in the
+  :class:`~repro.metrics.qos.QoSLedger`, but the simulated timeline is
+  bit-identical to an unguarded run.
+* ``warn``     — the watchdog emits a :data:`~repro.sim.trace.VIOLATION`
+  trace event at the deadline and lets the preemption run on.
+* ``escalate`` — the watchdog re-plans the lagging blocks toward
+  cheaper techniques per the paper's cost ordering (drain → flush when
+  flushable, else drain → switch; a stuck context save → flush while
+  flushable) via :func:`repro.core.chimera.plan_escalation` and
+  :meth:`~repro.gpu.sm.StreamingMultiprocessor.escalate`, emitting an
+  :data:`~repro.sim.trace.ESCALATE` trace event. If the preemption is
+  *still* late when it resolves, a VIOLATION is emitted then.
+* ``strict``   — the watchdog raises
+  :class:`~repro.errors.PreemptionDeadlineError` with a full violation
+  snapshot; the run aborts. Strict does not escalate first — a hard
+  deadline miss is a contract violation, not something to paper over.
+
+Every supervised preemption — on time, late, escalated, or aborted by a
+kernel kill — closes one :class:`~repro.metrics.qos.QoSRecord`, so the
+ledger's per-technique calibration sees the full population, not just
+the failures.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.chimera import plan_escalation
+from repro.core.cost import CostEstimator, SMPlan
+from repro.errors import ConfigError, PreemptionDeadlineError
+from repro.gpu.kernel import Kernel
+from repro.gpu.sm import PreemptionRecord, StreamingMultiprocessor
+from repro.metrics.qos import QoSLedger, QoSRecord, TechniqueSample
+from repro.sim.engine import Engine, Event
+from repro.sim import trace as trace_mod
+from repro.sim.trace import Tracer
+
+__all__ = ["GuardEntry", "GuardPolicy", "PreemptionGuard"]
+
+
+class GuardPolicy(enum.Enum):
+    """What the guard does when a preemption blows its deadline."""
+
+    OFF = "off"
+    WARN = "warn"
+    ESCALATE = "escalate"
+    STRICT = "strict"
+
+    @classmethod
+    def parse(cls, name: str) -> "GuardPolicy":
+        """Parse a mode string (``--qos-mode`` / ``CHIMERA_QOS_MODE``)."""
+        try:
+            return cls(name.strip().lower())
+        except ValueError:
+            raise ConfigError(
+                f"unknown QoS mode {name!r}: expected one of "
+                f"{[m.value for m in cls]}") from None
+
+
+@dataclass
+class GuardEntry:
+    """One supervised in-flight preemption."""
+
+    sm: StreamingMultiprocessor
+    record: PreemptionRecord
+    kernel_id: int
+    #: Raw per-SM latency budget (the scheduler's ``limit_cycles``).
+    budget: float
+    #: Absolute enforcement deadline: request + budget × (1 + slack).
+    deadline: float
+    #: Per-block plan: tb_index -> (technique, predicted latency cycles).
+    predicted: Dict[int, Tuple[str, float]]
+    watchdog: Optional[Event] = None
+    #: Violation already established (and traced) at watchdog expiry.
+    violated: bool = False
+    #: Block indices the guard re-planned mid-flight.
+    escalated: Set[int] = field(default_factory=set)
+
+
+class PreemptionGuard:
+    """Watches every in-flight preemption against its predicted budget."""
+
+    def __init__(self, engine: Engine, policy: GuardPolicy = GuardPolicy.OFF,
+                 slack: float = 0.25,
+                 estimator: Optional[CostEstimator] = None,
+                 tracer: Optional[Tracer] = None):
+        if slack < 0:
+            raise ConfigError(f"QoS slack must be >= 0, got {slack}")
+        self.engine = engine
+        self.policy = policy
+        self.slack = slack
+        self.estimator = estimator
+        self.tracer = tracer
+        self.ledger = QoSLedger()
+        self._entries: Dict[int, GuardEntry] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle hooks (called by the kernel scheduler)
+    # ------------------------------------------------------------------
+
+    def register(self, sm: StreamingMultiprocessor, record: PreemptionRecord,
+                 plan: SMPlan, limit_cycles: float) -> None:
+        """Start supervising one just-issued preemption.
+
+        Must be called immediately after
+        :meth:`~repro.gpu.sm.StreamingMultiprocessor.preempt` returns.
+        The preemption may already have resolved synchronously (an
+        all-flush plan releases the SM before ``preempt`` returns, so
+        :meth:`resolve` fired before this registration); in that case
+        the record is closed into the ledger directly and no watchdog is
+        armed.
+        """
+        budget = limit_cycles
+        predicted = {tb.index: (cost.technique.value, cost.latency_cycles)
+                     for tb, cost in plan.costs.items()}
+        bounded = math.isfinite(budget) and budget > 0
+        deadline = (record.request_time + budget * (1.0 + self.slack)
+                    if bounded else math.inf)
+        if not sm.is_preempting:
+            # Resolved synchronously inside preempt() — close directly.
+            self._close(record, budget, deadline, predicted, set())
+            return
+        kernel_id = sm.kernel.kernel_id if sm.kernel is not None else -1
+        entry = GuardEntry(sm=sm, record=record, kernel_id=kernel_id,
+                           budget=budget, deadline=deadline,
+                           predicted=predicted)
+        self._entries[sm.sm_id] = entry
+        if self.policy is not GuardPolicy.OFF and bounded:
+            entry.watchdog = self.engine.schedule_at(
+                deadline, lambda: self._expire(sm),
+                f"guard:SM{sm.sm_id}")
+
+    def resolve(self, sm: StreamingMultiprocessor,
+                record: PreemptionRecord) -> None:
+        """Close supervision when the SM hands over.
+
+        Called from the scheduler's ``on_sm_released``. Tolerates a
+        missing entry: a synchronously-resolving preemption releases
+        before :meth:`register` runs, and register closes the ledger
+        itself in that case.
+        """
+        entry = self._entries.pop(sm.sm_id, None)
+        if entry is None:
+            return
+        if entry.watchdog is not None:
+            entry.watchdog.cancel()
+            entry.watchdog = None
+        late = record.release_time > entry.deadline
+        if late and not entry.violated and self.policy is not GuardPolicy.OFF:
+            self._trace_violation(sm, entry, at_expiry=False)
+        entry.violated = entry.violated or late
+        self._close(record, entry.budget, entry.deadline, entry.predicted,
+                    entry.escalated, violated=entry.violated)
+
+    def on_kernel_killed(self, kernel: Kernel) -> None:
+        """Release supervision of a kernel killed mid-preemption.
+
+        The SM will never hand over through ``on_sm_released`` for these
+        records, so the watchdog must be cancelled here — a stale
+        watchdog firing against a reassigned SM would escalate (or
+        abort) somebody else's preemption.
+        """
+        now = self.engine.now
+        for sm_id in [sm_id for sm_id, entry in self._entries.items()
+                      if entry.kernel_id == kernel.kernel_id]:
+            entry = self._entries.pop(sm_id)
+            if entry.watchdog is not None:
+                entry.watchdog.cancel()
+                entry.watchdog = None
+            record = entry.record
+            self.ledger.add(QoSRecord(
+                sm_id=record.sm_id, kernel=record.kernel_name,
+                request_time=record.request_time, resolve_time=now,
+                budget_cycles=entry.budget, deadline=entry.deadline,
+                realized_latency=now - record.request_time,
+                violated=entry.violated, escalations=record.escalations,
+                aborted=True,
+                samples=self._samples(record, entry.predicted,
+                                      entry.escalated)))
+
+    @property
+    def pending(self) -> int:
+        """Preemptions currently under supervision."""
+        return len(self._entries)
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-ready ledger rollup, tagged with the guard's config."""
+        out = self.ledger.summary()
+        out["mode"] = self.policy.value
+        out["slack"] = self.slack
+        return out
+
+    # ------------------------------------------------------------------
+    # watchdog
+    # ------------------------------------------------------------------
+
+    def _expire(self, sm: StreamingMultiprocessor) -> None:
+        entry = self._entries.get(sm.sm_id)
+        if entry is None:  # pragma: no cover - watchdog cancelled late
+            return
+        entry.watchdog = None
+        if self.policy is GuardPolicy.STRICT:
+            raise PreemptionDeadlineError(
+                f"SM{sm.sm_id}: preemption of {entry.record.kernel_name} "
+                f"unresolved at deadline "
+                f"(budget={entry.budget:.0f} cycles, slack={self.slack})",
+                sim_time=self.engine.now, sm_id=sm.sm_id,
+                kernel=entry.record.kernel_name,
+                snapshot=self._snapshot(sm, entry))
+        if self.policy is GuardPolicy.ESCALATE and self.estimator is not None:
+            assignments = plan_escalation(sm, self.estimator)
+            if assignments:
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        self.engine.now, trace_mod.ESCALATE,
+                        f"SM{sm.sm_id} {entry.record.kernel_name} "
+                        f"x{len(assignments)}",
+                        sm=sm.sm_id, kernel=entry.record.kernel_name,
+                        blocks=sorted(tb.index for tb in assignments),
+                        plan={str(tb.index): tech.value
+                              for tb, tech in assignments.items()},
+                        budget=entry.budget, deadline=entry.deadline)
+                entry.escalated.update(tb.index for tb in assignments)
+                sm.escalate(assignments)
+                # escalate() may resolve the preemption synchronously,
+                # in which case resolve() already popped the entry.
+                if self._entries.get(sm.sm_id) is not entry:
+                    return
+            # Still in flight past the deadline: resolve() will detect
+            # the overrun and emit the VIOLATION with the final latency.
+            return
+        # WARN: report at the moment the budget is blown, keep going.
+        entry.violated = True
+        self._trace_violation(sm, entry, at_expiry=True)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _trace_violation(self, sm: StreamingMultiprocessor,
+                         entry: GuardEntry, *, at_expiry: bool) -> None:
+        if self.tracer is None:
+            return
+        record = entry.record
+        payload = dict(sm=sm.sm_id, kernel=record.kernel_name,
+                       budget=entry.budget, deadline=entry.deadline,
+                       at_expiry=at_expiry)
+        if not at_expiry:
+            payload["latency"] = record.realized_latency
+        self.tracer.emit(self.engine.now, trace_mod.VIOLATION,
+                         f"SM{sm.sm_id} {record.kernel_name}", **payload)
+
+    def _snapshot(self, sm: StreamingMultiprocessor,
+                  entry: GuardEntry) -> Dict[str, object]:
+        """JSON-able violation record for strict-mode errors."""
+        draining, saving = sm.preempting_blocks()
+        return {
+            "sm": sm.sm_id,
+            "kernel": entry.record.kernel_name,
+            "request_time": entry.record.request_time,
+            "budget_cycles": entry.budget,
+            "slack": self.slack,
+            "deadline": entry.deadline,
+            "predicted": {str(index): {"technique": tech, "latency": lat}
+                          for index, (tech, lat) in entry.predicted.items()},
+            "lagging_draining": [tb.index for tb in draining],
+            "lagging_saving": [tb.index for tb in saving],
+        }
+
+    @staticmethod
+    def _samples(record: PreemptionRecord,
+                 predicted: Dict[int, Tuple[str, float]],
+                 escalated: Set[int]) -> Tuple[TechniqueSample, ...]:
+        """Match realized per-block hand-over events to the plan."""
+        samples = []
+        for tb_index, technique, latency in record.tb_events:
+            plan = predicted.get(tb_index)
+            if plan is None:
+                continue
+            planned_tech, planned_latency = plan
+            samples.append(TechniqueSample(
+                technique=planned_tech,
+                predicted_cycles=planned_latency,
+                realized_cycles=latency,
+                escalated=(tb_index in escalated
+                           or technique != planned_tech)))
+        return tuple(samples)
+
+    def _close(self, record: PreemptionRecord, budget: float, deadline: float,
+               predicted: Dict[int, Tuple[str, float]], escalated: Set[int],
+               violated: Optional[bool] = None) -> None:
+        if violated is None:
+            violated = record.release_time > deadline
+        self.ledger.add(QoSRecord(
+            sm_id=record.sm_id, kernel=record.kernel_name,
+            request_time=record.request_time,
+            resolve_time=record.release_time,
+            budget_cycles=budget, deadline=deadline,
+            realized_latency=record.realized_latency,
+            violated=violated, escalations=record.escalations,
+            samples=self._samples(record, predicted, escalated)))

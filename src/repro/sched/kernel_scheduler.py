@@ -29,6 +29,7 @@ from repro.gpu.config import GPUConfig
 from repro.gpu.gpu import GPU
 from repro.gpu.kernel import Kernel
 from repro.gpu.sm import PreemptionRecord, SMState, StreamingMultiprocessor
+from repro.sched.guard import PreemptionGuard
 from repro.sched.policy import KernelDemand, compute_partition
 from repro.sched.process import BenchmarkProcess
 from repro.sched.tb_scheduler import ThreadBlockScheduler
@@ -65,7 +66,8 @@ class KernelScheduler:
                  policy: Optional[PreemptionPolicy],
                  mode: SchedulerMode = SchedulerMode.SPATIAL,
                  latency_limit_us: float = 30.0,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 guard: Optional[PreemptionGuard] = None):
         if mode is SchedulerMode.SPATIAL and policy is None:
             raise SchedulingError("spatial mode needs a preemption policy")
         self.engine = engine
@@ -85,6 +87,8 @@ class KernelScheduler:
         self.records: List[PreemptionRecord] = []
         #: Optional structured event trace.
         self.tracer = tracer
+        #: Optional QoS guard supervising every in-flight preemption.
+        self.guard = guard
         tb_scheduler.attach(self)
 
     def _trace(self, category: str, message: str, **payload) -> None:
@@ -172,6 +176,11 @@ class KernelScheduler:
         if self.tracer is not None:
             self._trace(trace_mod.KILL, kernel.name, kernel=kernel.name,
                         done=kernel.stats.tbs_completed)
+        if self.guard is not None:
+            # SMs mid-preemption never hand over for a killed kernel, so
+            # their watchdogs must die here, not fire against a future
+            # occupant of the same SM.
+            self.guard.on_kernel_killed(kernel)
         for sm in self.gpu.sms_of(kernel):
             if sm.is_preempting:
                 continue
@@ -228,12 +237,18 @@ class KernelScheduler:
         """Handle a finished preemption hand-over."""
         self.records.append(record)
         if self.tracer is not None:
+            extra = {}
+            if record.escalations:
+                extra["escalated"] = record.escalations
             self._trace(trace_mod.RELEASE,
                         f"SM{sm.sm_id} <- {record.kernel_name}",
                         sm=sm.sm_id, kernel=record.kernel_name,
                         latency=round(record.realized_latency, 1),
                         est_latency=self._finite(record.estimated_latency),
-                        est_overhead=self._finite(record.estimated_overhead))
+                        est_overhead=self._finite(record.estimated_overhead),
+                        **extra)
+        if self.guard is not None:
+            self.guard.resolve(sm, record)
         # A drained SM may have retired its kernel's last block while
         # preempting, in which case no completion reached the listener.
         for entry in list(self._active.values()):
@@ -338,9 +353,13 @@ class KernelScheduler:
                                  for tb, cost in sorted(
                                      plan.costs.items(),
                                      key=lambda item: item[0].index)])
-                    plan.sm.preempt(plan.assignments,
-                                    estimated_latency=plan.latency_cycles,
-                                    estimated_overhead=plan.overhead_insts)
+                    record = plan.sm.preempt(
+                        plan.assignments,
+                        estimated_latency=plan.latency_cycles,
+                        estimated_overhead=plan.overhead_insts)
+                    if self.guard is not None:
+                        self.guard.register(plan.sm, record, plan,
+                                            self.latency_limit_cycles)
                 else:
                     # Nothing resident: the SM frees instantly.
                     plan.sm.unassign()

@@ -40,6 +40,9 @@ FLUSH = "flush"          # one block dropped by the reset circuit
 SWITCH = "switch"        # one block's context save completed
 DRAIN = "drain"          # one draining block ran to completion
 ABORT = "abort"          # one block dropped by a kernel kill
+#: Preemption QoS guard (emitted by :mod:`repro.sched.guard`):
+ESCALATE = "escalate"    # lagging blocks re-planned mid-preemption
+VIOLATION = "violation"  # realized preemption latency blew its budget
 #: SM occupancy (emitted by the SM):
 ASSIGN = "assign"        # SM bound to a kernel
 IDLE = "idle"            # SM detached outside a preemption hand-over
@@ -48,7 +51,8 @@ COMPLETE = "complete"    # one block retired normally
 
 #: All known categories (open set: custom categories are permitted).
 CATEGORIES = (LAUNCH, FINISH, KILL, DEADLINE, PREEMPT, RELEASE, FLUSH,
-              SWITCH, DRAIN, ABORT, ASSIGN, IDLE, DISPATCH, COMPLETE)
+              SWITCH, DRAIN, ABORT, ESCALATE, VIOLATION, ASSIGN, IDLE,
+              DISPATCH, COMPLETE)
 
 #: JSONL on-disk format version (bump on incompatible layout changes).
 TRACE_FORMAT_VERSION = 1
@@ -253,7 +257,8 @@ def load_jsonl(path: Union[str, "os.PathLike[str]"]) -> Tracer:
 
 __all__ = [
     "ABORT", "ASSIGN", "CATEGORIES", "COMPLETE", "DEADLINE", "DISPATCH",
-    "DRAIN", "FINISH", "FLUSH", "IDLE", "KILL", "LAUNCH", "PREEMPT",
-    "RELEASE", "SWITCH", "TRACE_FORMAT_VERSION", "TraceRecord", "Tracer",
-    "dump_jsonl", "dumps_jsonl", "load_jsonl", "loads_jsonl",
+    "DRAIN", "ESCALATE", "FINISH", "FLUSH", "IDLE", "KILL", "LAUNCH",
+    "PREEMPT", "RELEASE", "SWITCH", "TRACE_FORMAT_VERSION", "TraceRecord",
+    "Tracer", "VIOLATION", "dump_jsonl", "dumps_jsonl", "load_jsonl",
+    "loads_jsonl",
 ]

@@ -25,7 +25,11 @@ Checked invariants:
   flight;
 * no block is flushed past its non-idempotent point;
 * every RELEASE carries both the predicted and the realized latency so
-  the cost model stays calibratable.
+  the cost model stays calibratable;
+* ESCALATE only happens while that SM's preemption is in flight (the
+  QoS guard cannot re-plan a preemption that is not open);
+* a ``strict``-mode trace (``meta["qos_mode"] == "strict"``) contains
+  no VIOLATION — strict aborts the run at the deadline instead.
 """
 
 from __future__ import annotations
@@ -80,7 +84,7 @@ class CheckReport:
 #: blocks, SM detaches). Anything else referencing a closed kernel is a
 #: scheduling bug.
 _WIND_DOWN = frozenset({T.RELEASE, T.DRAIN, T.SWITCH, T.FLUSH, T.ABORT,
-                       T.IDLE, T.DEADLINE})
+                       T.IDLE, T.DEADLINE, T.ESCALATE, T.VIOLATION})
 
 #: Events that free one resident-block slot.
 _DECREMENTS = frozenset({T.COMPLETE, T.FLUSH, T.SWITCH, T.DRAIN, T.ABORT})
@@ -249,6 +253,17 @@ class TraceChecker:
                     bad(index, record, "preempt-nested",
                         f"SM{sm} preempted while already preempting")
                 open_preempt[sm] = index
+
+            elif cat == T.ESCALATE:
+                if sm not in open_preempt:
+                    bad(index, record, "escalate-outside-preempt",
+                        f"ESCALATE on SM{sm} with no preemption in flight")
+
+            elif cat == T.VIOLATION:
+                if meta.get("qos_mode") == "strict":
+                    bad(index, record, "violation-in-strict",
+                        f"VIOLATION on SM{sm} in a strict-mode trace "
+                        f"(strict must abort, not record)")
 
             elif cat == T.RELEASE:
                 if sm not in open_preempt:
