@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.errors import SimulationError
 from repro.gpu.threadblock import ThreadBlock
@@ -82,8 +82,11 @@ class Kernel:
         self.stats = KernelStats()
         self.launch_time: Optional[float] = None
         self.finish_time: Optional[float] = None
-        #: Blocks currently resident on SMs (for live-progress queries).
-        self._live: List[ThreadBlock] = []
+        #: Blocks currently resident on SMs (for live-progress queries),
+        #: keyed by TB index. Insertion-ordered like the list it
+        #: replaced, but removal is O(1) — retirement is the fluid
+        #: model's hottest path and the map can hold ~a hundred blocks.
+        self._live: Dict[int, ThreadBlock] = {}
         self._mean_tb_insts = spec.mean_tb_instructions(clock_mhz)
         # The whole grid's randomness is drawn in one batch per stream at
         # construction instead of 3 RNG calls per make_tb(). Per-stream
@@ -140,13 +143,13 @@ class Kernel:
 
     def note_resident(self, tb: ThreadBlock) -> None:
         """Track a block placed on an SM."""
-        self._live.append(tb)
+        self._live[tb.index] = tb
 
     def note_off_sm(self, tb: ThreadBlock) -> None:
         """Track a block leaving an SM."""
         try:
-            self._live.remove(tb)
-        except ValueError:
+            del self._live[tb.index]
+        except KeyError:
             raise SimulationError(f"{tb!r} was not resident") from None
 
     def note_completed(self, tb: ThreadBlock) -> None:
@@ -167,7 +170,7 @@ class Kernel:
     def live_progress_insts(self, now: float) -> float:
         """Instructions executed by currently-resident blocks up to now."""
         total = 0.0
-        for tb in self._live:
+        for tb in self._live.values():
             tb.advance_to(now)
             total += tb.executed_insts
         return total

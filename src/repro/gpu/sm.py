@@ -115,6 +115,9 @@ class StreamingMultiprocessor:
         self._saving: List[ThreadBlock] = []
         #: (vacate_time, fluid_rate) per slot emptied mid-preemption.
         self._vacated: List[tuple[float, float]] = []
+        #: Save-DMA event label, built once: labels are only read on
+        #: error paths, so per-call f-strings would be pure overhead.
+        self._save_label = f"SM{sm_id}:save"
 
     def _trace(self, category: str, message: str, **payload) -> None:
         # Call sites guard on ``self.tracer is not None`` themselves so
@@ -356,7 +359,7 @@ class StreamingMultiprocessor:
         for tb in switched:
             kernel.stats.stall_insts += save_cycles * tb.rate
         self.engine.schedule(save_cycles, lambda: self._finish_save(switched),
-                             f"SM{self.sm_id}:save")
+                             self._save_label)
 
     def _maybe_stall_drain(self, tb: ThreadBlock) -> None:
         """Apply any ``stall-drain`` fault to a freshly draining block:

@@ -19,6 +19,14 @@ raised to the caller — but each discard is logged exactly once (the
 file is gone afterwards) on the ``repro.harness.cache`` logger with the
 entry key and the reason, so silent data loss is visible. Call
 :func:`repro.setup_logging` to surface these warnings on stderr.
+
+Entries are sharded into two-hex-prefix subdirectories
+(``<dir>/<key[:2]>/<key>.pkl``): a 100k-spec sweep would otherwise put
+100k files in one directory, which large filesystems handle poorly and
+directory listings handle worse. Caches written by older versions used
+a flat layout; reads fall back to the flat path transparently and
+migrate the entry into its shard on first touch, so a legacy cache
+keeps hitting and converges to the sharded layout as it is used.
 """
 
 from __future__ import annotations
@@ -71,7 +79,12 @@ class ResultCache:
         return hashlib.sha256(payload.encode()).hexdigest()
 
     def path_for(self, key: str) -> Path:
-        """Filesystem path of the entry for ``key``."""
+        """Filesystem path of the entry for ``key`` (sharded layout)."""
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def legacy_path_for(self, key: str) -> Path:
+        """Pre-sharding flat path of the entry for ``key``. Only read
+        (and migrated away from), never written."""
         return self.directory / f"{key}.pkl"
 
     def get(self, key: str) -> Optional[CacheEntry]:
@@ -79,13 +92,20 @@ class ResultCache:
 
         A corrupted entry (truncated pickle, stale class layout, wrong
         key) is deleted, logged once with the reason, and reported as a
-        miss.
+        miss. An entry found only at its legacy flat path is served and
+        moved into its shard directory.
         """
         if not self.enabled:
             return None
         path = self.path_for(key)
+        migrate_from: Optional[Path] = None
         try:
-            with path.open("rb") as fh:
+            try:
+                fh = path.open("rb")
+            except FileNotFoundError:
+                migrate_from = path = self.legacy_path_for(key)
+                fh = path.open("rb")
+            with fh:
                 entry = pickle.load(fh)
         except FileNotFoundError:
             return None
@@ -102,19 +122,38 @@ class ResultCache:
                 getattr(entry, "key", "<missing>"))
             self._discard(path)
             return None
+        if migrate_from is not None:
+            self._migrate(key, migrate_from)
         return entry
+
+    def _migrate(self, key: str, legacy: Path) -> None:
+        """Move a legacy flat entry into its shard directory.
+
+        Best-effort: a migration that loses a race (another process
+        already moved or rewrote the entry) or hits a filesystem error
+        leaves the entry readable where it is and tries again on the
+        next touch.
+        """
+        target = self.path_for(key)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(legacy, target)
+        except OSError as exc:
+            logger.warning("could not migrate cache entry %s into shard: %s",
+                           key, exc)
 
     def put(self, key: str, result: Any, duration_s: float) -> None:
         """Store a result atomically (temp file + rename)."""
         if not self.enabled:
             return
-        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
         entry = CacheEntry(key=key, result=result, duration_s=duration_s)
-        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, self.path_for(key))
+            os.replace(tmp_name, path)
         except Exception:
             try:
                 os.unlink(tmp_name)
@@ -127,13 +166,15 @@ class ResultCache:
             logger.warning("fault injection: corrupted cache entry %s", key)
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (sharded and legacy flat); returns how
+        many were removed."""
         if not self.directory.is_dir():
             return 0
         removed = 0
-        for path in self.directory.glob("*.pkl"):
-            self._discard(path)
-            removed += 1
+        for pattern in ("*.pkl", "*/*.pkl"):
+            for path in self.directory.glob(pattern):
+                self._discard(path)
+                removed += 1
         return removed
 
     @staticmethod

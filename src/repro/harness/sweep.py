@@ -54,6 +54,18 @@ Environment knobs:
   to capture everything, as ``--trace`` does)
 * ``CHIMERA_TRACE_CAPACITY`` — per-spec trace record cap (default
   500000; overflow counts in the file's ``dropped`` header field)
+* ``CHIMERA_SWEEP_CHUNK``    — cache misses are driven through the pool
+  in chunks of this many specs (default 2048) so giant sweeps keep
+  bounded per-chunk bookkeeping and persist work chunk by chunk;
+  ``0`` disables chunking
+* ``CHIMERA_WORKER_GROUP``   — ``"i/N"`` splits a sweep across N
+  detached runner processes coordinated only through the shared
+  content-addressed cache: this runner executes the misses whose key
+  hashes to group ``i`` and polls the cache for every other group's
+  results
+* ``CHIMERA_SHARD_WAIT``     — seconds a worker group waits for foreign
+  groups' results to appear in the cache (default 600; ``0`` fails
+  foreign misses immediately)
 """
 
 from __future__ import annotations
@@ -343,6 +355,10 @@ class SweepStats:
     retries: int = 0
     timeouts: int = 0
     failed: int = 0
+    #: Results produced by other worker groups and picked up from the
+    #: shared cache (zero unless CHIMERA_WORKER_GROUP splits the sweep).
+    foreign: int = 0
+    chunks: int = 0
     pool_rebuilds: int = 0
     degraded: bool = False
     wall_s: float = 0.0
@@ -362,6 +378,8 @@ class SweepStats:
         self.retries += other.retries
         self.timeouts += other.timeouts
         self.failed += other.failed
+        self.foreign += other.foreign
+        self.chunks += other.chunks
         self.pool_rebuilds += other.pool_rebuilds
         self.degraded = self.degraded or other.degraded
         self.wall_s += other.wall_s
@@ -384,6 +402,8 @@ class SweepStats:
             "retries": self.retries,
             "timeouts": self.timeouts,
             "failed": self.failed,
+            "foreign": self.foreign,
+            "chunks": self.chunks,
             "pool_rebuilds": self.pool_rebuilds,
             "degraded": self.degraded,
             "wall_s": round(self.wall_s, 4),
@@ -465,6 +485,71 @@ def default_strict() -> bool:
     return not os.environ.get("CHIMERA_KEEP_GOING", "").strip()
 
 
+#: Default spec count per submission chunk (see CHIMERA_SWEEP_CHUNK).
+DEFAULT_CHUNK_SIZE = 2048
+
+
+def default_chunk_size() -> int:
+    """Submission chunk size from ``CHIMERA_SWEEP_CHUNK``.
+
+    ``0`` disables chunking (the whole batch is one chunk).
+    """
+    raw = os.environ.get("CHIMERA_SWEEP_CHUNK", "").strip()
+    if not raw:
+        return DEFAULT_CHUNK_SIZE
+    try:
+        chunk = int(raw)
+    except ValueError as exc:
+        raise ConfigError(
+            f"CHIMERA_SWEEP_CHUNK must be an integer, got {raw!r}") from exc
+    if chunk < 0:
+        raise ConfigError("CHIMERA_SWEEP_CHUNK must be >= 0 (0 disables)")
+    return chunk
+
+
+def default_worker_group() -> Optional[Tuple[int, int]]:
+    """Worker-group membership ``(index, total)`` from
+    ``CHIMERA_WORKER_GROUP`` (format ``"i/N"`` with ``0 <= i < N``), or
+    None when the sweep is not split across detached runners."""
+    raw = os.environ.get("CHIMERA_WORKER_GROUP", "").strip()
+    if not raw:
+        return None
+    match = re.fullmatch(r"(\d+)/(\d+)", raw)
+    if not match:
+        raise ConfigError(
+            f"CHIMERA_WORKER_GROUP must look like 'i/N', got {raw!r}")
+    index, total = int(match.group(1)), int(match.group(2))
+    if total < 1 or not 0 <= index < total:
+        raise ConfigError(
+            f"CHIMERA_WORKER_GROUP needs 0 <= i < N, got {raw!r}")
+    return (index, total)
+
+
+def default_shard_wait() -> float:
+    """Seconds to wait for foreign worker groups' cache entries, from
+    ``CHIMERA_SHARD_WAIT`` (default 600; 0 fails foreign misses
+    immediately)."""
+    raw = os.environ.get("CHIMERA_SHARD_WAIT", "").strip()
+    if not raw:
+        return 600.0
+    try:
+        wait_s = float(raw)
+    except ValueError as exc:
+        raise ConfigError(
+            f"CHIMERA_SHARD_WAIT must be a number of seconds, "
+            f"got {raw!r}") from exc
+    if wait_s < 0:
+        raise ConfigError("CHIMERA_SHARD_WAIT must be >= 0")
+    return wait_s
+
+
+def group_of(key: str, total: int) -> int:
+    """Deterministic worker group of a cache key: the first 8 hex
+    digits of the content hash modulo the group count, so every runner
+    partitions a sweep identically with no coordination."""
+    return int(key[:8], 16) % total
+
+
 class SweepRunner:
     """Executes batches of RunSpecs, in parallel, fault-tolerantly, and
     through the cache.
@@ -489,7 +574,10 @@ class SweepRunner:
                  max_retries: Optional[int] = None,
                  retry_backoff: Optional[float] = None,
                  strict: Optional[bool] = None,
-                 max_pool_rebuilds: int = DEFAULT_MAX_POOL_REBUILDS):
+                 max_pool_rebuilds: int = DEFAULT_MAX_POOL_REBUILDS,
+                 chunk_size: Optional[int] = None,
+                 worker_group: Optional[Tuple[int, int]] = None,
+                 shard_wait: Optional[float] = None):
         self.jobs = default_jobs() if jobs is None else jobs
         if self.jobs < 1:
             raise ConfigError("SweepRunner needs at least one worker")
@@ -508,6 +596,25 @@ class SweepRunner:
             raise ConfigError("retry_backoff must be >= 0")
         self.strict = default_strict() if strict is None else strict
         self.max_pool_rebuilds = max_pool_rebuilds
+        self.chunk_size = default_chunk_size() if chunk_size is None \
+            else chunk_size
+        if self.chunk_size < 0:
+            raise ConfigError("chunk_size must be >= 0 (0 disables)")
+        self.worker_group = default_worker_group() if worker_group is None \
+            else worker_group
+        if self.worker_group is not None:
+            index, total = self.worker_group
+            if total < 1 or not 0 <= index < total:
+                raise ConfigError(
+                    f"worker_group needs 0 <= i < N, got {self.worker_group}")
+        self.shard_wait = default_shard_wait() if shard_wait is None \
+            else shard_wait
+        if self.shard_wait < 0:
+            raise ConfigError("shard_wait must be >= 0")
+        if self.worker_group is not None and not self.cache.enabled:
+            raise ConfigError(
+                "worker groups coordinate through the shared result cache; "
+                "unset CHIMERA_NO_CACHE to use CHIMERA_WORKER_GROUP")
         self._memo: Dict[str, RunResult] = {}
         self._memo_duration: Dict[str, float] = {}
         #: Once True, every later batch runs serially in-process.
@@ -547,7 +654,7 @@ class SweepRunner:
             if key not in misses:
                 order.append((key, spec))
             misses.setdefault(key, []).append(i)
-        failures = self._execute_batch(order, stats)
+        failures = self._drive_misses(order, stats)
         failed: List[SpecFailure] = []
         for (key, _), failure in zip(order, failures):
             if failure is not None:
@@ -595,6 +702,78 @@ class SweepRunner:
     def _backoff_delay(self, attempt: int) -> float:
         """Exponential backoff before retry ``attempt`` (1-based)."""
         return self.retry_backoff * (2 ** (attempt - 1))
+
+    def _drive_misses(self, order: List[Tuple[str, RunSpec]],
+                      stats: SweepStats) -> List[Optional[SpecFailure]]:
+        """Run the deduplicated misses: partition by worker group, then
+        feed this runner's share through the pool chunk by chunk.
+
+        Chunking keeps per-chunk bookkeeping (futures, retry queues)
+        bounded on giant sweeps and flushes results to the cache a
+        chunk at a time; in-flight futures within a chunk are already
+        bounded by the worker count. Returns failures aligned with
+        ``order``.
+        """
+        failures: List[Optional[SpecFailure]] = [None] * len(order)
+        if self.worker_group is not None:
+            index, total = self.worker_group
+            mine = [(pos, item) for pos, item in enumerate(order)
+                    if group_of(item[0], total) == index]
+            theirs = [(pos, item) for pos, item in enumerate(order)
+                      if group_of(item[0], total) != index]
+        else:
+            mine = list(enumerate(order))
+            theirs = []
+        chunk = self.chunk_size or len(mine) or 1
+        for start in range(0, len(mine), chunk):
+            part = mine[start:start + chunk]
+            stats.chunks += 1
+            part_failures = self._execute_batch(
+                [item for _, item in part], stats)
+            for (pos, _), failure in zip(part, part_failures):
+                failures[pos] = failure
+        if theirs:
+            self._await_foreign(theirs, failures, stats)
+        return failures
+
+    def _await_foreign(self,
+                       theirs: List[Tuple[int, Tuple[str, RunSpec]]],
+                       failures: List[Optional[SpecFailure]],
+                       stats: SweepStats) -> None:
+        """Wait for other worker groups' results to land in the cache.
+
+        Detached groups coordinate only through the content-addressed
+        cache: every runner partitions the key space the same way
+        (:func:`group_of`), executes its share, and polls the shared
+        cache for the rest. A foreign result that does not appear
+        within ``shard_wait`` seconds becomes a timeout
+        :class:`SpecFailure` (attempts=0 — this runner never executed
+        it).
+        """
+        index, total = self.worker_group
+        deadline = time.monotonic() + self.shard_wait
+        pending = list(theirs)
+        while pending:
+            still_waiting = []
+            for pos, (key, spec) in pending:
+                if self._lookup(key) is not None:
+                    stats.foreign += 1
+                    stats.serial_equiv_s += self._memo_duration.get(key, 0.0)
+                else:
+                    still_waiting.append((pos, (key, spec)))
+            pending = still_waiting
+            if not pending or time.monotonic() >= deadline:
+                break
+            time.sleep(min(0.2, max(0.0, deadline - time.monotonic())))
+        for pos, (key, spec) in pending:
+            failures[pos] = SpecFailure(
+                spec=spec, kind="timeout",
+                error=(f"worker group {index}/{total}: foreign group "
+                       f"{group_of(key, total)} did not publish "
+                       f"{key[:12]}… within {self.shard_wait:.3g}s"),
+                attempts=0)
+            logger.warning("foreign spec %s missing from shared cache "
+                           "after %.3gs", spec.describe(), self.shard_wait)
 
     def _execute_batch(self, items: List[Tuple[str, RunSpec]],
                        stats: SweepStats) -> List[Optional[SpecFailure]]:
@@ -830,11 +1009,16 @@ __all__ = [
     "SpecFailure",
     "SweepRunner",
     "SweepStats",
+    "DEFAULT_CHUNK_SIZE",
+    "default_chunk_size",
     "default_jobs",
     "default_max_retries",
     "default_retry_backoff",
+    "default_shard_wait",
     "default_spec_timeout",
     "default_strict",
+    "default_worker_group",
+    "group_of",
     "default_trace_capacity",
     "default_trace_dir",
     "execute_faulted",

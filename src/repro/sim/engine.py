@@ -152,17 +152,58 @@ class Engine:
         """Run events until the queue drains, ``until`` cycles pass, the
         ``stop`` predicate returns True, or ``max_events`` events fire.
         """
+        # One heap inspection + one pop per event (peek_time followed by
+        # step would pay two passes of cancelled-entry skipping); the
+        # step() staleness check is unnecessary here because the heap
+        # orders pops and schedule() rejects negative delays.
+        queue = self._queue
+        pop = heapq.heappop
+        if stop is None and max_events is None:
+            # Dominant case (the periodic scenario and plain drains):
+            # no per-event predicate or budget, so the loop carries
+            # only the horizon check. This loop pops ~1M events per
+            # figure run; every dropped compare is measurable. The
+            # fired/live counters are batched into a local and flushed
+            # on exit (nothing reads them mid-run; cancellations keep
+            # decrementing self._live directly, which composes with
+            # the batched flush).
+            fired = 0
+            try:
+                while queue:
+                    item = queue[0]
+                    event = item[2]
+                    if event._cancelled:
+                        pop(queue)
+                        continue
+                    time = item[0]
+                    if until is not None and time > until:
+                        self._now = until
+                        return
+                    pop(queue)
+                    self._now = time
+                    fired += 1
+                    event.callback()
+                return
+            finally:
+                self._fired += fired
+                self._live -= fired
         fired = 0
         while True:
             if stop is not None and stop():
                 return
             if max_events is not None and fired >= max_events:
                 return
-            next_time = self.peek_time()
-            if next_time is None:
+            while queue and queue[0][2]._cancelled:
+                pop(queue)
+            if not queue:
                 return
-            if until is not None and next_time > until:
+            time, _, event = queue[0]
+            if until is not None and time > until:
                 self._now = until
                 return
-            self.step()
+            pop(queue)
+            self._now = time
+            self._fired += 1
+            self._live -= 1
+            event.callback()
             fired += 1

@@ -14,6 +14,13 @@ import math
 import random
 from typing import Dict, List
 
+from repro import vector as _vector_mode
+
+#: Below this batch size the numpy path's fixed costs (state copies,
+#: array setup) outweigh the per-draw win; the scalar loop runs instead.
+#: The two paths are bit-identical either way.
+_VECTOR_MIN_N = 512
+
 
 def _derive_seed(root_seed: int, name: str) -> int:
     digest = hashlib.sha256(f"{root_seed}:{name}".encode()).digest()
@@ -67,7 +74,11 @@ class RngStreams:
         sigma2 = math.log(1.0 + cv * cv)
         mu = math.log(mean) - sigma2 / 2.0
         sigma = math.sqrt(sigma2)
-        draw = self.stream(name).lognormvariate
+        stream = self.stream(name)
+        if n >= _VECTOR_MIN_N and _vector_mode.vector_enabled():
+            from repro.sim import rng_vector
+            return rng_vector.lognormal_fill(stream, mu, sigma, n)
+        draw = stream.lognormvariate
         return [draw(mu, sigma) for _ in range(n)]
 
     def beta(self, name: str, alpha: float, beta: float) -> float:
@@ -80,7 +91,14 @@ class RngStreams:
         to ``n`` calls of :meth:`beta` on the same stream)."""
         if n <= 0:
             return []
-        draw = self.stream(name).betavariate
+        stream = self.stream(name)
+        if n >= _VECTOR_MIN_N and _vector_mode.vector_enabled():
+            from repro.sim import rng_vector
+            try:
+                return rng_vector.beta_fill(stream, alpha, beta, n)
+            except rng_vector.VectorUnsupported:
+                pass  # e.g. alpha < 1: the scalar loop handles it
+        draw = stream.betavariate
         return [draw(alpha, beta) for _ in range(n)]
 
     def uniform(self, name: str, lo: float, hi: float) -> float:

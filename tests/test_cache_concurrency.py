@@ -59,7 +59,7 @@ class TestConcurrentWriters:
         # no torn read was ever discarded
         assert not [r for r in caplog.records if "discarding" in r.message]
         # writers cleaned up their temp files (rename consumed them)
-        assert not list(directory.glob("*.tmp"))
+        assert not list(directory.glob("**/*.tmp"))
 
     def test_simultaneous_put_last_writer_wins_cleanly(self, tmp_path):
         directory = tmp_path / "cache"
@@ -69,7 +69,7 @@ class TestConcurrentWriters:
         b.put(KEY, {"writer": "b"}, 2.0)
         entry = a.get(KEY)
         assert entry is not None and entry.result == {"writer": "b"}
-        assert len(list(directory.glob("*.pkl"))) == 1
+        assert len(list(directory.glob("**/*.pkl"))) == 1
 
 
 class TestCorruptEntryDiscard:

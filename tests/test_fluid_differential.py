@@ -1,0 +1,209 @@
+"""Differential property tests: vectorized vs scalar fluid engine.
+
+The ``CHIMERA_FLUID_VECTOR`` path (:class:`~repro.gpu.sm_vector.VectorSM`
+plus the batched RNG fills in :mod:`repro.sim.rng_vector`) must be
+*bit-identical* to the scalar fluid model: random scenarios — pair and
+periodic runs across preemption policies, seeds, QoS guard modes and
+injected faults — are executed once per path and compared on
+
+* the full result dataclass (metrics, per-benchmark rollups and the
+  QoS guard ledger), both structurally and through a canonical JSON
+  rendering that distinguishes float bit patterns, and
+* the serialized trace JSONL **bytes**, which pins every event, its
+  timestamp, its payload and its emission order.
+
+Any divergence — a reordered heap tie, a float that went through numpy
+instead of libm, a skipped trace record — fails these tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import vector as vector_mode
+from repro.gpu.config import GPUConfig
+from repro.gpu.gpu import GPU
+from repro.gpu.kernel import reset_kernel_ids
+from repro.gpu.sm import StreamingMultiprocessor
+from repro.gpu.sm_vector import VectorSM
+from repro.harness import faults
+from repro.harness.runner import run_pair, run_periodic, run_solo
+from repro.sched.kernel_scheduler import SchedulerMode
+from repro.sim.engine import Engine
+from repro.sim.trace import Tracer, dumps_jsonl
+from repro.workloads.multiprogram import MultiprogramWorkload
+
+from tests.conftest import StubListener
+
+pytestmark = pytest.mark.skipif(not vector_mode.HAVE_NUMPY,
+                                reason="numpy unavailable")
+
+BUDGET = 2e6
+
+PAIRS = (("LUD", "BS"), ("HS", "KM"), ("MUM", "FWT"), ("BS", "HS", "KM"))
+PERIODIC_LABELS = ("BS", "HS", "LUD", "MUM")
+POLICIES = ("chimera", "drain", "flush", "switch")
+QOS_MODES = ("off", "warn", "escalate")
+
+
+def _canon(obj):
+    """Recursively canonicalize a result tree for exact comparison:
+    floats via ``repr`` (distinguishes bit patterns, including the sign
+    of zero), dict keys via ``repr`` (results use enum keys json cannot
+    sort), everything unknown via ``repr``."""
+    if isinstance(obj, dict):
+        return [[repr(k), _canon(v)]
+                for k, v in sorted(obj.items(), key=lambda kv: repr(kv[0]))]
+    if isinstance(obj, (list, tuple)):
+        return [_canon(v) for v in obj]
+    if isinstance(obj, float):
+        return repr(obj)
+    if isinstance(obj, (str, int, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def _canonical(result) -> str:
+    """Result dataclass as canonical JSON text."""
+    return json.dumps(_canon(dataclasses.asdict(result)))
+
+
+def _observe(vec: bool, scenario):
+    """Run ``scenario(tracer)`` on one path; return (result, trace)."""
+    vector_mode.set_vector_override(vec)
+    reset_kernel_ids()
+    tracer = Tracer()
+    try:
+        result = scenario(tracer)
+    finally:
+        vector_mode.set_vector_override(None)
+    return result, dumps_jsonl(tracer)
+
+
+def assert_paths_identical(scenario):
+    """Run ``scenario`` on both paths and require bit-identity."""
+    scalar_result, scalar_trace = _observe(False, scenario)
+    vector_result, vector_trace = _observe(True, scenario)
+    assert dataclasses.asdict(vector_result) == \
+        dataclasses.asdict(scalar_result)
+    assert _canonical(vector_result) == _canonical(scalar_result)
+    assert vector_trace == scalar_trace
+    return scalar_result
+
+
+class TestPairDifferential:
+    @settings(max_examples=10, deadline=None)
+    @given(labels=st.sampled_from(PAIRS),
+           policy=st.sampled_from(POLICIES),
+           seed=st.integers(min_value=0, max_value=2**16),
+           qos_mode=st.sampled_from(QOS_MODES))
+    def test_random_pair_scenarios(self, labels, policy, seed, qos_mode):
+        workload = MultiprogramWorkload(labels, budget_insts=BUDGET)
+        config = GPUConfig(qos_mode=qos_mode)
+
+        result = assert_paths_identical(
+            lambda tracer: run_pair(workload, policy, seed=seed,
+                                    config=config, tracer=tracer))
+        assert result.qos["mode"] == qos_mode
+
+    def test_fcfs_baseline(self):
+        workload = MultiprogramWorkload(("LUD", "BS"), budget_insts=BUDGET)
+        assert_paths_identical(
+            lambda tracer: run_pair(workload, None, mode=SchedulerMode.FCFS,
+                                    tracer=tracer))
+
+    def test_solo_run(self):
+        assert_paths_identical(
+            lambda tracer: run_solo("BS", BUDGET, tracer=tracer))
+
+
+class TestPeriodicDifferential:
+    @settings(max_examples=8, deadline=None)
+    @given(label=st.sampled_from(PERIODIC_LABELS),
+           policy=st.sampled_from(POLICIES),
+           seed=st.integers(min_value=0, max_value=2**16),
+           constraint_us=st.sampled_from((10.0, 15.0, 25.0)),
+           qos_mode=st.sampled_from(QOS_MODES))
+    def test_random_periodic_scenarios(self, label, policy, seed,
+                                       constraint_us, qos_mode):
+        config = GPUConfig(qos_mode=qos_mode)
+        assert_paths_identical(
+            lambda tracer: run_periodic(label, policy, periods=2, seed=seed,
+                                        constraint_us=constraint_us,
+                                        config=config, tracer=tracer))
+
+
+class TestFaultDifferential:
+    """Injected faults must perturb both paths identically."""
+
+    @pytest.mark.parametrize("plan", [
+        "stall-drain@0:4",
+        "corrupt-estimate@*:0.5",
+        "stall-drain@0:4,corrupt-estimate@*:0.5",
+    ])
+    def test_periodic_under_faults(self, plan):
+        config = GPUConfig(qos_mode="escalate")
+
+        def scenario(tracer):
+            with faults.injected(plan):
+                return run_periodic("BS", "drain", periods=2,
+                                    config=config, tracer=tracer)
+
+        assert_paths_identical(scenario)
+
+    def test_strict_qos_failure_is_identical(self):
+        """A guard blow-up under ``strict`` must raise the same error
+        at the same point on both paths (the partial trace agrees)."""
+        config = GPUConfig(qos_mode="strict", qos_slack=0.0)
+
+        def scenario(tracer):
+            with faults.injected("stall-drain@*:64"):
+                try:
+                    run_periodic("BS", "drain", periods=2,
+                                 config=config, tracer=tracer)
+                except Exception as exc:
+                    return ("raised", type(exc).__name__, str(exc))
+            return ("completed",)
+
+        scalar, scalar_trace = _observe(False, scenario)
+        vector, vector_trace = _observe(True, scenario)
+        assert vector == scalar
+        assert vector_trace == scalar_trace
+
+
+class TestEnvKnob:
+    def test_vector_env_default_on(self, monkeypatch):
+        monkeypatch.delenv("CHIMERA_FLUID_VECTOR", raising=False)
+        vector_mode.set_vector_override(None)
+        assert vector_mode.vector_enabled()
+        monkeypatch.setenv("CHIMERA_FLUID_VECTOR", "0")
+        assert not vector_mode.vector_enabled()
+        monkeypatch.setenv("CHIMERA_FLUID_VECTOR", "off")
+        assert not vector_mode.vector_enabled()
+        monkeypatch.setenv("CHIMERA_FLUID_VECTOR", "1")
+        assert vector_mode.vector_enabled()
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("CHIMERA_FLUID_VECTOR", "1")
+        vector_mode.set_vector_override(False)
+        try:
+            assert not vector_mode.vector_enabled()
+        finally:
+            vector_mode.set_vector_override(None)
+
+    @pytest.mark.parametrize("vec,sm_cls", [
+        (True, VectorSM), (False, StreamingMultiprocessor)])
+    def test_gpu_builds_matching_sm_class(self, vec, sm_cls):
+        vector_mode.set_vector_override(vec)
+        try:
+            gpu = GPU(GPUConfig(num_sms=4, num_memory_partitions=2,
+                                memory_bandwidth_gbps=23.7),
+                      Engine(), StubListener())
+        finally:
+            vector_mode.set_vector_override(None)
+        assert all(type(sm) is sm_cls for sm in gpu.sms)

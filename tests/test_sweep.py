@@ -314,3 +314,203 @@ class TestTraceKnobs:
         tracer = load_jsonl(next(trace_dir.glob("*.jsonl")))
         assert len(tracer.records) == 10
         assert tracer.dropped > 0
+
+
+class TestShardedCache:
+    """Two-hex-prefix cache sharding and transparent legacy migration."""
+
+    def test_entries_land_in_shard_subdirectories(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = RunSpec.periodic("BS", "chimera", periods=PERIODS, seed=4)
+        SweepRunner(jobs=1, cache=cache).run([spec])
+        key = spec.cache_key()
+        path = cache.path_for(key)
+        assert path.is_file()
+        assert path.parent.name == key[:2]
+        assert path.parent.parent == cache.directory
+        # nothing left at the flat legacy location
+        assert not cache.legacy_path_for(key).exists()
+
+    def test_legacy_flat_entry_hits_and_migrates(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = RunSpec.periodic("BS", "chimera", periods=PERIODS, seed=4)
+        first = SweepRunner(jobs=1, cache=cache).run([spec])[0]
+        key = spec.cache_key()
+        # Rebuild the pre-sharding layout: entry at the flat path only.
+        sharded = cache.path_for(key)
+        legacy = cache.legacy_path_for(key)
+        sharded.rename(legacy)
+        sharded.parent.rmdir()
+        runner = SweepRunner(jobs=1, cache=ResultCache(tmp_path / "cache"))
+        replayed = runner.run([spec])[0]
+        assert runner.last_stats.cache_hits == 1
+        assert runner.last_stats.executed == 0
+        assert dataclasses.asdict(replayed) == dataclasses.asdict(first)
+        # the read moved the entry into its shard
+        assert sharded.is_file()
+        assert not legacy.exists()
+
+    def test_corrupt_legacy_entry_discarded_and_recomputed(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = RunSpec.periodic("BS", "chimera", periods=PERIODS, seed=4)
+        first = SweepRunner(jobs=1, cache=cache).run([spec])[0]
+        key = spec.cache_key()
+        cache.path_for(key).unlink()
+        cache.legacy_path_for(key).write_bytes(b"torn pickle")
+        runner = SweepRunner(jobs=1, cache=ResultCache(tmp_path / "cache"))
+        recomputed = runner.run([spec])[0]
+        assert runner.last_stats.executed == 1
+        assert not cache.legacy_path_for(key).exists()
+        assert dataclasses.asdict(recomputed) == dataclasses.asdict(first)
+
+    def test_clear_removes_both_layouts(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put("aa" * 32, {"x": 1}, 0.1)          # sharded
+        legacy = cache.legacy_path_for("bb" * 32)    # hand-made legacy
+        legacy.write_bytes(pickle.dumps(CacheEntry("bb" * 32, 2, 0.1)))
+        assert cache.clear() == 2
+        assert cache.get("aa" * 32) is None
+        assert cache.get("bb" * 32) is None
+
+
+class TestSweepScaling:
+    """Chunked submission and detached worker groups."""
+
+    def test_chunked_run_equals_unchunked(self, tmp_path):
+        specs = [RunSpec.periodic(label, "drain", periods=PERIODS, seed=2)
+                 for label in LABELS]
+        plain = SweepRunner(jobs=1, cache=ResultCache(tmp_path / "a"),
+                            chunk_size=0).run(specs)
+        chunked_runner = SweepRunner(jobs=2,
+                                     cache=ResultCache(tmp_path / "b"),
+                                     chunk_size=1)
+        chunked = chunked_runner.run(specs)
+        assert chunked_runner.last_stats.chunks == len(LABELS)
+        for a, b in zip(plain, chunked):
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    def test_chunk_size_env_parsing(self, monkeypatch):
+        from repro.errors import ConfigError
+        from repro.harness.sweep import default_chunk_size
+        monkeypatch.setenv("CHIMERA_SWEEP_CHUNK", "128")
+        assert default_chunk_size() == 128
+        monkeypatch.setenv("CHIMERA_SWEEP_CHUNK", "-1")
+        with pytest.raises(ConfigError):
+            default_chunk_size()
+        monkeypatch.setenv("CHIMERA_SWEEP_CHUNK", "lots")
+        with pytest.raises(ConfigError):
+            default_chunk_size()
+
+    def test_worker_group_env_parsing(self, monkeypatch):
+        from repro.errors import ConfigError
+        from repro.harness.sweep import default_worker_group
+        assert default_worker_group() is None
+        monkeypatch.setenv("CHIMERA_WORKER_GROUP", "1/3")
+        assert default_worker_group() == (1, 3)
+        for bad in ("3/3", "x/2", "2", "-1/2"):
+            monkeypatch.setenv("CHIMERA_WORKER_GROUP", bad)
+            with pytest.raises(ConfigError):
+                default_worker_group()
+
+    def test_group_partition_is_total_and_deterministic(self):
+        from repro.harness.sweep import group_of
+        specs = [RunSpec.periodic(label, policy, periods=PERIODS, seed=s)
+                 for label in LABELS for policy in ("drain", "chimera")
+                 for s in (1, 2)]
+        keys = [spec.cache_key() for spec in specs]
+        groups = [group_of(key, 3) for key in keys]
+        assert all(0 <= g < 3 for g in groups)
+        assert groups == [group_of(key, 3) for key in keys]  # stable
+
+    def test_two_worker_groups_cover_a_sweep_via_shared_cache(self,
+                                                              tmp_path):
+        """Two detached runner 'groups' sharing one cache directory:
+        each executes only its share, and after both have run, either
+        group resolves the full sweep from the shared cache."""
+        specs = [RunSpec.periodic(label, policy, periods=PERIODS, seed=2)
+                 for label in LABELS for policy in ("drain", "flush")]
+        serial = SweepRunner(jobs=1,
+                             cache=ResultCache(tmp_path / "ref")).run(specs)
+        shared = tmp_path / "shared"
+        # Group 0 runs first: its own share executes and is published;
+        # group 1 has not run yet, so its keys time out (keep-going).
+        first = SweepRunner(jobs=1, cache=ResultCache(shared),
+                            worker_group=(0, 2), shard_wait=0.0,
+                            strict=False)
+        first.run(specs)
+        assert 0 < first.last_stats.executed < len(specs)
+        # Group 1 then executes only its share; group 0's published
+        # results resolve straight from the shared cache (as upfront
+        # hits — they are already on disk when the run starts).
+        second = SweepRunner(jobs=1, cache=ResultCache(shared),
+                             worker_group=(1, 2), shard_wait=30.0)
+        results = second.run(specs)
+        assert second.last_stats.cache_hits == first.last_stats.executed
+        assert first.last_stats.executed + second.last_stats.executed \
+            == len(specs)  # no spec ran twice
+        for a, b in zip(serial, results):
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    def test_foreign_result_published_mid_wait_is_picked_up(self, tmp_path):
+        """The cache-polling wait: a foreign group's result that lands
+        while this runner is waiting resolves the sweep (counted as
+        ``foreign``, not as an upfront hit)."""
+        import threading
+
+        specs = [RunSpec.periodic(label, "drain", periods=PERIODS, seed=s)
+                 for label in LABELS for s in (1, 2)]
+        from repro.harness.sweep import SpecFailure, group_of
+        index = group_of(specs[0].cache_key(), 2)
+        foreign_specs = [s for s in specs
+                         if group_of(s.cache_key(), 2) != index]
+        assert foreign_specs, "need at least one foreign spec"
+        shared = ResultCache(tmp_path / "shared")
+
+        def publish():
+            # Simulates the detached foreign group finishing mid-wait.
+            SweepRunner(jobs=1, cache=ResultCache(tmp_path / "shared"),
+                        worker_group=(1 - index, 2), shard_wait=0.0,
+                        strict=False).run(specs)
+
+        timer = threading.Timer(0.5, publish)
+        timer.start()
+        try:
+            runner = SweepRunner(jobs=1, cache=shared,
+                                 worker_group=(index, 2), shard_wait=60.0)
+            results = runner.run(specs)
+        finally:
+            timer.join()
+        assert runner.last_stats.foreign >= len(foreign_specs)
+        assert not any(isinstance(r, SpecFailure) for r in results)
+
+    def test_missing_foreign_group_times_out_as_spec_failure(self,
+                                                             tmp_path):
+        from repro.errors import SweepError
+        from repro.harness.sweep import SpecFailure, group_of
+        specs = [RunSpec.periodic(label, "drain", periods=PERIODS, seed=s)
+                 for label in LABELS for s in (1, 2)]
+        # pick a group index owning at least one spec, and note a key
+        # that belongs to the other group
+        keys = [spec.cache_key() for spec in specs]
+        index = group_of(keys[0], 2)
+        runner = SweepRunner(jobs=1, cache=ResultCache(tmp_path / "c"),
+                             worker_group=(index, 2), shard_wait=0.0,
+                             strict=False)
+        results = runner.run(specs)
+        failures = [r for r in results if isinstance(r, SpecFailure)]
+        assert failures and all(f.kind == "timeout" for f in failures)
+        assert all(f.attempts == 0 for f in failures)
+        # strict mode raises for the same situation
+        strict_runner = SweepRunner(jobs=1,
+                                    cache=ResultCache(tmp_path / "c2"),
+                                    worker_group=(index, 2),
+                                    shard_wait=0.0, strict=True)
+        with pytest.raises(SweepError):
+            strict_runner.run(specs)
+
+    def test_worker_group_requires_enabled_cache(self, tmp_path):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            SweepRunner(jobs=1,
+                        cache=ResultCache(tmp_path / "c", enabled=False),
+                        worker_group=(0, 2))
