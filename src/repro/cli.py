@@ -13,6 +13,9 @@ Commands mirror the paper's experiments:
                                      ``CHIMERA_TRACE``
 * ``fluid-bench``                  — scalar vs vectorized fluid-engine
                                      A/B (bit-identity + speedup)
+* ``serve``                        — run the crash-safe scheduling
+                                     daemon over a service directory
+* ``submit`` / ``status`` / ``cancel`` — client side of the daemon
 
 Examples::
 
@@ -22,9 +25,13 @@ Examples::
     python -m repro trace traces/*.jsonl --check
     python -m repro trace traces/pair.jsonl --chrome pair.json
     python -m repro estimate
+    python -m repro serve --dir .chimera-service &
+    python -m repro submit --kind periodic --bench MUM --priority 5 --wait
 
-The installed console script ``chimera`` is an alias for
-``python -m repro``.
+Exit codes are uniform across subcommands: ``0`` success, ``1`` a spec
+or job failed (or an invariant was violated), ``2`` usage or
+configuration errors. The installed console script ``chimera`` is an
+alias for ``python -m repro``.
 """
 
 from __future__ import annotations
@@ -51,6 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Chimera (ASPLOS'15) reproduction: GPU preemptive "
                     "multitasking experiments")
+    parser.add_argument("--log-level", default=None,
+                        choices=("debug", "info", "warning", "error"),
+                        help="attach a stderr handler to the 'repro' "
+                             "logger tree at this level")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="print the machine configuration")
@@ -126,7 +137,71 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="X",
                        help="exit 1 if the speedup is below this factor "
                             "(also: CHIMERA_FLUID_FAIL_BELOW)")
+
+    serve = sub.add_parser(
+        "serve", help="run the crash-safe scheduling daemon")
+    _add_service_dir(serve)
+    serve.add_argument("--capacity", type=_positive_int, default=None,
+                       help="admission queue bound "
+                            "(default: CHIMERA_SERVICE_CAPACITY or 64)")
+    serve.add_argument("--heartbeat", type=_nonnegative_float, default=None,
+                       metavar="S",
+                       help="worker heartbeat watchdog timeout "
+                            "(default: CHIMERA_HEARTBEAT or 30)")
+    serve.add_argument("--poll", type=_nonnegative_float, default=0.05,
+                       metavar="S", help="tick interval")
+    serve.add_argument("--idle-exit", type=_nonnegative_float, default=None,
+                       metavar="S",
+                       help="exit once idle this long (smoke tests/CI)")
+    serve.add_argument("--max-wall", type=_nonnegative_float, default=None,
+                       metavar="S", help="hard wall-clock stop")
+
+    submit = sub.add_parser(
+        "submit", help="submit a job (a batch of runs) to the daemon")
+    _add_service_dir(submit)
+    submit.add_argument("--kind", default="periodic",
+                        choices=("periodic", "pair"))
+    submit.add_argument("--bench", default="BS", choices=benchmark_labels(),
+                        help="benchmark for --kind periodic")
+    submit.add_argument("--benchmarks", nargs="+", default=["LUD", "MUM"],
+                        choices=benchmark_labels(),
+                        help="combination for --kind pair")
+    submit.add_argument("--policies", nargs="+", default=["chimera"],
+                        choices=ALL_POLICIES,
+                        help="one spec per policy x seed")
+    submit.add_argument("--constraint-us", type=_nonnegative_float,
+                        default=15.0)
+    submit.add_argument("--periods", type=_positive_int, default=10)
+    submit.add_argument("--budget", type=float, default=8e6)
+    submit.add_argument("--seeds", nargs="+", type=int, default=[12345])
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--job-id", default=None,
+                        help="explicit id (default: generated)")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job reaches a terminal "
+                             "state; exit 1 unless it completed")
+    submit.add_argument("--timeout", type=_nonnegative_float, default=300.0,
+                        metavar="S", help="--wait timeout")
+
+    status = sub.add_parser(
+        "status", help="inspect the service journal (daemon not required)")
+    _add_service_dir(status)
+    status.add_argument("--job", default=None, metavar="ID",
+                        help="print just this job's state")
+    status.add_argument("--json", action="store_true",
+                        help="print the full snapshot as JSON")
+
+    cancel = sub.add_parser("cancel", help="cancel a queued or running job")
+    _add_service_dir(cancel)
+    cancel.add_argument("job_id", metavar="ID")
     return parser
+
+
+def _add_service_dir(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dir", default=None, metavar="DIR",
+                        help="service directory "
+                             "(default: CHIMERA_SERVICE_DIR or "
+                             ".chimera-service)")
 
 
 def _positive_int(raw: str) -> int:
@@ -461,9 +536,116 @@ def cmd_fluid_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+def _submit_specs(args: argparse.Namespace):
+    """Build the RunSpec batch for ``submit`` from the scenario flags."""
+    from repro.harness.sweep import RunSpec
+    from repro.workloads.multiprogram import MultiprogramWorkload
+
+    specs = []
+    for seed in args.seeds:
+        for policy in args.policies:
+            if args.kind == "periodic":
+                specs.append(RunSpec.periodic(
+                    args.bench, policy, constraint_us=args.constraint_us,
+                    periods=args.periods, seed=seed))
+            else:
+                workload = MultiprogramWorkload(tuple(args.benchmarks),
+                                                budget_insts=args.budget)
+                specs.append(RunSpec.pair(workload, policy, seed=seed))
+    return specs
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: run the scheduling daemon until drained or idle."""
+    import signal
+
+    from repro.harness import faults
+    from repro.service.daemon import SchedulerDaemon
+
+    daemon = SchedulerDaemon(directory=args.dir, capacity=args.capacity,
+                             heartbeat_s=args.heartbeat, poll_s=args.poll)
+
+    def _on_sigterm(signum, frame):  # noqa: ARG001 - signal signature
+        daemon.request_drain()
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
+    try:
+        daemon.serve(idle_exit_s=args.idle_exit, max_wall_s=args.max_wall)
+    except faults.InjectedCrash:
+        # Model kill -9 faithfully: no cleanup, no atexit, no flush.
+        os._exit(faults.CRASH_EXIT_CODE)
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """``submit``: drop a job into the service spool."""
+    from repro.service.client import ServiceClient
+    from repro.service.state import JobState
+
+    client = ServiceClient(args.dir)
+    job_id = client.submit(_submit_specs(args), priority=args.priority,
+                           job_id=args.job_id)
+    print(job_id)
+    if not args.wait:
+        return 0
+    final = client.wait(job_id, timeout_s=args.timeout)
+    print(f"{job_id} {final}", file=sys.stderr)
+    if final == "rejected":
+        record = client.rejection(job_id) or {}
+        print(f"rejected: {record.get('reason')}: {record.get('detail')}",
+              file=sys.stderr)
+    return 0 if final == JobState.COMPLETED.value else 1
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """``status``: read-only journal replay + QoS reconciliation."""
+    import json
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.dir)
+    if args.job is not None:
+        state = client.job_state(args.job)
+        if state is None:
+            print(f"unknown job {args.job!r}", file=sys.stderr)
+            return 1
+        print(state)
+        return 0
+    snapshot = client.status()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0 if snapshot["qos"]["consistent"] else 1
+    rows = [[j["job_id"], j["state"], j["priority"],
+             f"{j['completed']}/{j['specs']}",
+             j["detail"].get("reason") or j["detail"].get("error") or "-"]
+            for j in snapshot["jobs"]]
+    print(format_table(["job", "state", "prio", "specs", "detail"], rows,
+                       title=f"Service {snapshot['directory']} "
+                             f"({snapshot['restarts']} start(s))"))
+    qos = snapshot["qos"]
+    print(f"qos ledger         {qos['totals']['preemptions']} preemptions, "
+          f"{qos['totals']['violations']} violations "
+          f"({'reconciled' if qos['consistent'] else 'MISMATCH: ' + ', '.join(qos['mismatches'])})")
+    for record in snapshot["rejected"]:
+        print(f"rejected           {record['job_id']}: {record['reason']}")
+    return 0 if qos["consistent"] else 1
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    """``cancel``: request cancellation of a queued/running job."""
+    from repro.service.client import ServiceClient
+
+    if ServiceClient(args.dir).cancel(args.job_id):
+        print(f"cancel requested for {args.job_id}")
+        return 0
+    print(f"job {args.job_id!r} is unknown or already finished",
+          file=sys.stderr)
+    return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "table1":
         return cmd_table1()
     if args.command == "table2":
@@ -482,7 +664,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_cycle(args)
     if args.command == "fluid-bench":
         return cmd_fluid_bench(args)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "submit":
+        return cmd_submit(args)
+    if args.command == "status":
+        return cmd_status(args)
+    if args.command == "cancel":
+        return cmd_cancel(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Exit codes are uniform: 0 success, 1 spec/job failure, 2 usage or
+    configuration error (argparse's own usage failures also exit 2).
+    """
+    import logging
+
+    from repro import setup_logging
+    from repro.errors import ConfigError, ReproError
+
+    args = build_parser().parse_args(argv)
+    if args.log_level:
+        setup_logging(getattr(logging, args.log_level.upper()))
+    try:
+        return _dispatch(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -79,6 +79,52 @@ class SweepError(ReproError):
         self.failures = list(failures)
 
 
+class ServiceError(ReproError):
+    """Base class for scheduling-daemon failures (:mod:`repro.service`)."""
+
+
+class JobStateError(ServiceError):
+    """An illegal job lifecycle transition was requested.
+
+    Raised both by the live daemon (a bug) and by journal replay (a
+    corrupted or hand-edited store); carries the offending edge so
+    supervisors can report it without parsing the message.
+    """
+
+    def __init__(self, message: str, *, job_id=None, from_state=None,
+                 to_state=None):
+        super().__init__(message)
+        self.job_id = job_id
+        self.from_state = from_state
+        self.to_state = to_state
+
+
+class AdmissionError(ServiceError):
+    """A job submission was rejected at admission.
+
+    ``reason`` is a machine-readable slug (``"capacity"``,
+    ``"duplicate"``, ``"invalid-spec"``) mirrored into the client's
+    rejection response, so backpressure is explicit rather than an
+    unbounded queue.
+    """
+
+    def __init__(self, message: str, *, reason: str = "rejected",
+                 job_id=None):
+        super().__init__(message)
+        self.reason = reason
+        self.job_id = job_id
+
+
+class StoreError(ServiceError):
+    """The persistent job store is unreadable or internally inconsistent.
+
+    A torn *trailing* journal record (crash mid-write) is recovered, not
+    raised; this error means corruption in the middle of the journal or
+    an invariant violation (duplicate terminal transition, unknown job),
+    which replay must never paper over.
+    """
+
+
 class IRError(ReproError):
     """A kernel IR program is malformed."""
 

@@ -27,10 +27,16 @@ directory listings handle worse. Caches written by older versions used
 a flat layout; reads fall back to the flat path transparently and
 migrate the entry into its shard on first touch, so a legacy cache
 keeps hitting and converges to the sharded layout as it is used.
+
+A cache on a read-only mount (CI images, shared NFS baselines) degrades
+instead of failing: legacy entries are served in place when the
+shard migration cannot write, and ``put()`` becomes a logged no-op.
+Either way the condition is logged exactly once per process.
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import logging
 import os
@@ -46,6 +52,12 @@ logger = logging.getLogger("repro.harness.cache")
 
 #: Default cache directory, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".chimera-cache"
+
+
+def _is_readonly_error(exc: OSError) -> bool:
+    """Does this OSError mean 'the cache directory is not writable'?"""
+    return (isinstance(exc, PermissionError)
+            or exc.errno in (errno.EROFS, errno.EACCES, errno.EPERM))
 
 
 @dataclass
@@ -65,6 +77,9 @@ class ResultCache:
         self.directory = Path(directory) if directory is not None \
             else Path(DEFAULT_CACHE_DIR)
         self.enabled = enabled
+        #: Set once the directory proves unwritable; gates the one-time
+        #: warning and stops repeat write attempts.
+        self._readonly = False
 
     @classmethod
     def from_env(cls) -> "ResultCache":
@@ -126,30 +141,57 @@ class ResultCache:
             self._migrate(key, migrate_from)
         return entry
 
+    def _note_readonly(self, action: str, exc: OSError) -> None:
+        """Record (and log, once per process) a read-only cache dir."""
+        if not self._readonly:
+            logger.warning(
+                "cache directory %s is not writable (%s while trying to "
+                "%s); serving existing entries in place, skipping writes",
+                self.directory, exc, action)
+        self._readonly = True
+
     def _migrate(self, key: str, legacy: Path) -> None:
         """Move a legacy flat entry into its shard directory.
 
         Best-effort: a migration that loses a race (another process
         already moved or rewrote the entry) or hits a filesystem error
         leaves the entry readable where it is and tries again on the
-        next touch.
+        next touch. On a read-only mount the flat entry is simply served
+        in place, logged once, and no further migrations are attempted.
         """
+        if self._readonly:
+            return
         target = self.path_for(key)
         try:
             target.parent.mkdir(parents=True, exist_ok=True)
             os.replace(legacy, target)
         except OSError as exc:
+            if _is_readonly_error(exc):
+                self._note_readonly(f"migrate entry {key} into its shard",
+                                    exc)
+                return
             logger.warning("could not migrate cache entry %s into shard: %s",
                            key, exc)
 
     def put(self, key: str, result: Any, duration_s: float) -> None:
-        """Store a result atomically (temp file + rename)."""
-        if not self.enabled:
+        """Store a result atomically (temp file + rename).
+
+        On a read-only cache directory this degrades to a no-op (logged
+        once per process) instead of failing the run that computed the
+        result.
+        """
+        if not self.enabled or self._readonly:
             return
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         entry = CacheEntry(key=key, result=result, duration_s=duration_s)
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        except OSError as exc:
+            if _is_readonly_error(exc):
+                self._note_readonly(f"store entry {key}", exc)
+                return
+            raise
         try:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)

@@ -46,12 +46,37 @@ entity rather than a spec position:
   estimates for launch ``kernel`` come out at ``factor``× truth
   (default 0.25, i.e. a 4× under-prediction)
 
+Four more kinds target the scheduling daemon (:mod:`repro.service`), so
+its crash-recovery paths are provable the same way. ``index`` names the
+global journal record sequence number (``crash-before-commit``,
+``crash-after-commit``, ``torn-journal``) or the job's admission ordinal
+(``hang-worker``):
+
+* ``crash-before-commit@seq`` — the daemon dies immediately *before*
+  journal record ``seq`` is written: the decided transition must be
+  lost, and restart recovery re-derives it
+* ``crash-after-commit@seq``  — the daemon dies immediately *after*
+  record ``seq`` is durable but before it is acted on: restart recovery
+  must act on it idempotently
+* ``torn-journal@seq``        — record ``seq`` is half-written (torn)
+  and the daemon dies mid-write: restart must truncate the torn tail
+  and recover from the previous record
+* ``hang-worker@job``         — the worker executing the job admitted
+  ``job``-th sleeps instead of making progress, tripping the daemon's
+  heartbeat watchdog
+
+Daemon crash kinds raise :class:`InjectedCrash` (a ``BaseException``, so
+no library handler can swallow it); ``chimera serve`` converts it to a
+real ``os._exit`` so the process dies exactly like ``kill -9``, while
+in-process tests catch it at the crash boundary.
+
 Examples::
 
     CHIMERA_FAULTS="fail@1"            # spec 1 fails once, retry succeeds
     CHIMERA_FAULTS="crash@0:inf"       # spec 0 always crashes its worker
     CHIMERA_FAULTS="hang@2,corrupt@0"  # spec 2 hangs; first put corrupted
     CHIMERA_FAULTS="stall-drain@0:8"   # SM 0's drains run 8x the estimate
+    CHIMERA_FAULTS="crash-after-commit@5"  # daemon dies after record 5
 """
 
 from __future__ import annotations
@@ -72,7 +97,12 @@ CORRUPT_PAYLOAD = b"\x00chimera fault injection: deliberately corrupt\x00"
 CRASH_EXIT_CODE = 13
 
 _KINDS = ("fail", "crash", "hang", "corrupt", "stall-drain",
-          "corrupt-estimate")
+          "corrupt-estimate", "crash-before-commit", "crash-after-commit",
+          "torn-journal", "hang-worker")
+
+#: Daemon fault kinds that kill the process at a journal boundary.
+SERVICE_CRASH_KINDS = ("crash-before-commit", "crash-after-commit",
+                       "torn-journal")
 
 #: Kinds whose trailing slot is a float factor, with their defaults.
 _SIM_FACTOR_DEFAULTS = {"stall-drain": 8.0, "corrupt-estimate": 0.25}
@@ -88,6 +118,23 @@ _put_seq = 0
 
 class FaultInjected(ReproError):
     """Raised by the ``fail`` fault to simulate a failing spec."""
+
+
+class InjectedCrash(BaseException):
+    """A daemon crash point fired (``crash-before-commit`` /
+    ``crash-after-commit`` / ``torn-journal``).
+
+    Derives from ``BaseException`` so that no ``except Exception``
+    handler in the daemon can accidentally survive an injected crash —
+    the whole point is to model ``kill -9``. ``chimera serve`` converts
+    it to ``os._exit(CRASH_EXIT_CODE)``; in-process tests catch it at
+    the crash boundary and then exercise recovery with a fresh daemon.
+    """
+
+    def __init__(self, kind: str, seq: int):
+        super().__init__(f"injected daemon crash: {kind} at journal seq {seq}")
+        self.kind = kind
+        self.seq = seq
 
 
 @dataclass(frozen=True)
@@ -314,12 +361,48 @@ def estimate_skew(kernel_id: int) -> Optional[float]:
     return _sim_factor("corrupt-estimate", kernel_id)
 
 
+def service_crash_point(kind: str, seq: int) -> None:
+    """Fire a daemon crash fault at a journal boundary, if planned.
+
+    Called by the persistent store around every journal append:
+    ``kind`` is ``crash-before-commit`` or ``crash-after-commit`` and
+    ``seq`` is the global journal sequence number about to be (or just)
+    written. Raises :class:`InjectedCrash` when the plan fires.
+    """
+    plan = active_plan()
+    if plan is not None and plan.fires(kind, seq, 0):
+        raise InjectedCrash(kind, seq)
+
+
+def torn_journal_fires(seq: int) -> bool:
+    """Should journal record ``seq`` be written torn (then crash)?
+
+    The store handles the actual half-write itself — it needs to flush
+    the partial bytes before dying — and then raises
+    :class:`InjectedCrash` on its own.
+    """
+    plan = active_plan()
+    return plan is not None and plan.fires("torn-journal", seq, 0)
+
+
+def worker_hang_fires(ordinal: int) -> bool:
+    """Should the worker for the ``ordinal``-th admitted job hang?
+
+    The daemon's worker sleeps :func:`hang_seconds` instead of
+    executing, so the heartbeat watchdog observes a stalled job.
+    """
+    plan = active_plan()
+    return plan is not None and plan.fires("hang-worker", ordinal, 0)
+
+
 __all__ = [
     "CORRUPT_PAYLOAD",
     "CRASH_EXIT_CODE",
     "Fault",
     "FaultInjected",
     "FaultPlan",
+    "InjectedCrash",
+    "SERVICE_CRASH_KINDS",
     "active_plan",
     "clear",
     "drain_stall_factor",
@@ -330,5 +413,8 @@ __all__ = [
     "injected",
     "install",
     "parse_plan",
+    "service_crash_point",
     "should_corrupt_put",
+    "torn_journal_fires",
+    "worker_hang_fires",
 ]

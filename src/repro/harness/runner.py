@@ -208,6 +208,18 @@ class PeriodicResult:
     qos: Dict[str, Any] = field(default_factory=dict)
 
 
+def result_qos(result: Any) -> Dict[str, Any]:
+    """The QoS ledger rollup of any scenario result, or ``{}``.
+
+    Solo runs carry no ledger; pair/periodic results carry the rollup
+    their :class:`SimSystem` closed with. The scheduling daemon folds
+    these per-spec dicts into its per-job ledger, so this accessor is
+    the single place that defines "the QoS of a result".
+    """
+    qos = getattr(result, "qos", None)
+    return dict(qos) if isinstance(qos, dict) else {}
+
+
 # ----------------------------------------------------------------------
 # scenario: solo
 # ----------------------------------------------------------------------

@@ -22,9 +22,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["QoSLedger", "QoSRecord", "TechniqueSample"]
+__all__ = ["QoSLedger", "QoSRecord", "TechniqueSample",
+           "merge_qos_summaries"]
 
 
 @dataclass(frozen=True)
@@ -155,3 +156,52 @@ class QoSLedger:
                 for tech, stats in self.calibration().items()
             },
         }
+
+
+def merge_qos_summaries(
+        summaries: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold per-run ``summary()`` dicts into one aggregate ledger view.
+
+    The scheduling daemon uses this in two places with the same inputs,
+    which is what makes the QoS ledger *reconcilable* against the
+    journal: counters sum, worst-case ratios take the max, and
+    calibration buckets merge with sample-weighted means — all
+    deterministic, so recomputing the merge from result files must
+    reproduce the value journaled at completion bit-for-bit.
+    """
+    totals = {"preemptions": 0, "violations": 0, "escalations": 0,
+              "aborted": 0}
+    worst: Optional[float] = None
+    buckets: Dict[str, List[float]] = {}
+    for summary in summaries:
+        if not summary:
+            continue
+        for key in totals:
+            totals[key] += int(summary.get(key, 0) or 0)
+        ratio = summary.get("worst_budget_ratio")
+        if ratio is not None:
+            worst = ratio if worst is None else max(worst, ratio)
+        for tech, stats in (summary.get("calibration") or {}).items():
+            buckets.setdefault(tech, []).extend(
+                (float(stats.get("samples", 0) or 0),
+                 float(stats.get("mean_ratio", 0.0) or 0.0),
+                 float(stats.get("worst_ratio", 0.0) or 0.0)))
+    calibration: Dict[str, Dict[str, float]] = {}
+    for tech in sorted(buckets):
+        flat = buckets[tech]
+        entries = [flat[i:i + 3] for i in range(0, len(flat), 3)]
+        samples = sum(int(n) for n, _, _ in entries)
+        if samples <= 0:
+            continue
+        mean = sum(n * m for n, m, _ in entries) / samples
+        calibration[tech] = {
+            "samples": samples,
+            "mean_ratio": round(mean, 4),
+            "worst_ratio": round(max(w for _, _, w in entries), 4),
+        }
+    return {
+        **totals,
+        "worst_budget_ratio": (round(worst, 4) if worst is not None
+                               else None),
+        "calibration": calibration,
+    }

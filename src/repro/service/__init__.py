@@ -1,0 +1,42 @@
+"""Crash-safe scheduling daemon over the Chimera simulator.
+
+The service layer turns the batch harness into a long-running system:
+
+* :mod:`repro.service.state` — the job lifecycle state machine
+* :mod:`repro.service.store` — the checksummed, append-only journal
+  (journal-before-act durability; torn-tail repair; validated replay)
+* :mod:`repro.service.admission` — bounded priority queue with
+  explicit backpressure
+* :mod:`repro.service.daemon` — the tick loop: intake, dispatch,
+  collaborative spec-boundary preemption, heartbeat watchdog, recovery
+* :mod:`repro.service.client` — filesystem API: submit/status/cancel
+
+See DESIGN.md §12 for the architecture and the durability contract.
+"""
+
+from repro.service.admission import AdmissionQueue, default_capacity
+from repro.service.client import ServiceClient
+from repro.service.daemon import (
+    SchedulerDaemon,
+    default_heartbeat,
+    default_service_dir,
+    reconcile_qos,
+)
+from repro.service.state import Job, JobState, is_terminal, validate_transition
+from repro.service.store import JobTable, JournalStore
+
+__all__ = [
+    "AdmissionQueue",
+    "Job",
+    "JobState",
+    "JobTable",
+    "JournalStore",
+    "SchedulerDaemon",
+    "ServiceClient",
+    "default_capacity",
+    "default_heartbeat",
+    "default_service_dir",
+    "is_terminal",
+    "reconcile_qos",
+    "validate_transition",
+]

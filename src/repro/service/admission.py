@@ -1,0 +1,97 @@
+"""Bounded priority admission queue with explicit backpressure.
+
+The daemon never queues unboundedly: past ``capacity`` waiting jobs, a
+submission is rejected with a machine-readable reason
+(:class:`~repro.errors.AdmissionError`), and the client sees the
+rejection rather than a silently growing backlog. Queued *and*
+preempted-awaiting-resume jobs both occupy capacity — a preempted job
+holds real state the daemon is still responsible for.
+
+Ordering is strict priority (higher ``priority`` first), FIFO within a
+level (by journal submission sequence), so the queue is deterministic
+for a given submission history.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from typing import List, Optional, Tuple
+
+from repro.errors import AdmissionError, ConfigError
+from repro.service.state import Job
+
+__all__ = ["AdmissionQueue", "DEFAULT_CAPACITY", "default_capacity"]
+
+#: Default bound on waiting jobs (``CHIMERA_SERVICE_CAPACITY``).
+DEFAULT_CAPACITY = 64
+
+
+def default_capacity() -> int:
+    """Queue bound from ``CHIMERA_SERVICE_CAPACITY`` (default 64)."""
+    raw = os.environ.get("CHIMERA_SERVICE_CAPACITY", "").strip()
+    if not raw:
+        return DEFAULT_CAPACITY
+    try:
+        capacity = int(raw)
+    except ValueError as exc:
+        raise ConfigError(
+            f"CHIMERA_SERVICE_CAPACITY must be an integer, got {raw!r}"
+        ) from exc
+    if capacity < 1:
+        raise ConfigError("CHIMERA_SERVICE_CAPACITY must be >= 1")
+    return capacity
+
+
+class AdmissionQueue:
+    """A bounded max-priority queue of :class:`~repro.service.state.Job`."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        self.capacity = default_capacity() if capacity is None else capacity
+        if self.capacity < 1:
+            raise ConfigError("admission queue capacity must be >= 1")
+        self._heap: List[Tuple[Tuple[int, int], Job]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def full(self) -> bool:
+        return len(self._heap) >= self.capacity
+
+    def check_capacity(self, job_id: str) -> None:
+        """Raise the backpressure rejection if the queue is full."""
+        if self.full:
+            raise AdmissionError(
+                f"admission queue is full ({self.capacity} jobs waiting); "
+                f"rejecting {job_id}", reason="capacity", job_id=job_id)
+
+    def push(self, job: Job) -> None:
+        """Enqueue an accepted job (capacity must have been checked —
+        recovery re-queues bypass the bound rather than drop state)."""
+        heapq.heappush(self._heap, (job.sort_key(), job))
+
+    def pop(self) -> Job:
+        """Remove and return the best job."""
+        return heapq.heappop(self._heap)[1]
+
+    def peek(self) -> Optional[Job]:
+        """The best job without removing it, or None when empty."""
+        return self._heap[0][1] if self._heap else None
+
+    def remove(self, job_id: str) -> Optional[Job]:
+        """Remove a job by id (cancellation), or None if absent."""
+        for i, (_, job) in enumerate(self._heap):
+            if job.job_id == job_id:
+                self._heap[i] = self._heap[-1]
+                self._heap.pop()
+                heapq.heapify(self._heap)
+                return job
+        return None
+
+    def jobs(self) -> List[Job]:
+        """Snapshot in queue order (best first)."""
+        return [job for _, job in sorted(self._heap, key=lambda kv: kv[0])]

@@ -1,0 +1,187 @@
+"""Client side of the scheduling daemon's filesystem API.
+
+The daemon and its clients share only the service directory, so the
+client works whether or not a daemon is currently alive: submissions
+are atomic drops into ``spool/``, cancellation and drain are marker
+files, and status is a *read-only replay* of the journal — the exact
+code path the daemon itself recovers through, which means "what the
+client sees" and "what a restart would recover" are the same thing by
+construction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import AdmissionError, ServiceError
+from repro.harness.sweep import RunSpec
+from repro.service.daemon import (
+    _atomic_write_json,
+    default_service_dir,
+    reconcile_qos,
+)
+from repro.service.state import JobState, is_terminal
+from repro.service.store import JobTable, JournalStore, spec_to_dict
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Submit, inspect, cancel, and await jobs in a service directory."""
+
+    def __init__(self, directory: Optional[os.PathLike] = None):
+        self.directory = Path(directory if directory is not None
+                              else default_service_dir())
+        self.spool_dir = self.directory / "spool"
+        self.results_dir = self.directory / "results"
+        self.control_dir = self.directory / "control"
+
+    # -- submission ----------------------------------------------------
+
+    def submit(self, specs: Sequence[RunSpec], priority: int = 0,
+               job_id: Optional[str] = None) -> str:
+        """Drop a job into the spool; returns its id.
+
+        Raises :class:`~repro.errors.AdmissionError` immediately for a
+        duplicate id or an empty batch; capacity backpressure arrives
+        asynchronously as a ``spool/<id>.rejected.json`` record (see
+        :meth:`rejection`).
+        """
+        if not specs:
+            raise AdmissionError("a job needs at least one spec",
+                                 reason="invalid-spec", job_id=job_id)
+        if job_id is None:
+            job_id = f"job-{uuid.uuid4().hex[:12]}"
+        if "/" in job_id or job_id.startswith("."):
+            raise AdmissionError(f"invalid job id {job_id!r}",
+                                 reason="invalid-spec", job_id=job_id)
+        if (self.spool_dir / f"{job_id}.json").exists() \
+                or job_id in self._table().jobs:
+            raise AdmissionError(f"job id {job_id!r} already exists",
+                                 reason="duplicate", job_id=job_id)
+        self.spool_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(
+            self.spool_dir / f"{job_id}.json",
+            {"job_id": job_id, "priority": int(priority),
+             "specs": [spec_to_dict(s) for s in specs],
+             "t": round(time.time(), 3)})
+        return job_id
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation; False when the job is unknown or done."""
+        job = self._table().jobs.get(job_id)
+        pending = (self.spool_dir / f"{job_id}.json").exists()
+        if job is None and not pending:
+            return False
+        if job is not None and is_terminal(job.state):
+            return False
+        if pending and job is None:
+            # Not yet admitted: retract the submission directly.
+            (self.spool_dir / f"{job_id}.json").unlink(missing_ok=True)
+            return True
+        self.spool_dir.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(self.spool_dir / f"{job_id}.cancel",
+                           {"job_id": job_id, "t": round(time.time(), 3)})
+        return True
+
+    def drain(self) -> None:
+        """Ask a serving daemon to checkpoint and exit gracefully."""
+        self.control_dir.mkdir(parents=True, exist_ok=True)
+        (self.control_dir / "drain").write_text("drain\n")
+
+    # -- inspection ----------------------------------------------------
+
+    def _table(self) -> JobTable:
+        return JobTable.from_records(
+            JournalStore(self.directory).replay())
+
+    def job_state(self, job_id: str) -> Optional[str]:
+        """Current state name, ``"pending"`` (spooled, not yet admitted),
+        ``"rejected"``, or None when the service knows nothing of it."""
+        job = self._table().jobs.get(job_id)
+        if job is not None:
+            return job.state.value
+        if (self.spool_dir / f"{job_id}.rejected.json").exists():
+            return "rejected"
+        if (self.spool_dir / f"{job_id}.json").exists():
+            return "pending"
+        return None
+
+    def rejection(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The backpressure record for a rejected submission, if any."""
+        path = self.spool_dir / f"{job_id}.rejected.json"
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """The merged result of a COMPLETED job."""
+        path = self.results_dir / f"{job_id}.json"
+        try:
+            return json.loads(path.read_text())
+        except OSError as exc:
+            raise ServiceError(
+                f"no result for job {job_id} in {self.results_dir}"
+            ) from exc
+
+    def status(self) -> Dict[str, Any]:
+        """Full service snapshot: jobs, state histogram, restarts,
+        rejections, and the QoS-vs-journal reconciliation."""
+        table = self._table()
+        jobs = []
+        for job in sorted(table.iter_jobs(), key=lambda j: j.submit_seq):
+            jobs.append({
+                "job_id": job.job_id,
+                "state": job.state.value,
+                "priority": job.priority,
+                "specs": len(job.specs),
+                "completed": job.completed,
+                "detail": job.detail,
+            })
+        rejected = []
+        if self.spool_dir.is_dir():
+            for path in sorted(self.spool_dir.glob("*.rejected.json")):
+                record = self.rejection(path.name[:-len(".rejected.json")])
+                if record:
+                    rejected.append(record)
+        beacon: Optional[Dict[str, Any]] = None
+        try:
+            beacon = json.loads(
+                (self.control_dir / "daemon.json").read_text())
+        except (OSError, ValueError):
+            pass
+        return {
+            "directory": str(self.directory),
+            "daemon": beacon,
+            "restarts": table.restarts,
+            "transitions": table.transitions,
+            "counts": table.counts(),
+            "jobs": jobs,
+            "rejected": rejected,
+            "qos": reconcile_qos(self.directory),
+        }
+
+    # -- waiting -------------------------------------------------------
+
+    def wait(self, job_id: str, timeout_s: float = 60.0,
+             poll_s: float = 0.05) -> str:
+        """Block until ``job_id`` reaches a terminal state (or is
+        rejected); returns the final state name."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            state = self.job_state(job_id)
+            if state == "rejected":
+                return state
+            if state is not None and state not in ("pending",):
+                if is_terminal(JobState(state)):
+                    return state
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {state!r} after {timeout_s:.3g}s")
+            time.sleep(poll_s)

@@ -1,0 +1,664 @@
+"""The scheduling daemon: job intake, dispatch, preemption, recovery.
+
+``SchedulerDaemon`` turns the simulator into a long-running service: a
+filesystem job-submission API (``spool/``), a bounded priority
+admission queue, a worker thread executing each job's RunSpecs through
+the shared result cache, heartbeat/watchdog supervision, and the
+crash-safe journal (:mod:`repro.service.store`) recording every
+lifecycle transition *before* it is acted on.
+
+Execution model
+---------------
+A job is a batch of deterministic RunSpecs. The worker executes them in
+order; the index of the first unexecuted spec is the job's checkpoint.
+Preemption is *collaborative*, exactly in the spirit of the paper's SM
+preemption lifted to the service layer: the daemon requests preemption
+(sets a flag), the worker yields at the next spec boundary, and only
+then is the PREEMPTED transition journaled with the checkpoint. A
+single-spec job therefore finishes its spec before yielding — bounded
+preemption latency, never a corrupted half-spec.
+
+Durability contract (DESIGN.md §12)
+-----------------------------------
+* **Intentions journal-before-act**: QUEUED is journaled before the
+  spool file is consumed; ADMITTED/RUNNING/RESUMED before the worker
+  starts; recovery re-queues before jobs re-enter the queue.
+* **Completions act-then-journal**: the merged result file is written
+  atomically *before* COMPLETED is journaled, so a COMPLETED record
+  implies the result exists. A crash between the two re-runs the job,
+  which is idempotent: specs are deterministic and content-cached, so
+  the re-run replays from cache and rewrites identical bytes.
+* Restart recovery replays the journal, re-queues every job whose last
+  durable state was ADMITTED/RUNNING/RESUMED, re-enqueues QUEUED and
+  PREEMPTED jobs as they stand, and deduplicates spool files for jobs
+  the journal already knows — no job is lost, none runs twice.
+
+Environment knobs:
+
+* ``CHIMERA_SERVICE_DIR``      — service directory (default
+  ``.chimera-service``): journal, spool, results, control files
+* ``CHIMERA_SERVICE_CAPACITY`` — admission queue bound (default 64)
+* ``CHIMERA_HEARTBEAT``        — worker heartbeat watchdog timeout in
+  seconds (default 30); a worker silent for longer is declared lost and
+  its job FAILED
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import logging
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import AdmissionError, ConfigError, ServiceError
+from repro.harness import faults
+from repro.harness.cache import ResultCache
+from repro.harness.runner import result_qos
+from repro.harness.sweep import RunSpec, execute_timed
+from repro.metrics.qos import merge_qos_summaries
+from repro.service.admission import AdmissionQueue
+from repro.service.state import Job, JobState, is_terminal
+from repro.service.store import (
+    JobTable,
+    JournalStore,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+logger = logging.getLogger("repro.service.daemon")
+
+__all__ = ["SchedulerDaemon", "DEFAULT_SERVICE_DIR", "DEFAULT_HEARTBEAT_S",
+           "default_heartbeat", "default_service_dir", "reconcile_qos"]
+
+#: Default service directory, relative to the current working directory.
+DEFAULT_SERVICE_DIR = ".chimera-service"
+
+#: Default worker heartbeat watchdog timeout, seconds.
+DEFAULT_HEARTBEAT_S = 30.0
+
+
+def default_service_dir() -> str:
+    """Service directory from ``CHIMERA_SERVICE_DIR``."""
+    return os.environ.get("CHIMERA_SERVICE_DIR", "").strip() \
+        or DEFAULT_SERVICE_DIR
+
+
+def default_heartbeat() -> float:
+    """Watchdog timeout in seconds from ``CHIMERA_HEARTBEAT``."""
+    raw = os.environ.get("CHIMERA_HEARTBEAT", "").strip()
+    if not raw:
+        return DEFAULT_HEARTBEAT_S
+    try:
+        heartbeat = float(raw)
+    except ValueError as exc:
+        raise ConfigError(
+            f"CHIMERA_HEARTBEAT must be a number of seconds, got {raw!r}"
+        ) from exc
+    if heartbeat <= 0:
+        raise ConfigError("CHIMERA_HEARTBEAT must be > 0")
+    return heartbeat
+
+
+def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
+    """Write JSON atomically (temp file + rename) in ``path``'s dir."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        os.replace(tmp_name, path)
+    except Exception:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class _RunningJob:
+    """Supervision handle for the worker thread executing one job."""
+
+    def __init__(self, job: Job):
+        self.job = job
+        self.preempt = threading.Event()
+        self.cancel = threading.Event()
+        #: Monotonic timestamp of the worker's last sign of life.
+        self.heartbeat = time.monotonic()
+        #: Specs executed so far in this dispatch (worker-updated).
+        self.completed = job.completed
+        #: Set *last* by the worker: ("completed"|"preempted"|"killed",
+        #: checkpoint) or ("failed", error text).
+        self.outcome: Optional[Tuple[str, Any]] = None
+        #: Job id that triggered the preemption request, if any.
+        self.preempted_by: Optional[str] = None
+        #: True once the watchdog has given up on this worker.
+        self.abandoned = False
+        self.thread: Optional[threading.Thread] = None
+
+
+class SchedulerDaemon:
+    """A crash-safe, single-worker scheduling daemon over the simulator.
+
+    Drive it with :meth:`serve` (the ``chimera serve`` loop) or
+    :meth:`tick`/:meth:`run_until_idle` (deterministic, for tests).
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None,
+                 capacity: Optional[int] = None,
+                 heartbeat_s: Optional[float] = None,
+                 cache: Optional[ResultCache] = None,
+                 poll_s: float = 0.05):
+        self.directory = Path(directory if directory is not None
+                              else default_service_dir())
+        self.spool_dir = self.directory / "spool"
+        self.results_dir = self.directory / "results"
+        self.control_dir = self.directory / "control"
+        self.store = JournalStore(self.directory)
+        self.queue = AdmissionQueue(capacity)
+        self.heartbeat_s = (default_heartbeat() if heartbeat_s is None
+                            else heartbeat_s)
+        if self.heartbeat_s <= 0:
+            raise ConfigError("heartbeat_s must be > 0")
+        self.cache = ResultCache.from_env() if cache is None else cache
+        self.poll_s = poll_s
+        self.table = JobTable()
+        self.running: Optional[_RunningJob] = None
+        #: Dispatch counter (RUNNING/RESUMED transitions ever journaled);
+        #: the index the ``hang-worker`` fault targets.
+        self._ordinal = 0
+        self._draining = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # startup & recovery
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Open the store, replay the journal, and recover state."""
+        if self._started:
+            return
+        for sub in (self.spool_dir, self.results_dir, self.control_dir):
+            sub.mkdir(parents=True, exist_ok=True)
+        self._acquire_lock()
+        records = self.store.open()
+        self.table = JobTable.from_records(records)
+        self._ordinal = sum(
+            1 for r in records
+            if r.get("type") == "transition"
+            and r.get("to") in (JobState.RUNNING.value,
+                                JobState.RESUMED.value))
+        self.store.append_meta("daemon-start", pid=os.getpid())
+        self._recover()
+        self._started = True
+        logger.info("daemon started in %s: %d job(s) replayed, %d queued",
+                    self.directory, len(self.table), len(self.queue))
+
+    def _acquire_lock(self) -> None:
+        """Refuse to run two daemons over one journal.
+
+        The pid file survives ``kill -9``; a stale lock (dead pid) is
+        taken over silently — that is exactly the restart-recovery path.
+        """
+        lock = self.control_dir / "daemon.pid"
+        try:
+            pid = int(lock.read_text().strip())
+        except (OSError, ValueError):
+            pid = None
+        if pid is not None and pid != os.getpid() and _pid_alive(pid):
+            raise ServiceError(
+                f"another daemon (pid {pid}) already serves {self.directory}")
+        _atomic_write_json(lock.with_suffix(".json"), {"pid": os.getpid()})
+        lock.write_text(f"{os.getpid()}\n")
+
+    def _release_lock(self) -> None:
+        for name in ("daemon.pid", "daemon.json"):
+            try:
+                (self.control_dir / name).unlink()
+            except OSError:
+                pass
+
+    def _recover(self) -> None:
+        """Re-queue every job from its last durable transition."""
+        requeued = 0
+        for job in sorted(self.table.live_jobs(),
+                          key=lambda j: j.submit_seq):
+            if job.state in (JobState.ADMITTED, JobState.RUNNING,
+                             JobState.RESUMED):
+                # The crash interrupted this job mid-dispatch: journal
+                # the re-queue first, then pick it up again. Its
+                # checkpoint is whatever the journal last recorded.
+                self.store.append_transition(
+                    job.job_id, job.state, JobState.QUEUED,
+                    {"completed": job.completed, "reason": "crash-recovery"})
+                job.advance(JobState.QUEUED)
+                requeued += 1
+            # QUEUED and PREEMPTED jobs re-enter the queue as they stand
+            # (recovery re-queues may exceed capacity: durable state is
+            # never dropped for backpressure).
+            self.queue.push(job)
+        if requeued:
+            logger.warning("crash recovery re-queued %d interrupted job(s)",
+                           requeued)
+        # Spool dedup: a submission the journal already accepted was
+        # consumed logically; a crash between journaling QUEUED and
+        # unlinking the spool file must not admit it twice.
+        for path in self.spool_dir.glob("*.json"):
+            if path.name.endswith(".rejected.json"):
+                continue
+            if path.stem in self.table.jobs:
+                path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # the tick loop
+    # ------------------------------------------------------------------
+
+    def tick(self) -> None:
+        """One deterministic supervision pass (no sleeping)."""
+        if not self._started:
+            self.start()
+        self._scan_control()
+        self._scan_spool()
+        self._scan_cancels()
+        self._supervise_running()
+        self._maybe_preempt()
+        self._dispatch()
+
+    def serve(self, idle_exit_s: Optional[float] = None,
+              max_wall_s: Optional[float] = None) -> None:
+        """The ``chimera serve`` loop: tick, sleep, repeat.
+
+        ``idle_exit_s`` exits after the daemon has been idle (no running
+        job, empty queue, empty spool) that long — used by smoke tests
+        and CI. ``max_wall_s`` is a hard safety stop. A drain request
+        (SIGTERM or the ``control/drain`` file) checkpoints the running
+        job and exits once the checkpoint is durable.
+        """
+        self.start()
+        started = time.monotonic()
+        idle_since: Optional[float] = None
+        try:
+            while True:
+                self.tick()
+                now = time.monotonic()
+                if self._draining and self.running is None:
+                    self.store.append_meta("drain", clean=True)
+                    logger.info("drained: %d job(s) left queued",
+                                len(self.queue))
+                    return
+                if max_wall_s is not None and now - started > max_wall_s:
+                    logger.warning("serve loop hit max_wall_s=%.3g; exiting",
+                                   max_wall_s)
+                    return
+                if idle_exit_s is not None:
+                    if self._idle():
+                        idle_since = idle_since if idle_since is not None \
+                            else now
+                        if now - idle_since >= idle_exit_s:
+                            self.store.append_meta("idle-exit")
+                            return
+                    else:
+                        idle_since = None
+                time.sleep(self.poll_s)
+        finally:
+            self.shutdown()
+
+    def run_until_idle(self, timeout_s: float = 60.0) -> None:
+        """Tick until there is nothing left to do (tests, drains)."""
+        self.start()
+        deadline = time.monotonic() + timeout_s
+        while not self._idle() or (self._draining and self.running):
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"daemon did not go idle within {timeout_s:.3g}s")
+            self.tick()
+            if not self._idle():
+                time.sleep(min(self.poll_s, 0.01))
+        # One final pass so trailing control files are honored.
+        self.tick()
+
+    def _idle(self) -> bool:
+        return (self.running is None and not self.queue
+                and not any(p.name.endswith(".json")
+                            and not p.name.endswith(".rejected.json")
+                            for p in self.spool_dir.glob("*.json")))
+
+    def request_drain(self) -> None:
+        """Graceful shutdown: checkpoint the running job, keep the rest
+        queued (durably), and let :meth:`serve` exit."""
+        self._draining = True
+        if self.running is not None and not self.running.preempt.is_set():
+            self.running.preempted_by = None
+            self.running.preempt.set()
+
+    def shutdown(self) -> None:
+        """Close the store and drop the pid lock (not a drain)."""
+        self._release_lock()
+        try:
+            (self.control_dir / "drain").unlink()
+        except OSError:
+            pass
+        self.store.close()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # intake
+    # ------------------------------------------------------------------
+
+    def _scan_control(self) -> None:
+        if (self.control_dir / "drain").exists() and not self._draining:
+            logger.info("drain requested via control file")
+            self.request_drain()
+        # Liveness beacon for clients (best-effort, never fsync'd).
+        beacon = self.control_dir / "daemon.json"
+        try:
+            _atomic_write_json(beacon, {"pid": os.getpid(),
+                                        "t": round(time.time(), 3),
+                                        "draining": self._draining})
+        except OSError:  # pragma: no cover - beacon is advisory
+            pass
+
+    def _scan_spool(self) -> None:
+        """Admit (or reject, with reason) new submissions."""
+        for path in sorted(self.spool_dir.glob("*.json")):
+            if path.name.endswith(".rejected.json"):
+                continue
+            job_id = path.stem
+            if job_id in self.table.jobs:
+                # Duplicate of a journaled job: consumed, never re-run.
+                path.unlink(missing_ok=True)
+                continue
+            try:
+                payload = json.loads(path.read_text())
+                specs = tuple(spec_from_dict(d)
+                              for d in payload.get("specs", ()))
+                if not specs:
+                    raise ValueError("submission carries no specs")
+                priority = int(payload.get("priority", 0))
+            except Exception as exc:  # noqa: BLE001 - any damage rejects
+                self._reject(path, job_id, "invalid-spec",
+                             f"{type(exc).__name__}: {exc}")
+                continue
+            if self._draining:
+                self._reject(path, job_id, "draining",
+                             "daemon is draining; resubmit after restart")
+                continue
+            try:
+                self.queue.check_capacity(job_id)
+            except AdmissionError as exc:
+                self._reject(path, job_id, exc.reason, str(exc))
+                continue
+            # Durability: journal QUEUED (with the full job description,
+            # making the journal self-contained) before consuming the
+            # spool file.
+            seq = self.store.append_transition(
+                job_id, None, JobState.QUEUED,
+                {"specs": [spec_to_dict(s) for s in specs],
+                 "priority": priority})
+            job = Job(job_id=job_id, specs=specs, priority=priority,
+                      submit_seq=seq)
+            self.table.jobs[job_id] = job
+            self.queue.push(job)
+            path.unlink(missing_ok=True)
+            logger.info("admitted %s (priority %d, %d spec(s))",
+                        job_id, priority, len(specs))
+
+    def _reject(self, path: Path, job_id: str, reason: str,
+                detail: str) -> None:
+        """Backpressure: replace the submission with a rejection record."""
+        _atomic_write_json(
+            self.spool_dir / f"{job_id}.rejected.json",
+            {"job_id": job_id, "reason": reason, "detail": detail,
+             "t": round(time.time(), 3)})
+        path.unlink(missing_ok=True)
+        logger.warning("rejected %s: %s (%s)", job_id, reason, detail)
+
+    def _scan_cancels(self) -> None:
+        for path in sorted(self.spool_dir.glob("*.cancel")):
+            job_id = path.stem
+            job = self.table.jobs.get(job_id)
+            if job is None or is_terminal(job.state):
+                path.unlink(missing_ok=True)
+                continue
+            if self.running is not None and self.running.job is job:
+                # The marker stays until the worker acknowledges and
+                # KILLED is journaled, so a crash in between re-delivers
+                # the cancellation after restart.
+                self.running.cancel.set()
+                continue
+            self.store.append_transition(
+                job_id, job.state, JobState.KILLED,
+                {"reason": "cancelled", "completed": job.completed})
+            job.advance(JobState.KILLED)
+            job.detail = {"reason": "cancelled"}
+            self.queue.remove(job_id)
+            path.unlink(missing_ok=True)
+            logger.info("killed %s (cancelled while %s)", job_id, job.state)
+
+    # ------------------------------------------------------------------
+    # supervision
+    # ------------------------------------------------------------------
+
+    def _supervise_running(self) -> None:
+        run = self.running
+        if run is None:
+            return
+        job = run.job
+        if run.outcome is None:
+            if time.monotonic() - run.heartbeat > self.heartbeat_s:
+                # Watchdog: the worker went silent. Journal the failure,
+                # abandon the thread (it may be wedged in a spec), and
+                # free the slot — the PR 5 guard pattern at daemon scale.
+                self.store.append_transition(
+                    job.job_id, job.state, JobState.FAILED,
+                    {"reason": "heartbeat-lost",
+                     "heartbeat_s": self.heartbeat_s,
+                     "completed": run.completed})
+                job.advance(JobState.FAILED)
+                job.detail = {"reason": "heartbeat-lost"}
+                run.abandoned = True
+                run.cancel.set()
+                self.running = None
+                logger.warning("watchdog: worker for %s silent > %.3gs; "
+                               "job failed", job.job_id, self.heartbeat_s)
+            return
+        kind, info = run.outcome
+        job.completed = run.completed
+        self.running = None
+        if kind == "completed":
+            payload = self._finalize_result(job)
+            self.store.append_transition(job.job_id, job.state,
+                                         JobState.COMPLETED, payload)
+            job.advance(JobState.COMPLETED)
+            job.detail = payload
+            logger.info("completed %s (%d spec(s))", job.job_id,
+                        len(job.specs))
+        elif kind == "preempted":
+            self.store.append_transition(
+                job.job_id, job.state, JobState.PREEMPTED,
+                {"completed": run.completed, "by": run.preempted_by,
+                 "reason": "drain" if run.preempted_by is None
+                 else "priority"})
+            job.advance(JobState.PREEMPTED)
+            self.queue.push(job)
+            logger.info("preempted %s at spec %d/%d (by %s)", job.job_id,
+                        run.completed, len(job.specs),
+                        run.preempted_by or "drain")
+        elif kind == "killed":
+            self.store.append_transition(
+                job.job_id, job.state, JobState.KILLED,
+                {"reason": "cancelled", "completed": run.completed})
+            job.advance(JobState.KILLED)
+            job.detail = {"reason": "cancelled"}
+            (self.spool_dir / f"{job.job_id}.cancel").unlink(missing_ok=True)
+        elif kind == "failed":
+            self.store.append_transition(
+                job.job_id, job.state, JobState.FAILED,
+                {"error": str(info), "completed": run.completed})
+            job.advance(JobState.FAILED)
+            job.detail = {"error": str(info)}
+            logger.warning("job %s failed: %s", job.job_id, info)
+        else:  # pragma: no cover - worker writes only the kinds above
+            raise ServiceError(f"unknown worker outcome {kind!r}")
+
+    def _maybe_preempt(self) -> None:
+        run = self.running
+        if run is None or run.preempt.is_set():
+            return
+        best = self.queue.peek()
+        if best is not None and best.priority > run.job.priority:
+            run.preempted_by = best.job_id
+            run.preempt.set()
+            logger.info("preemption requested: %s (prio %d) yields to %s "
+                        "(prio %d)", run.job.job_id, run.job.priority,
+                        best.job_id, best.priority)
+
+    def _dispatch(self) -> None:
+        if self.running is not None or self._draining or not self.queue:
+            return
+        job = self.queue.pop()
+        if job.state is JobState.QUEUED:
+            self.store.append_transition(job.job_id, JobState.QUEUED,
+                                         JobState.ADMITTED,
+                                         {"ordinal": self._ordinal})
+            job.advance(JobState.ADMITTED)
+        next_state = (JobState.RESUMED if job.state is JobState.PREEMPTED
+                      else JobState.RUNNING)
+        job.ordinal = self._ordinal
+        self._ordinal += 1
+        self.store.append_transition(
+            job.job_id, job.state, next_state,
+            {"completed": job.completed, "ordinal": job.ordinal})
+        job.advance(next_state)
+        run = _RunningJob(job)
+        run.thread = threading.Thread(
+            target=self._worker_main, args=(run,), daemon=True,
+            name=f"chimera-worker-{job.job_id}")
+        self.running = run
+        run.thread.start()
+
+    # ------------------------------------------------------------------
+    # the worker
+    # ------------------------------------------------------------------
+
+    def _worker_main(self, run: _RunningJob) -> None:
+        """Execute the job's remaining specs, yielding at boundaries."""
+        job = run.job
+        try:
+            if faults.worker_hang_fires(job.ordinal):
+                time.sleep(faults.hang_seconds())
+            for i in range(run.completed, len(job.specs)):
+                if run.cancel.is_set():
+                    run.outcome = ("killed", i)
+                    return
+                if run.preempt.is_set():
+                    run.outcome = ("preempted", i)
+                    return
+                summary = self._execute_spec(job, i)
+                if run.abandoned:
+                    # The watchdog already failed this job; stay silent.
+                    return
+                _atomic_write_json(self._spec_result_path(job, i), summary)
+                run.completed = i + 1
+                run.heartbeat = time.monotonic()
+            run.outcome = ("completed", len(job.specs))
+        except Exception as exc:  # noqa: BLE001 - reported, not raised
+            run.outcome = ("failed", f"{type(exc).__name__}: {exc}")
+
+    def _execute_spec(self, job: Job, index: int) -> Dict[str, Any]:
+        """Run one spec (through the shared result cache) and summarize."""
+        spec = job.specs[index]
+        key = spec.cache_key()
+        entry = self.cache.get(key)
+        if entry is not None:
+            result, duration = entry.result, entry.duration_s
+        else:
+            result, duration = execute_timed(spec)
+            self.cache.put(key, result, duration)
+        return {
+            "index": index,
+            "spec": spec.describe(),
+            "key": key,
+            "duration_s": round(duration, 6),
+            "qos": result_qos(result),
+        }
+
+    def _spec_result_path(self, job: Job, index: int) -> Path:
+        return self.results_dir / f"{job.job_id}.d" / f"spec-{index}.json"
+
+    def _finalize_result(self, job: Job) -> Dict[str, Any]:
+        """Merge per-spec results into the job result file (the *act*
+        preceding the COMPLETED journal record) and return the journal
+        payload, including the job's merged QoS ledger."""
+        parts: List[Dict[str, Any]] = []
+        for i in range(len(job.specs)):
+            path = self._spec_result_path(job, i)
+            parts.append(json.loads(path.read_text()))
+        qos = merge_qos_summaries(p.get("qos") or {} for p in parts)
+        result = {"job_id": job.job_id, "priority": job.priority,
+                  "specs": parts, "qos": qos}
+        _atomic_write_json(self.results_dir / f"{job.job_id}.json", result)
+        return {"completed": len(job.specs), "specs": len(job.specs),
+                "qos": qos}
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, other user
+        return True
+    except OSError as exc:  # pragma: no cover - platform oddities
+        return exc.errno not in (errno.ESRCH,)
+    return True
+
+
+# ----------------------------------------------------------------------
+# reconciliation
+# ----------------------------------------------------------------------
+
+
+def reconcile_qos(directory: Optional[os.PathLike] = None) -> Dict[str, Any]:
+    """Check the QoS ledger against the journal, job by job.
+
+    For every COMPLETED job the journal payload carries the merged QoS
+    summary the daemon computed when it finalized the result file; this
+    recomputes the same summary from the result files on disk and
+    reports any divergence. ``consistent`` is True when every completed
+    job's result file exists and its ledger matches the journal.
+    """
+    base = Path(directory if directory is not None else
+                default_service_dir())
+    store = JournalStore(base)
+    table = JobTable.from_records(store.replay())
+    mismatches: List[str] = []
+    summaries: List[Dict[str, Any]] = []
+    completed = 0
+    for job in table.iter_jobs():
+        if job.state is not JobState.COMPLETED:
+            continue
+        completed += 1
+        journal_qos = dict(job.detail.get("qos") or {})
+        result_path = base / "results" / f"{job.job_id}.json"
+        try:
+            result = json.loads(result_path.read_text())
+        except (OSError, ValueError):
+            mismatches.append(job.job_id)
+            continue
+        disk_qos = merge_qos_summaries(
+            p.get("qos") or {} for p in result.get("specs", ()))
+        if disk_qos != journal_qos:
+            mismatches.append(job.job_id)
+            continue
+        summaries.append(journal_qos)
+    return {
+        "completed_jobs": completed,
+        "totals": merge_qos_summaries(summaries),
+        "mismatches": sorted(mismatches),
+        "consistent": not mismatches,
+    }

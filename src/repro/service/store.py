@@ -1,0 +1,338 @@
+"""Crash-safe persistent job store: an append-only, checksummed journal.
+
+The daemon's durability contract is **journal before act**: every
+lifecycle transition is appended to ``journal.jsonl`` (one JSON object
+per line, each carrying a CRC-32 of its canonical record body) and
+``fsync``'d *before* the daemon acts on it. A ``kill -9`` at any
+instant therefore leaves the journal in one of exactly three shapes:
+
+* ends with a complete record — the last transition is durable; the
+  action it announced may or may not have happened, and replay re-does
+  it idempotently;
+* ends with a torn record (crash mid-write) — the torn tail is
+  truncated on the next open and the store recovers to the previous
+  record;
+* unreadable in the *middle* — not a crash artifact but real
+  corruption, and replay refuses with
+  :class:`~repro.errors.StoreError` rather than guessing.
+
+Replay rebuilds the full job table (:class:`JobTable`) by re-validating
+every transition against the state machine, so a journal that type-checks
+is also *semantically* consistent: no job has two terminal transitions,
+no edge skips a state, and every job's checkpoint (``completed`` spec
+count) is the one from its last durable record.
+
+The journal is self-contained: the creation record of each job carries
+its full description (priority + serialized RunSpecs), so recovery
+needs no other file. Completed results live beside it under
+``results/`` and are written atomically *before* the COMPLETED record —
+a COMPLETED journal entry implies the result file exists.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import logging
+import os
+import time
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import StoreError
+from repro.gpu.config import GPUConfig
+from repro.harness import faults
+from repro.harness.sweep import RunSpec
+from repro.service.state import Job, JobState, is_terminal, validate_transition
+
+logger = logging.getLogger("repro.service.store")
+
+__all__ = ["JobTable", "JournalStore", "spec_from_dict", "spec_to_dict"]
+
+#: Journal format version, stamped into every record.
+JOURNAL_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# RunSpec <-> JSON (the journal and the submission spool share this)
+# ----------------------------------------------------------------------
+
+
+def spec_to_dict(spec: RunSpec) -> Dict[str, Any]:
+    """JSON-able form of a RunSpec (round-trips via :func:`spec_from_dict`)."""
+    fields = dataclasses.asdict(spec)
+    if spec.config is not None:
+        fields["config"] = dataclasses.asdict(spec.config)
+    return fields
+
+
+def spec_from_dict(fields: Dict[str, Any]) -> RunSpec:
+    """Rebuild a RunSpec from its :func:`spec_to_dict` form."""
+    fields = dict(fields)
+    config = fields.pop("config", None)
+    if config is not None:
+        config = GPUConfig(**config)
+    labels = fields.pop("labels", None)
+    if labels is not None:
+        labels = tuple(labels)
+    try:
+        return RunSpec(config=config, labels=labels, **fields)
+    except TypeError as exc:
+        raise StoreError(f"malformed RunSpec record: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# journal records
+# ----------------------------------------------------------------------
+
+
+def _canonical(record: Dict[str, Any]) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def _encode(record: Dict[str, Any]) -> str:
+    body = _canonical(record)
+    crc = zlib.crc32(body.encode())
+    return _canonical({"c": crc, "r": record}) + "\n"
+
+
+def _decode(line: str) -> Dict[str, Any]:
+    """Parse one journal line, raising ``ValueError`` on any damage."""
+    obj = json.loads(line)
+    if not isinstance(obj, dict) or "c" not in obj or "r" not in obj:
+        raise ValueError("not a journal record")
+    record = obj["r"]
+    if zlib.crc32(_canonical(record).encode()) != obj["c"]:
+        raise ValueError("checksum mismatch")
+    return record
+
+
+class JournalStore:
+    """Append-only journal under a service directory.
+
+    ``append_transition`` is the single write path for lifecycle edges
+    and hosts the deterministic crash points (``crash-before-commit``,
+    ``crash-after-commit``, ``torn-journal``) keyed on the global record
+    sequence number, so tests can kill the daemon at *every* journal
+    boundary and prove recovery.
+    """
+
+    JOURNAL_NAME = "journal.jsonl"
+
+    def __init__(self, directory: os.PathLike):
+        self.directory = Path(directory)
+        self.path = self.directory / self.JOURNAL_NAME
+        self._fh = None
+        self._seq = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def open(self) -> List[Dict[str, Any]]:
+        """Open for appending; repairs a torn tail and returns the
+        replayed records so the caller can rebuild its job table."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        records = self._replay(repair=True)
+        self._seq = (records[-1]["seq"] + 1) if records else 0
+        self._fh = open(self.path, "a", encoding="utf-8")
+        return records
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next appended record will get."""
+        return self._seq
+
+    # -- reading -------------------------------------------------------
+
+    def replay(self) -> List[Dict[str, Any]]:
+        """Read-only replay (status clients): tolerates a torn tail
+        without repairing the file."""
+        return self._replay(repair=False)
+
+    def _replay(self, repair: bool) -> List[Dict[str, Any]]:
+        if not self.path.exists():
+            return []
+        records: List[Dict[str, Any]] = []
+        good_end = 0
+        with open(self.path, "rb") as fh:
+            data = fh.read()
+        offset = 0
+        lines = data.split(b"\n")
+        for i, raw in enumerate(lines):
+            if not raw:
+                offset += len(raw) + 1
+                continue
+            try:
+                record = _decode(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                # Damage at the very end of the file is the signature of
+                # a crash mid-write; anything earlier is real corruption.
+                rest = b"".join(lines[i + 1:]).strip()
+                if rest:
+                    raise StoreError(
+                        f"corrupt journal record mid-file at byte {offset} "
+                        f"of {self.path}: {exc}") from exc
+                logger.warning(
+                    "truncating torn journal tail (%d bytes) in %s: %s",
+                    len(data) - offset, self.path, exc)
+                if repair:
+                    with open(self.path, "r+b") as out:
+                        out.truncate(good_end)
+                break
+            records.append(record)
+            offset += len(raw) + 1
+            good_end = offset
+        self._check_sequence(records)
+        return records
+
+    def _check_sequence(self, records: List[Dict[str, Any]]) -> None:
+        for i, record in enumerate(records):
+            if record.get("seq") != i:
+                raise StoreError(
+                    f"journal {self.path} sequence gap: record {i} carries "
+                    f"seq {record.get('seq')!r}")
+
+    # -- writing -------------------------------------------------------
+
+    def _append(self, record: Dict[str, Any]) -> int:
+        if self._fh is None:
+            raise StoreError("journal store is not open")
+        seq = self._seq
+        record = dict(record, seq=seq, v=JOURNAL_VERSION, t=round(
+            time.time(), 6))
+        line = _encode(record)
+        if faults.torn_journal_fires(seq):
+            # Crash mid-write: flush only a prefix of the line, then die.
+            self._fh.write(line[:max(1, len(line) // 2)])
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            raise faults.InjectedCrash("torn-journal", seq)
+        self._fh.write(line)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._seq = seq + 1
+        return seq
+
+    def append_meta(self, event: str, **payload: Any) -> int:
+        """Record a daemon-level event (start, drain, recovery note)."""
+        return self._append({"type": "meta", "event": event,
+                             "payload": payload})
+
+    def append_transition(self, job_id: str, old: Optional[JobState],
+                          new: JobState,
+                          payload: Optional[Dict[str, Any]] = None) -> int:
+        """Durably record one lifecycle edge — *before* acting on it.
+
+        This is the crash boundary: ``crash-before-commit`` fires with
+        the record unwritten, ``crash-after-commit`` with the record
+        durable but unacted-upon, and ``torn-journal`` half-writes it.
+        """
+        faults.service_crash_point("crash-before-commit", self._seq)
+        seq = self._append({
+            "type": "transition",
+            "job": job_id,
+            "from": old.value if old is not None else None,
+            "to": new.value,
+            "payload": payload or {},
+        })
+        faults.service_crash_point("crash-after-commit", seq)
+        return seq
+
+
+# ----------------------------------------------------------------------
+# replaying records into a job table
+# ----------------------------------------------------------------------
+
+
+class JobTable:
+    """All jobs the journal knows about, with validated histories."""
+
+    def __init__(self) -> None:
+        self.jobs: Dict[str, Job] = {}
+        #: Transition counts by (from, to) edge, for reporting.
+        self.transitions: int = 0
+        self.restarts: int = 0
+
+    @classmethod
+    def from_records(cls, records: List[Dict[str, Any]]) -> "JobTable":
+        table = cls()
+        for record in records:
+            table.apply(record)
+        return table
+
+    def apply(self, record: Dict[str, Any]) -> Optional[Job]:
+        """Apply one replayed record, enforcing every invariant."""
+        if record.get("type") == "meta":
+            if record.get("event") == "daemon-start":
+                self.restarts += 1
+            return None
+        job_id = record.get("job")
+        payload = record.get("payload") or {}
+        try:
+            new = JobState(record.get("to"))
+            old = (JobState(record["from"])
+                   if record.get("from") is not None else None)
+        except ValueError as exc:
+            raise StoreError(
+                f"journal names an unknown state: {exc}") from exc
+        job = self.jobs.get(job_id)
+        if job is None:
+            if old is not None:
+                raise StoreError(
+                    f"journal transitions unknown job {job_id!r} "
+                    f"({old.value} -> {new.value})")
+            validate_transition(job_id, None, new)
+            specs = tuple(spec_from_dict(d) for d in payload.get("specs", ()))
+            if not specs:
+                raise StoreError(
+                    f"creation record for job {job_id!r} carries no specs")
+            job = Job(job_id=job_id, specs=specs,
+                      priority=int(payload.get("priority", 0)),
+                      submit_seq=record["seq"])
+            self.jobs[job_id] = job
+        else:
+            if is_terminal(job.state):
+                raise StoreError(
+                    f"job {job_id} transitions after terminal state "
+                    f"{job.state.value} (to {new.value})")
+            if old is not job.state:
+                raise StoreError(
+                    f"job {job_id} journal edge {old.value if old else None}"
+                    f" -> {new.value} does not start at replayed state "
+                    f"{job.state.value}")
+            job.advance(new)
+        if "completed" in payload:
+            job.completed = int(payload["completed"])
+        if new in (JobState.COMPLETED, JobState.FAILED, JobState.KILLED):
+            job.detail = dict(payload)
+        self.transitions += 1
+        return job
+
+    # -- queries -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def by_state(self, *states: JobState) -> List[Job]:
+        wanted = set(states)
+        return [job for job in self.jobs.values() if job.state in wanted]
+
+    def live_jobs(self) -> List[Job]:
+        """Jobs not yet in a terminal state."""
+        return [job for job in self.jobs.values()
+                if not is_terminal(job.state)]
+
+    def iter_jobs(self) -> Iterator[Job]:
+        return iter(self.jobs.values())
+
+    def counts(self) -> Dict[str, int]:
+        """State histogram, for status output."""
+        out: Dict[str, int] = {}
+        for job in self.jobs.values():
+            out[job.state.value] = out.get(job.state.value, 0) + 1
+        return out

@@ -198,3 +198,78 @@ class TestFluidBenchCommand:
     def test_rejects_unknown_bench(self, capsys):
         with pytest.raises(SystemExit):
             main(["fluid-bench", "--bench", "NOPE"])
+
+
+class TestLogLevelAndExitCodes:
+    """Global --log-level wiring and the uniform exit-code contract:
+    0 success, 1 spec/job failure, 2 usage or configuration error."""
+
+    def test_log_level_configures_repro_logger(self, capsys):
+        import logging
+
+        root = logging.getLogger("repro")
+        before = root.level
+        try:
+            code, _ = run_cli(capsys, "--log-level", "debug", "table1")
+            assert code == 0
+            assert root.level == logging.DEBUG
+            assert any(isinstance(h, logging.StreamHandler)
+                       for h in root.handlers)
+        finally:
+            root.setLevel(before)
+
+    def test_rejects_unknown_log_level(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["--log-level", "loud", "table1"])
+        assert exc.value.code == 2  # argparse usage errors exit 2
+
+    def test_config_error_exits_2(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("CHIMERA_SERVICE_CAPACITY", "a lot")
+        code = main(["serve", "--dir", str(tmp_path / "svc"),
+                     "--idle-exit", "0"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err and "CHIMERA_SERVICE_CAPACITY" in err
+
+    def test_unknown_job_exits_1(self, tmp_path, capsys):
+        code = main(["status", "--dir", str(tmp_path / "svc"),
+                     "--job", "nope"])
+        assert code == 1
+        assert "unknown job" in capsys.readouterr().err
+
+
+class TestServiceCommands:
+    """submit / serve / status / cancel wired end to end in-process."""
+
+    def test_submit_serve_status_roundtrip(self, tmp_path, capsys):
+        svc = str(tmp_path / "svc")
+        code, out = run_cli(capsys, "submit", "--dir", svc,
+                            "--kind", "periodic", "--bench", "BS",
+                            "--periods", "1", "--seeds", "3",
+                            "--policies", "drain", "--job-id", "job-1")
+        assert code == 0
+        assert out.strip() == "job-1"
+        code, _ = run_cli(capsys, "serve", "--dir", svc, "--poll", "0",
+                          "--idle-exit", "0.05", "--max-wall", "120")
+        assert code == 0
+        code, out = run_cli(capsys, "status", "--dir", svc, "--job", "job-1")
+        assert code == 0
+        assert out.strip() == "completed"
+        code, out = run_cli(capsys, "status", "--dir", svc)
+        assert code == 0
+        assert "job-1" in out and "reconciled" in out
+
+    def test_cancel_unknown_job_exits_1(self, tmp_path, capsys):
+        code = main(["cancel", "--dir", str(tmp_path / "svc"), "ghost"])
+        assert code == 1
+        assert "unknown or already finished" in capsys.readouterr().err
+
+    def test_submit_duplicate_id_is_job_failure(self, tmp_path, capsys):
+        svc = str(tmp_path / "svc")
+        args = ["submit", "--dir", svc, "--kind", "periodic",
+                "--bench", "BS", "--periods", "1", "--job-id", "dup"]
+        assert main(args) == 0
+        capsys.readouterr()
+        code = main(args)
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -139,6 +139,59 @@ class TestPlanParsing:
         assert faults.estimate_skew(3) is None
 
 
+class TestDaemonFaultDirectives:
+    """The four scheduling-daemon kinds ride the same grammar."""
+
+    def test_daemon_kinds_parse(self):
+        plan = faults.parse_plan(
+            "crash-before-commit@4, crash-after-commit@0,"
+            "torn-journal@7,hang-worker@1")
+        kinds = [(f.kind, f.index, f.attempts) for f in plan.faults]
+        assert kinds == [("crash-before-commit", 4, 1.0),
+                         ("crash-after-commit", 0, 1.0),
+                         ("torn-journal", 7, 1.0),
+                         ("hang-worker", 1, 1.0)]
+
+    @pytest.mark.parametrize("bad", [
+        "crash-after-commit", "torn-journal@x", "hang-worker@-1",
+        "crash-before-commit@1:zero",
+    ])
+    def test_bad_daemon_directives_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            faults.parse_plan(bad)
+
+    def test_crash_point_raises_injected_crash(self):
+        with faults.injected("crash-after-commit@5"):
+            faults.service_crash_point("crash-after-commit", 4)  # no fire
+            faults.service_crash_point("crash-before-commit", 5)  # wrong kind
+            with pytest.raises(faults.InjectedCrash) as excinfo:
+                faults.service_crash_point("crash-after-commit", 5)
+        assert excinfo.value.kind == "crash-after-commit"
+        assert excinfo.value.seq == 5
+        # a BaseException: no `except Exception` can swallow it
+        assert not isinstance(excinfo.value, Exception)
+        # cleared plan -> crash points never fire
+        faults.service_crash_point("crash-after-commit", 5)
+
+    def test_torn_journal_and_hang_worker_fire_helpers(self):
+        with faults.injected("torn-journal@2,hang-worker@0"):
+            assert faults.torn_journal_fires(2)
+            assert not faults.torn_journal_fires(1)
+            assert faults.worker_hang_fires(0)
+            assert not faults.worker_hang_fires(3)
+        assert not faults.torn_journal_fires(2)
+        assert not faults.worker_hang_fires(0)
+
+    def test_wildcard_targets_every_boundary(self):
+        with faults.injected("torn-journal@*"):
+            assert all(faults.torn_journal_fires(seq) for seq in range(5))
+
+    def test_env_driven_daemon_faults(self, monkeypatch):
+        monkeypatch.setenv("CHIMERA_FAULTS", "crash-before-commit@2")
+        with pytest.raises(faults.InjectedCrash):
+            faults.service_crash_point("crash-before-commit", 2)
+
+
 class TestRetry:
     def test_flaky_spec_succeeds_on_retry_serial(self, tmp_path, reference):
         with faults.injected("fail@1"):

@@ -4,7 +4,11 @@ runner's serial-equivalence guarantee, and the on-disk result cache."""
 from __future__ import annotations
 
 import dataclasses
+import errno
+import logging
+import os
 import pickle
+import types
 
 import pytest
 
@@ -373,6 +377,81 @@ class TestShardedCache:
         assert cache.get("bb" * 32) is None
 
 
+class _ReadonlyOS:
+    """Stand-in for the ``os`` module whose ``replace`` always reports a
+    read-only filesystem; everything else delegates to the real module.
+
+    The tests run as root, so ``chmod 0o555`` would not actually block
+    writes — patching the module-local binding is the reliable way to
+    simulate a read-only mount."""
+
+    def __getattr__(self, name):
+        return getattr(os, name)
+
+    @staticmethod
+    def replace(src, dst):
+        raise OSError(errno.EROFS, "Read-only file system")
+
+
+class TestReadOnlyCache:
+    """A cache on a read-only mount degrades instead of failing."""
+
+    KEY = "ab" * 32
+
+    def test_put_becomes_logged_noop_once(self, tmp_path, monkeypatch,
+                                          caplog):
+        cache = ResultCache(tmp_path / "cache")
+        monkeypatch.setattr(
+            "repro.harness.cache.tempfile",
+            types.SimpleNamespace(mkstemp=_raise_permission))
+        with caplog.at_level(logging.WARNING, logger="repro.harness.cache"):
+            cache.put(self.KEY, {"x": 1}, 0.1)
+            cache.put("cd" * 32, {"x": 2}, 0.2)
+        notes = [r for r in caplog.records if "not writable" in r.message]
+        assert len(notes) == 1
+        assert cache._readonly
+        assert cache.get(self.KEY) is None  # nothing was stored
+
+    def test_legacy_entry_served_in_place_when_migration_fails(
+            self, tmp_path, monkeypatch, caplog):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(self.KEY, {"x": 1}, 0.1)
+        # Rebuild the pre-sharding layout, then make moves impossible.
+        legacy = cache.legacy_path_for(self.KEY)
+        cache.path_for(self.KEY).rename(legacy)
+        cache.path_for(self.KEY).parent.rmdir()
+        monkeypatch.setattr("repro.harness.cache.os", _ReadonlyOS())
+        with caplog.at_level(logging.WARNING, logger="repro.harness.cache"):
+            first = cache.get(self.KEY)
+            second = cache.get(self.KEY)
+        assert first is not None and first.result == {"x": 1}
+        assert second is not None and second.result == {"x": 1}
+        assert legacy.is_file()                      # served in place
+        assert not cache.path_for(self.KEY).is_file()
+        notes = [r for r in caplog.records if "not writable" in r.message]
+        assert len(notes) == 1                       # logged exactly once
+        # writes are disabled for the rest of the process
+        cache.put("cd" * 32, {"x": 2}, 0.2)
+        assert cache.get("cd" * 32) is None
+
+    def test_other_write_errors_still_raise(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+
+        def _no_space(*args, **kwargs):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        monkeypatch.setattr(
+            "repro.harness.cache.tempfile",
+            types.SimpleNamespace(mkstemp=_no_space))
+        with pytest.raises(OSError):
+            cache.put(self.KEY, {"x": 1}, 0.1)
+        assert not cache._readonly
+
+
+def _raise_permission(*args, **kwargs):
+    raise PermissionError(errno.EACCES, "Permission denied")
+
+
 class TestSweepScaling:
     """Chunked submission and detached worker groups."""
 
@@ -514,3 +593,90 @@ class TestSweepScaling:
             SweepRunner(jobs=1,
                         cache=ResultCache(tmp_path / "c", enabled=False),
                         worker_group=(0, 2))
+
+    def test_shard_wait_env_parsing(self, monkeypatch):
+        from repro.errors import ConfigError
+        from repro.harness.sweep import default_shard_wait
+        monkeypatch.delenv("CHIMERA_SHARD_WAIT", raising=False)
+        assert default_shard_wait() == 600.0
+        monkeypatch.setenv("CHIMERA_SHARD_WAIT", "2.5")
+        assert default_shard_wait() == 2.5
+        monkeypatch.setenv("CHIMERA_SHARD_WAIT", "0")
+        assert default_shard_wait() == 0.0
+        for bad in ("-1", "later"):
+            monkeypatch.setenv("CHIMERA_SHARD_WAIT", bad)
+            with pytest.raises(ConfigError):
+                default_shard_wait()
+
+    def test_env_shard_wait_timeout_yields_spec_failures(self, tmp_path,
+                                                         monkeypatch):
+        """The CHIMERA_SHARD_WAIT foreign-result path, env-driven end to
+        end: group i of 2 with no foreign group running and a zero wait
+        fails exactly the foreign specs, each as a timeout SpecFailure."""
+        from repro.harness.sweep import SpecFailure, group_of
+        specs = [RunSpec.periodic(label, "drain", periods=PERIODS, seed=s)
+                 for label in LABELS for s in (1, 2)]
+        index = group_of(specs[0].cache_key(), 2)
+        foreign = [s for s in specs
+                   if group_of(s.cache_key(), 2) != index]
+        assert foreign, "partition must split the specs"
+        monkeypatch.setenv("CHIMERA_WORKER_GROUP", f"{index}/2")
+        monkeypatch.setenv("CHIMERA_SHARD_WAIT", "0")
+        monkeypatch.setenv("CHIMERA_KEEP_GOING", "1")
+        runner = SweepRunner(jobs=1, cache=ResultCache(tmp_path / "c"))
+        results = runner.run(specs)
+        failures = [r for r in results if isinstance(r, SpecFailure)]
+        assert len(failures) == len(foreign)
+        assert all(f.kind == "timeout" and f.attempts == 0
+                   for f in failures)
+        failed_keys = {f.spec.cache_key() for f in failures}
+        assert failed_keys == {s.cache_key() for s in foreign}
+
+    def test_single_worker_group_owns_everything(self, tmp_path,
+                                                 monkeypatch):
+        """CHIMERA_WORKER_GROUP=0/1 is a valid degenerate split: one
+        group, zero foreign specs, no waiting."""
+        from repro.harness.sweep import default_worker_group
+        monkeypatch.setenv("CHIMERA_WORKER_GROUP", "0/1")
+        assert default_worker_group() == (0, 1)
+        monkeypatch.setenv("CHIMERA_SHARD_WAIT", "0")
+        specs = [RunSpec.periodic(label, "drain", periods=PERIODS, seed=2)
+                 for label in LABELS]
+        runner = SweepRunner(jobs=1, cache=ResultCache(tmp_path / "c"))
+        results = runner.run(specs)
+        assert runner.last_stats.executed == len(specs)
+        assert runner.last_stats.foreign == 0
+        from repro.harness.sweep import SpecFailure
+        assert not any(isinstance(r, SpecFailure) for r in results)
+
+    def test_group_with_empty_partition(self, tmp_path):
+        """A group that owns none of the batch executes nothing; every
+        spec is foreign. With the other group's results published it
+        resolves the sweep purely from cache; alone with a zero wait it
+        reports per-spec timeouts."""
+        from repro.harness.sweep import SpecFailure, group_of
+        specs = [RunSpec.periodic(label, "drain", periods=PERIODS, seed=2)
+                 for label in LABELS]
+        total = 2
+        owner = group_of(specs[0].cache_key(), total)
+        mine = [s for s in specs if group_of(s.cache_key(), total) == owner]
+        empty_index = 1 - owner
+        assert all(group_of(s.cache_key(), total) == owner for s in mine)
+        shared = tmp_path / "shared"
+        # the empty group alone: nothing to execute, everything times out
+        lonely = SweepRunner(jobs=1, cache=ResultCache(shared),
+                             worker_group=(empty_index, total),
+                             shard_wait=0.0, strict=False)
+        results = lonely.run(mine)
+        assert lonely.last_stats.executed == 0
+        assert all(isinstance(r, SpecFailure) and r.kind == "timeout"
+                   for r in results)
+        # the owning group publishes; the empty group then resolves all
+        SweepRunner(jobs=1, cache=ResultCache(shared),
+                    worker_group=(owner, total), shard_wait=0.0).run(mine)
+        again = SweepRunner(jobs=1, cache=ResultCache(shared),
+                            worker_group=(empty_index, total),
+                            shard_wait=5.0)
+        results = again.run(mine)
+        assert again.last_stats.executed == 0
+        assert not any(isinstance(r, SpecFailure) for r in results)
