@@ -13,6 +13,9 @@ Commands mirror the paper's experiments:
                                      ``CHIMERA_TRACE``
 * ``fluid-bench``                  — scalar vs vectorized fluid-engine
                                      A/B (bit-identity + speedup)
+* ``traffic``                      — replay an open-arrival multi-tenant
+                                     traffic scenario and report SLO
+                                     attainment / goodput
 * ``serve``                        — run the crash-safe scheduling
                                      daemon over a service directory
 * ``submit`` / ``status`` / ``cancel`` — client side of the daemon
@@ -24,6 +27,8 @@ Examples::
     python -m repro pair --trace traces/ --benchmarks LUD MUM
     python -m repro trace traces/*.jsonl --check
     python -m repro trace traces/pair.jsonl --chrome pair.json
+    python -m repro traffic --tenant web:poisson:3000 --tenant bg:bursty:1000
+    python -m repro traffic --tenant web:diurnal:2500 --report slo.json
     python -m repro estimate
     python -m repro serve --dir .chimera-service &
     python -m repro submit --kind periodic --bench MUM --priority 5 --wait
@@ -137,6 +142,46 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="X",
                        help="exit 1 if the speedup is below this factor "
                             "(also: CHIMERA_FLUID_FAIL_BELOW)")
+
+    traffic = sub.add_parser(
+        "traffic",
+        help="replay an open-arrival traffic scenario and report SLOs")
+    traffic.add_argument(
+        "--tenant", action="append", default=None, metavar="SPEC",
+        help="one tenant as NAME:KIND:RATE[:MIX[:PRIO[:SLO_US]]] with "
+             "KIND in poisson|diurnal|bursty and RATE in arrivals/s "
+             "(repeatable; default: a web+batch pair)")
+    traffic.add_argument("--policy", default="chimera", choices=ALL_POLICIES)
+    traffic.add_argument("--horizon-us", type=_nonnegative_float,
+                         default=60_000.0,
+                         help="arrival window in microseconds")
+    traffic.add_argument("--drain-us", type=_nonnegative_float,
+                         default=20_000.0,
+                         help="post-horizon drain window in microseconds")
+    traffic.add_argument("--window-us", type=_nonnegative_float, default=None,
+                         help="sliding-window width for windowed ANTT/STP "
+                              "(default: CHIMERA_TRAFFIC_WINDOW_US or 10000)")
+    traffic.add_argument("--target-kernel-us", type=_nonnegative_float,
+                         default=150.0,
+                         help="standalone duration of one arrival's kernel")
+    traffic.add_argument("--seed", type=int, default=12345)
+    traffic.add_argument("--json", action="store_true",
+                         help="print the full SLO report as JSON")
+    traffic.add_argument("--report", metavar="OUT.json", default=None,
+                         help="also write the SLO report to this file")
+    traffic.add_argument("--fail-below", type=_nonnegative_float,
+                         default=None, metavar="FRAC",
+                         help="exit 1 if overall SLO attainment is below "
+                              "this fraction")
+    traffic.add_argument("--submit", action="store_true",
+                         help="submit the scenario to the scheduling daemon "
+                              "instead of running it in-process")
+    traffic.add_argument("--priority", type=int, default=0,
+                         help="job admission priority for --submit")
+    traffic.add_argument("--job-id", default=None,
+                         help="explicit job id for --submit")
+    _add_service_dir(traffic)
+    _add_sweep_options(traffic)
 
     serve = sub.add_parser(
         "serve", help="run the crash-safe scheduling daemon")
@@ -536,6 +581,101 @@ def cmd_fluid_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default tenant set for ``traffic``: a latency-sensitive web tenant
+#: over a bursty low-priority batch tenant.
+DEFAULT_TENANTS = ("web:poisson:3000:table2-short:2:3000",
+                   "batch:bursty:1500:dl-train:0:8000")
+
+
+def _parse_tenant(raw: str):
+    """Parse one ``--tenant`` SPEC string into a TenantSpec."""
+    from repro.errors import ConfigError
+    from repro.workloads.traffic import ArrivalSpec, TenantSpec
+
+    parts = raw.split(":")
+    if not 2 <= len(parts) <= 6:
+        raise ConfigError(
+            f"tenant spec {raw!r} is not "
+            f"NAME:KIND:RATE[:MIX[:PRIO[:SLO_US]]]")
+    parts += [""] * (6 - len(parts))
+    name, kind, rate, mix_name, prio, slo = parts
+    try:
+        arrival = ArrivalSpec(kind=kind or "poisson",
+                              rate_per_s=float(rate or 2000.0))
+        return TenantSpec(name=name, arrival=arrival, mix=mix_name,
+                          priority=int(prio or 0),
+                          slo_us=float(slo or 2000.0))
+    except ValueError as exc:
+        raise ConfigError(f"tenant spec {raw!r}: {exc}") from exc
+
+
+def cmd_traffic(args: argparse.Namespace) -> int:
+    """``traffic``: replay an open-arrival scenario and score SLOs."""
+    import json
+
+    from repro.errors import SweepError
+    from repro.harness.scenario import ScenarioSpec
+    from repro.harness.sweep import RunSpec, SpecFailure
+
+    tenants = tuple(_parse_tenant(raw)
+                    for raw in (args.tenant or DEFAULT_TENANTS))
+    scenario = ScenarioSpec(tenants=tenants, horizon_us=args.horizon_us,
+                            drain_us=args.drain_us,
+                            window_us=args.window_us)
+    spec = RunSpec.traffic(scenario, policy=args.policy, seed=args.seed,
+                           target_kernel_us=args.target_kernel_us)
+    if args.submit:
+        from repro.service.client import ServiceClient
+
+        job_id = ServiceClient(args.dir).submit(
+            [spec], priority=args.priority, job_id=args.job_id)
+        print(job_id)
+        return 0
+    try:
+        result = _make_runner(args).run([spec])[0]
+    except SweepError as exc:
+        _print_failures(exc.failures)
+        return 1
+    if isinstance(result, SpecFailure):
+        _print_failures([result])
+        return 1
+    report = result.slo
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        rows = [[name, t["arrivals"], t["completed"], t["dropped"],
+                 format_percent(t["attainment"]),
+                 f"{t['latency_us']['p50']:.1f}",
+                 f"{t['latency_us']['p99']:.1f}",
+                 f"{t['goodput_per_s']:.0f}"]
+                for name, t in report["tenants"].items()]
+        print(format_table(
+            ["tenant", "arrivals", "done", "dropped", "attain",
+             "p50 us", "p99 us", "goodput/s"], rows,
+            title=f"Traffic scenario ({args.policy}, seed {args.seed}, "
+                  f"{report['horizon_us']:.0f} us)"))
+        print(f"overall attainment {format_percent(report['attainment'])} "
+              f"({report['met']}/{report['arrivals']})")
+        print(f"goodput            {report['goodput_per_s']:.0f}/s of "
+              f"{report['offered_per_s']:.0f}/s offered")
+        print(f"completion latency p50 {report['latency_us']['p50']:.1f} us, "
+              f"p99 {report['latency_us']['p99']:.1f} us")
+        print(f"preemption latency p50 "
+              f"{report['preemption_us']['p50']:.1f} us, p99 "
+              f"{report['preemption_us']['p99']:.1f} us "
+              f"({report['preemption_us']['samples']} preemptions)")
+    if args.fail_below is not None \
+            and report["attainment"] < args.fail_below:
+        print(f"attainment {report['attainment']:.4f} is below the "
+              f"{args.fail_below:g} floor", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _submit_specs(args: argparse.Namespace):
     """Build the RunSpec batch for ``submit`` from the scenario flags."""
     from repro.harness.sweep import RunSpec
@@ -664,6 +804,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return cmd_cycle(args)
     if args.command == "fluid-bench":
         return cmd_fluid_bench(args)
+    if args.command == "traffic":
+        return cmd_traffic(args)
     if args.command == "serve":
         return cmd_serve(args)
     if args.command == "submit":

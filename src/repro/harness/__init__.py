@@ -10,6 +10,12 @@ from repro.harness.runner import (
     run_pair,
     run_periodic,
 )
+from repro.harness.scenario import (
+    ScenarioSpec,
+    TrafficResult,
+    result_slo,
+    run_traffic,
+)
 from repro.harness.cache import CacheEntry, ResultCache
 from repro.harness import faults
 from repro.harness.sweep import (
@@ -34,9 +40,13 @@ __all__ = [
     "SoloResult",
     "PairResult",
     "PeriodicResult",
+    "ScenarioSpec",
+    "TrafficResult",
+    "result_slo",
     "run_solo",
     "run_pair",
     "run_periodic",
+    "run_traffic",
     "CacheEntry",
     "ResultCache",
     "RunSpec",

@@ -109,19 +109,22 @@ from repro.harness.runner import (
     run_periodic,
     run_solo,
 )
+from repro.harness.scenario import ScenarioSpec, TrafficResult, run_traffic
 from repro.sched.kernel_scheduler import SchedulerMode
 from repro.sim.trace import Tracer, dump_jsonl
 from repro.workloads.multiprogram import MultiprogramWorkload
 
 logger = logging.getLogger("repro.harness.sweep")
 
-RunResult = Union[SoloResult, PairResult, PeriodicResult]
+RunResult = Union[SoloResult, PairResult, PeriodicResult, TrafficResult]
 
 #: Spec-format version: bump when RunSpec semantics change so stale
 #: cache entries from an older layout can never be replayed.
 #: v2: GPUConfig gained qos_mode/qos_slack and results carry a ``qos``
 #: ledger summary — v1 entries predate both.
-SPEC_VERSION = 2
+#: v3: RunSpec gained the ``scenario`` field (traffic kind) and traffic
+#: results carry an ``slo`` report.
+SPEC_VERSION = 3
 
 #: Pool rebuilds tolerated before degrading to serial execution.
 DEFAULT_MAX_POOL_REBUILDS = 2
@@ -153,6 +156,8 @@ class RunSpec:
     # periodic
     constraint_us: float = 15.0
     periods: int = 10
+    # traffic
+    scenario: Optional[ScenarioSpec] = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -192,6 +197,16 @@ class RunSpec:
                    constraint_us=constraint_us, periods=periods, seed=seed,
                    config=config, target_kernel_us=target_kernel_us)
 
+    @classmethod
+    def traffic(cls, scenario: ScenarioSpec, policy: str = "chimera",
+                seed: int = 12345, latency_limit_us: float = 30.0,
+                config: Optional[GPUConfig] = None,
+                target_kernel_us: Optional[float] = None) -> "RunSpec":
+        """An open-arrival traffic scenario replay (SLO serving)."""
+        return cls(kind="traffic", scenario=scenario, policy=policy,
+                   seed=seed, latency_limit_us=latency_limit_us,
+                   config=config, target_kernel_us=target_kernel_us)
+
     # ------------------------------------------------------------------
     # hashing
     # ------------------------------------------------------------------
@@ -221,6 +236,11 @@ class RunSpec:
             return f"pair[{name}] policy={self.policy or 'fcfs'}"
         if self.kind == "periodic":
             return f"periodic[{self.label}] policy={self.policy}"
+        if self.kind == "traffic":
+            tenants = len(self.scenario.tenants) if self.scenario else 0
+            horizon = self.scenario.horizon_us if self.scenario else 0
+            return (f"traffic[{tenants}t/{horizon:g}us] "
+                    f"policy={self.policy}")
         return f"{self.kind}[{self.label}]"
 
     # ------------------------------------------------------------------
@@ -257,6 +277,14 @@ class RunSpec:
                                 config=self.config,
                                 target_kernel_us=self.target_kernel_us,
                                 tracer=tracer)
+        if self.kind == "traffic":
+            if self.scenario is None:
+                raise ConfigError("traffic spec needs a scenario")
+            return run_traffic(self.scenario, policy_name=self.policy,
+                               seed=self.seed, config=self.config,
+                               target_kernel_us=self.target_kernel_us,
+                               latency_limit_us=self.latency_limit_us,
+                               tracer=tracer)
         raise ConfigError(f"unknown RunSpec kind {self.kind!r}")
 
 
@@ -369,6 +397,11 @@ class SweepStats:
     #: ledger summary: budget overruns and mid-flight escalations.
     qos_violations: int = 0
     qos_escalations: int = 0
+    #: SLO rollup over every executed traffic result: offered arrivals,
+    #: arrivals that met their SLO, and arrivals dropped at the horizon.
+    slo_arrivals: int = 0
+    slo_met: int = 0
+    slo_dropped: int = 0
 
     def merge(self, other: "SweepStats") -> None:
         """Fold another accumulator into this one."""
@@ -386,6 +419,9 @@ class SweepStats:
         self.serial_equiv_s += other.serial_equiv_s
         self.qos_violations += other.qos_violations
         self.qos_escalations += other.qos_escalations
+        self.slo_arrivals += other.slo_arrivals
+        self.slo_met += other.slo_met
+        self.slo_dropped += other.slo_dropped
 
     @property
     def speedup(self) -> float:
@@ -411,6 +447,9 @@ class SweepStats:
             "speedup": round(self.speedup, 2),
             "qos_violations": self.qos_violations,
             "qos_escalations": self.qos_escalations,
+            "slo_arrivals": self.slo_arrivals,
+            "slo_met": self.slo_met,
+            "slo_dropped": self.slo_dropped,
         }
 
 
@@ -698,6 +737,11 @@ class SweepRunner:
         if qos:
             stats.qos_violations += int(qos.get("violations", 0))
             stats.qos_escalations += int(qos.get("escalations", 0))
+        slo = getattr(result, "slo", None)
+        if slo:
+            stats.slo_arrivals += int(slo.get("arrivals", 0))
+            stats.slo_met += int(slo.get("met", 0))
+            stats.slo_dropped += int(slo.get("dropped", 0))
 
     def _backoff_delay(self, attempt: int) -> float:
         """Exponential backoff before retry ``attempt`` (1-based)."""

@@ -2,6 +2,7 @@
 
 from repro.metrics.metrics import (
     antt,
+    percentile,
     stp,
     normalized_turnaround,
     ViolationSummary,
@@ -9,17 +10,26 @@ from repro.metrics.metrics import (
 )
 from repro.metrics.qos import QoSLedger, QoSRecord, TechniqueSample
 from repro.metrics.report import format_table, format_percent
+from repro.metrics.slo import (
+    ArrivalOutcome,
+    merge_slo_summaries,
+    slo_report,
+)
 from repro.metrics.timeline import SMTimeline, TraceTimelines
 
 __all__ = [
+    "ArrivalOutcome",
     "QoSLedger",
     "QoSRecord",
     "SMTimeline",
     "TechniqueSample",
     "TraceTimelines",
     "antt",
+    "percentile",
     "stp",
     "normalized_turnaround",
+    "merge_slo_summaries",
+    "slo_report",
     "ViolationSummary",
     "TechniqueMix",
     "format_table",

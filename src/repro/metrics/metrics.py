@@ -49,6 +49,31 @@ def stp(ntts: Sequence[float]) -> float:
     return sum(1.0 / ntt for ntt in ntts)
 
 
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Quantile ``q`` in [0, 1] by linear interpolation.
+
+    Nearest-rank indexing misbehaves on tiny samples: the p99 of a
+    50-sample set silently collapses to the max, and the p50 of two
+    samples picks one of them instead of their midpoint. Interpolating
+    between order statistics (the ``numpy.percentile`` "linear"
+    convention) degrades gracefully: empty input returns 0.0, a
+    singleton returns itself, and a quantile falling between two ranks
+    blends the neighbours.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigError("quantile must be in [0, 1]")
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    low = int(pos)
+    high = min(low + 1, len(ordered) - 1)
+    frac = pos - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
 @dataclass
 class ViolationSummary:
     """Deadline-violation accounting for a periodic-task run."""
@@ -82,14 +107,8 @@ class ViolationSummary:
         return max(self.latencies_us) if self.latencies_us else 0.0
 
     def percentile_latency_us(self, q: float) -> float:
-        """Latency at quantile ``q`` in [0, 1] (nearest-rank)."""
-        if not 0.0 <= q <= 1.0:
-            raise ConfigError("quantile must be in [0, 1]")
-        if not self.latencies_us:
-            return 0.0
-        ordered = sorted(self.latencies_us)
-        rank = min(len(ordered) - 1, max(0, int(q * len(ordered) + 0.5) - 1))
-        return ordered[rank]
+        """Latency at quantile ``q`` in [0, 1] (interpolated)."""
+        return percentile(self.latencies_us, q)
 
     def fraction_above(self, threshold_us: float) -> float:
         """Fraction of recorded latencies above a threshold."""

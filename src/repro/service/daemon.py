@@ -59,8 +59,10 @@ from repro.errors import AdmissionError, ConfigError, ServiceError
 from repro.harness import faults
 from repro.harness.cache import ResultCache
 from repro.harness.runner import result_qos
+from repro.harness.scenario import result_slo
 from repro.harness.sweep import RunSpec, execute_timed
 from repro.metrics.qos import merge_qos_summaries
+from repro.metrics.slo import merge_slo_summaries
 from repro.service.admission import AdmissionQueue
 from repro.service.state import Job, JobState, is_terminal
 from repro.service.store import (
@@ -585,6 +587,7 @@ class SchedulerDaemon:
             "key": key,
             "duration_s": round(duration, 6),
             "qos": result_qos(result),
+            "slo": result_slo(result),
         }
 
     def _spec_result_path(self, job: Job, index: int) -> Path:
@@ -599,11 +602,12 @@ class SchedulerDaemon:
             path = self._spec_result_path(job, i)
             parts.append(json.loads(path.read_text()))
         qos = merge_qos_summaries(p.get("qos") or {} for p in parts)
+        slo = merge_slo_summaries(p.get("slo") or {} for p in parts)
         result = {"job_id": job.job_id, "priority": job.priority,
-                  "specs": parts, "qos": qos}
+                  "specs": parts, "qos": qos, "slo": slo}
         _atomic_write_json(self.results_dir / f"{job.job_id}.json", result)
         return {"completed": len(job.specs), "specs": len(job.specs),
-                "qos": qos}
+                "qos": qos, "slo": slo}
 
 
 def _pid_alive(pid: int) -> bool:
@@ -653,6 +657,14 @@ def reconcile_qos(directory: Optional[os.PathLike] = None) -> Dict[str, Any]:
         disk_qos = merge_qos_summaries(
             p.get("qos") or {} for p in result.get("specs", ()))
         if disk_qos != journal_qos:
+            mismatches.append(job.job_id)
+            continue
+        # The SLO rollup must reconcile the same way (older journals
+        # predate it: both sides are then empty and trivially agree).
+        journal_slo = dict(job.detail.get("slo") or {})
+        disk_slo = merge_slo_summaries(
+            p.get("slo") or {} for p in result.get("specs", ()))
+        if disk_slo != journal_slo:
             mismatches.append(job.job_id)
             continue
         summaries.append(journal_qos)

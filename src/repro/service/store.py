@@ -43,8 +43,10 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 from repro.errors import StoreError
 from repro.gpu.config import GPUConfig
 from repro.harness import faults
+from repro.harness.scenario import ScenarioSpec
 from repro.harness.sweep import RunSpec
 from repro.service.state import Job, JobState, is_terminal, validate_transition
+from repro.workloads.traffic import ArrivalSpec, TenantSpec
 
 logger = logging.getLogger("repro.service.store")
 
@@ -67,6 +69,17 @@ def spec_to_dict(spec: RunSpec) -> Dict[str, Any]:
     return fields
 
 
+def _scenario_from_dict(fields: Dict[str, Any]) -> ScenarioSpec:
+    """Rebuild a nested ScenarioSpec (tenants + arrival processes)."""
+    fields = dict(fields)
+    tenants = []
+    for tenant in fields.pop("tenants", ()):
+        tenant = dict(tenant)
+        arrival = ArrivalSpec(**(tenant.pop("arrival", None) or {}))
+        tenants.append(TenantSpec(arrival=arrival, **tenant))
+    return ScenarioSpec(tenants=tuple(tenants), **fields)
+
+
 def spec_from_dict(fields: Dict[str, Any]) -> RunSpec:
     """Rebuild a RunSpec from its :func:`spec_to_dict` form."""
     fields = dict(fields)
@@ -76,8 +89,12 @@ def spec_from_dict(fields: Dict[str, Any]) -> RunSpec:
     labels = fields.pop("labels", None)
     if labels is not None:
         labels = tuple(labels)
+    scenario = fields.pop("scenario", None)
     try:
-        return RunSpec(config=config, labels=labels, **fields)
+        if scenario is not None:
+            scenario = _scenario_from_dict(scenario)
+        return RunSpec(config=config, labels=labels, scenario=scenario,
+                       **fields)
     except TypeError as exc:
         raise StoreError(f"malformed RunSpec record: {exc}") from exc
 

@@ -48,11 +48,14 @@ ASSIGN = "assign"        # SM bound to a kernel
 IDLE = "idle"            # SM detached outside a preemption hand-over
 DISPATCH = "dispatch"    # one block placed on an SM
 COMPLETE = "complete"    # one block retired normally
+#: Traffic scenarios (emitted by :mod:`repro.harness.scenario`):
+ARRIVAL = "arrival"      # one open-arrival submission hit the scheduler
+SLO = "slo"              # one arrival's SLO verdict (met / missed / dropped)
 
 #: All known categories (open set: custom categories are permitted).
 CATEGORIES = (LAUNCH, FINISH, KILL, DEADLINE, PREEMPT, RELEASE, FLUSH,
               SWITCH, DRAIN, ABORT, ESCALATE, VIOLATION, ASSIGN, IDLE,
-              DISPATCH, COMPLETE)
+              DISPATCH, COMPLETE, ARRIVAL, SLO)
 
 #: JSONL on-disk format version (bump on incompatible layout changes).
 TRACE_FORMAT_VERSION = 1
@@ -256,9 +259,9 @@ def load_jsonl(path: Union[str, "os.PathLike[str]"]) -> Tracer:
 
 
 __all__ = [
-    "ABORT", "ASSIGN", "CATEGORIES", "COMPLETE", "DEADLINE", "DISPATCH",
-    "DRAIN", "ESCALATE", "FINISH", "FLUSH", "IDLE", "KILL", "LAUNCH",
-    "PREEMPT", "RELEASE", "SWITCH", "TRACE_FORMAT_VERSION", "TraceRecord",
-    "Tracer", "VIOLATION", "dump_jsonl", "dumps_jsonl", "load_jsonl",
-    "loads_jsonl",
+    "ABORT", "ARRIVAL", "ASSIGN", "CATEGORIES", "COMPLETE", "DEADLINE",
+    "DISPATCH", "DRAIN", "ESCALATE", "FINISH", "FLUSH", "IDLE", "KILL",
+    "LAUNCH", "PREEMPT", "RELEASE", "SLO", "SWITCH",
+    "TRACE_FORMAT_VERSION", "TraceRecord", "Tracer", "VIOLATION",
+    "dump_jsonl", "dumps_jsonl", "load_jsonl", "loads_jsonl",
 ]

@@ -3,25 +3,51 @@
 from repro.workloads.specs import (
     BenchmarkSpec,
     KernelSpec,
+    KernelMix,
+    MIXES,
     TABLE2,
     benchmark,
     benchmark_labels,
     all_kernel_specs,
     kernel_spec,
+    mix,
+    mix_names,
 )
 from repro.workloads.synthetic import SyntheticKernelFactory
 from repro.workloads.periodic import PeriodicTaskSpec, synthetic_rt_kernel_spec
 from repro.workloads.multiprogram import MultiprogramWorkload, pair_with_lud
 from repro.workloads.lud import lud_launch_plan
+from repro.workloads.traffic import (
+    Arrival,
+    ArrivalSpec,
+    TenantSpec,
+    build_stream,
+    decode_stream,
+    encode_stream,
+    merge_streams,
+    tenant_stream,
+)
 
 __all__ = [
+    "Arrival",
+    "ArrivalSpec",
     "BenchmarkSpec",
     "KernelSpec",
+    "KernelMix",
+    "MIXES",
     "TABLE2",
+    "TenantSpec",
     "benchmark",
     "benchmark_labels",
     "all_kernel_specs",
+    "build_stream",
+    "decode_stream",
+    "encode_stream",
     "kernel_spec",
+    "merge_streams",
+    "mix",
+    "mix_names",
+    "tenant_stream",
     "SyntheticKernelFactory",
     "PeriodicTaskSpec",
     "synthetic_rt_kernel_spec",

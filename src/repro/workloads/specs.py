@@ -251,3 +251,111 @@ def kernel_spec(label: str) -> KernelSpec:
         return spec.kernels[int(idx)]
     except (ValueError, IndexError):
         raise ConfigError(f"unknown kernel label {label!r}") from None
+
+
+# ----------------------------------------------------------------------
+# kernel-mix catalogs (traffic generation)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KernelMix:
+    """A weighted catalog of kernels one tenant's traffic draws from.
+
+    ``kernels`` maps ``BENCH.i`` labels to sampling weights. The
+    Table-2 mixes reproduce the paper's workload population; the
+    DL-flavored mixes model the kernel populations Gilman & Walls
+    characterize for deep-learning inference and training (PAPERS.md):
+    inference traffic is dominated by short, compute-dense launches
+    (GEMM/conv stand-ins), training adds long memory-bound reduction
+    and embedding-style kernels.
+    """
+
+    name: str
+    description: str
+    kernels: Tuple[Tuple[str, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.kernels:
+            raise ConfigError(f"mix {self.name!r} has no kernels")
+        for label, weight in self.kernels:
+            kernel_spec(label)  # raises ConfigError on unknown labels
+            if weight <= 0:
+                raise ConfigError(
+                    f"mix {self.name!r}: weight of {label} must be positive")
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all sampling weights."""
+        return sum(weight for _, weight in self.kernels)
+
+    def sample(self, u: float) -> str:
+        """Map a uniform draw ``u`` in [0, 1) to a kernel label.
+
+        Deterministic inverse-CDF sampling so a seeded RNG stream
+        always reproduces the same label sequence.
+        """
+        if not 0.0 <= u < 1.0:
+            raise ConfigError("mix sample point must be in [0, 1)")
+        target = u * self.total_weight
+        acc = 0.0
+        for label, weight in self.kernels:
+            acc += weight
+            if target < acc:
+                return label
+        return self.kernels[-1][0]  # guard against FP summation slack
+
+
+def _uniform_mix(name: str, description: str,
+                 labels: List[str]) -> KernelMix:
+    return KernelMix(name, description,
+                     tuple((label, 1.0) for label in labels))
+
+
+#: Named kernel-mix catalogs: the paper's Table-2 populations plus
+#: DL-flavored mixes (Gilman & Walls, PAPERS.md).
+MIXES: Dict[str, KernelMix] = {
+    mix.name: mix for mix in [
+        _uniform_mix(
+            "table2-uniform",
+            "every Table-2 kernel, equally likely",
+            [spec.label for bench in TABLE2.values()
+             for spec in bench.kernels]),
+        _uniform_mix(
+            "table2-short",
+            "latency-sensitive Table-2 kernels (drain < 50us)",
+            [spec.label for bench in TABLE2.values()
+             for spec in bench.kernels if spec.avg_drain_us < 50.0]),
+        _uniform_mix(
+            "table2-long",
+            "long-running Table-2 kernels (drain >= 100us)",
+            [spec.label for bench in TABLE2.values()
+             for spec in bench.kernels if spec.avg_drain_us >= 100.0]),
+        KernelMix(
+            "dl-infer",
+            "inference-style traffic: short compute-dense kernels "
+            "(GEMM/conv stand-ins) with a thin tail of long launches",
+            (("BS.0", 3.0), ("SAD.0", 2.5), ("SAD.2", 2.0),
+             ("ST.0", 1.5), ("HS.0", 1.0), ("KM.1", 0.5))),
+        KernelMix(
+            "dl-train",
+            "training-style traffic: long memory-bound kernels with "
+            "irregular stragglers",
+            (("CP.0", 2.0), ("KM.0", 2.0), ("LC.1", 1.5),
+             ("ST.0", 1.5), ("MUM.0", 1.0), ("FWT.2", 1.0))),
+    ]
+}
+
+
+def mix(name: str) -> KernelMix:
+    """Look up a kernel mix by name."""
+    try:
+        return MIXES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown kernel mix {name!r}; known: {sorted(MIXES)}") from None
+
+
+def mix_names() -> List[str]:
+    """All catalog mix names."""
+    return list(MIXES.keys())

@@ -13,6 +13,7 @@ from repro.metrics.metrics import (
     ViolationSummary,
     antt,
     normalized_turnaround,
+    percentile,
     stp,
 )
 from repro.metrics.report import format_percent, format_table
@@ -157,3 +158,49 @@ class TestLatencyDistribution:
         assert v.fraction_above(10.0) == pytest.approx(0.2)
         assert v.fraction_above(0.0) == 1.0
         assert ViolationSummary().fraction_above(1.0) == 0.0
+
+
+class TestPercentile:
+    """Regressions for tiny/empty samples: the old nearest-rank code
+    either indexed out of range or silently returned the max."""
+
+    def test_interpolates_between_ranks(self):
+        # numpy's "linear" convention: p50 of [1..4] is 2.5, not 2 or 3.
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.25) == 1.75
+        assert percentile([10.0, 20.0], 0.99) == pytest.approx(19.9)
+
+    def test_singleton_every_quantile(self):
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert percentile([7.5], q) == 7.5
+
+    def test_two_samples_do_not_collapse_to_max(self):
+        # The old nearest-rank p99 of two samples was just the max;
+        # interpolation must keep p99 strictly below it.
+        assert percentile([1.0, 100.0], 0.99) < 100.0
+        assert percentile([1.0, 100.0], 1.0) == 100.0
+
+    def test_empty_is_zero_not_indexerror(self):
+        assert percentile([], 0.99) == 0.0
+
+    def test_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_bounds_checked(self):
+        with pytest.raises(ConfigError):
+            percentile([1.0], 1.5)
+        with pytest.raises(ConfigError):
+            percentile([1.0], -0.1)
+
+    def test_monotone_in_q(self):
+        samples = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0]
+        values = [percentile(samples, q / 20) for q in range(21)]
+        assert values == sorted(values)
+        assert values[0] == min(samples)
+        assert values[-1] == max(samples)
+
+    def test_violation_summary_uses_interpolation(self):
+        v = ViolationSummary()
+        v.record(1.0, violated=False)
+        v.record(100.0, violated=True)
+        assert v.percentile_latency_us(0.5) == pytest.approx(50.5)

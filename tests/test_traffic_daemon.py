@@ -1,0 +1,182 @@
+"""Daemon-path traffic tests: load, journal integrity, sim/daemon parity.
+
+Two acceptance properties of the traffic layer are proven here with the
+*real* executor (no ``execute_timed`` fake):
+
+* **Load**: a 500-job bursty stream — job submissions paced by the
+  bursty generator itself — into a live :class:`SchedulerDaemon` loses
+  no job, duplicates no job, leaves a journal that replays cleanly,
+  and reports per-job SLO attainment that matches an offline
+  recomputation of the same specs.
+* **Parity**: a seeded 1000-arrival Poisson scenario executed through
+  the daemon (own result cache, own process-independent store) yields
+  per-arrival outcomes and an SLO summary identical to executing the
+  same RunSpec in process. A scenario is a pure function of
+  ``(spec, seed, policy, config)``; both substrates must agree.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.harness.cache import ResultCache
+from repro.harness.scenario import ScenarioSpec, run_traffic
+from repro.harness.sweep import RunSpec
+from repro.metrics.slo import merge_slo_summaries
+from repro.service import (
+    JobState,
+    JobTable,
+    JournalStore,
+    SchedulerDaemon,
+    ServiceClient,
+    reconcile_qos,
+)
+from repro.workloads.traffic import ArrivalSpec, TenantSpec, build_stream
+
+pytestmark = pytest.mark.slow
+
+SMALL_CONFIG = dict(num_sms=4, num_memory_partitions=2,
+                    memory_bandwidth_gbps=177.4 * 4 / 30)
+
+#: Distinct scenario seeds behind the 500 jobs: every job runs one of
+#: these specs, so the daemon's shared result cache turns the load test
+#: into 10 real executions plus 490 cache hits — the load being tested
+#: is the job lifecycle (journal, admission, result files), not the
+#: simulator.
+LOAD_SEEDS = tuple(range(10))
+
+
+def tiny_traffic_spec(seed: int) -> RunSpec:
+    scenario = ScenarioSpec(
+        tenants=(TenantSpec(name="web", mix="table2-short",
+                            slo_us=3_000.0,
+                            arrival=ArrivalSpec(kind="poisson",
+                                                rate_per_s=2_000.0)),),
+        horizon_us=5_000.0, drain_us=5_000.0)
+    return RunSpec.traffic(scenario, seed=seed,
+                           config=GPUConfig(**SMALL_CONFIG),
+                           target_kernel_us=60.0)
+
+
+def acceptance_spec() -> RunSpec:
+    """The 1000-arrival Poisson acceptance scenario (~1.1k arrivals at
+    rate 5500/s over a 200 ms arrival window)."""
+    scenario = ScenarioSpec(
+        tenants=(TenantSpec(name="accept", mix="table2-short",
+                            slo_us=3_000.0,
+                            arrival=ArrivalSpec(kind="poisson",
+                                                rate_per_s=5_500.0)),),
+        horizon_us=200_000.0, drain_us=50_000.0)
+    return RunSpec.traffic(scenario, seed=11,
+                           config=GPUConfig(**SMALL_CONFIG),
+                           target_kernel_us=60.0)
+
+
+def make_daemon(tmp_path, **kwargs) -> SchedulerDaemon:
+    kwargs.setdefault("capacity", 600)
+    kwargs.setdefault("heartbeat_s", 30.0)
+    kwargs.setdefault("poll_s", 0.0)
+    # The daemon gets its own private, *enabled* cache: the real
+    # executor runs behind it, independent of the session cache.
+    kwargs.setdefault("cache", ResultCache(tmp_path / "daemon-cache"))
+    return SchedulerDaemon(tmp_path / "svc", **kwargs)
+
+
+class TestDaemonLoad:
+    JOBS = 500
+
+    def test_bursty_500_job_load(self, tmp_path):
+        # The submission schedule is itself a bursty traffic stream.
+        pacer = TenantSpec(name="load",
+                           arrival=ArrivalSpec(kind="bursty",
+                                               rate_per_s=6_000.0,
+                                               burst_factor=6.0))
+        schedule = build_stream([pacer], 4, 120_000.0)
+        assert len(schedule) >= self.JOBS
+        schedule = schedule[:self.JOBS]
+
+        daemon = make_daemon(tmp_path)
+        client = ServiceClient(tmp_path / "svc")
+        daemon.start()
+        submitted = []
+        for arrival in schedule:
+            seed = LOAD_SEEDS[arrival.seq % len(LOAD_SEEDS)]
+            job_id = f"load-{arrival.seq:04d}"
+            client.submit([tiny_traffic_spec(seed)], job_id=job_id)
+            submitted.append((job_id, seed))
+            if arrival.seq % 25 == 24:  # drain between bursts
+                daemon.tick()
+        daemon.run_until_idle()
+        daemon.shutdown()
+
+        # Zero lost, zero duplicated: the replayed job table holds
+        # exactly the submitted ids, each terminal exactly once (replay
+        # itself rejects a second terminal transition).
+        records = JournalStore(tmp_path / "svc").replay()
+        table = JobTable.from_records(records)
+        assert set(table.jobs) == {job_id for job_id, _ in submitted}
+        assert all(job.state == JobState.COMPLETED
+                   for job in table.jobs.values())
+        completions = [r for r in records if r.get("to") == "completed"]
+        assert len(completions) == self.JOBS
+
+        # Reported attainment matches an offline recomputation: run
+        # each distinct spec once in process and project over the jobs.
+        offline = {seed: tiny_traffic_spec(seed).execute().slo
+                   for seed in LOAD_SEEDS}
+        by_job = {r["job"]: r["payload"]["slo"] for r in completions}
+        for job_id, seed in submitted:
+            journal_slo = by_job[job_id]
+            expected = offline[seed]
+            assert journal_slo["arrivals"] == expected["arrivals"]
+            assert journal_slo["met"] == expected["met"]
+            assert journal_slo["attainment"] == expected["attainment"]
+            result = client.result(job_id)
+            assert result["slo"] == journal_slo
+            assert result["specs"][0]["slo"] == expected
+
+        # And the journal-vs-disk reconciliation (which now covers SLO
+        # rollups too) agrees with itself over all 500 jobs.
+        rec = reconcile_qos(tmp_path / "svc")
+        assert rec["consistent"], rec
+        assert rec["completed_jobs"] == self.JOBS
+
+
+class TestSimDaemonParity:
+    def test_1000_arrival_poisson_identical_outcomes(self, tmp_path):
+        spec = acceptance_spec()
+        stream = spec.scenario.stream(spec.seed)
+        assert len(stream) >= 1000, len(stream)
+
+        # Path 1: straight through the simulator, no cache involved.
+        direct = run_traffic(spec.scenario, policy_name=spec.policy,
+                             seed=spec.seed, config=spec.config,
+                             target_kernel_us=spec.target_kernel_us)
+
+        # Path 2: the same RunSpec through a live daemon with its own
+        # result cache (independent recomputation, then persisted).
+        daemon = make_daemon(tmp_path)
+        client = ServiceClient(tmp_path / "svc")
+        job_id = client.submit([spec], job_id="acceptance")
+        daemon.run_until_idle()
+        daemon.shutdown()
+        assert client.job_state(job_id) == "completed"
+
+        # Identical SLO summaries, at every reporting layer.
+        result = client.result(job_id)
+        assert result["specs"][0]["slo"] == direct.slo
+        assert result["slo"] == merge_slo_summaries([direct.slo])
+        on_disk = json.loads(
+            (tmp_path / "svc" / "results" / "acceptance.json").read_text())
+        assert on_disk["slo"] == result["slo"]
+
+        # Identical per-job outcomes: the daemon's cached result holds
+        # the full per-arrival lifecycle records.
+        entry = ResultCache(tmp_path / "daemon-cache").get(spec.cache_key())
+        assert entry is not None
+        assert entry.result.outcomes == direct.outcomes
+        assert entry.result.slo == direct.slo
+        assert len(direct.outcomes) == len(stream)
