@@ -193,6 +193,11 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="S",
                        help="worker heartbeat watchdog timeout "
                             "(default: CHIMERA_HEARTBEAT or 30)")
+    serve.add_argument("--workers", type=_positive_int, default=None,
+                       metavar="N",
+                       help="concurrent execution slots (default: "
+                            "CHIMERA_SERVICE_WORKERS or cpu count); >1 "
+                            "runs specs in forked worker processes")
     serve.add_argument("--poll", type=_nonnegative_float, default=0.05,
                        metavar="S", help="tick interval")
     serve.add_argument("--idle-exit", type=_nonnegative_float, default=None,
@@ -703,7 +708,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.daemon import SchedulerDaemon
 
     daemon = SchedulerDaemon(directory=args.dir, capacity=args.capacity,
-                             heartbeat_s=args.heartbeat, poll_s=args.poll)
+                             heartbeat_s=args.heartbeat, poll_s=args.poll,
+                             workers=args.workers)
 
     def _on_sigterm(signum, frame):  # noqa: ARG001 - signal signature
         daemon.request_drain()
@@ -712,7 +718,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     try:
         daemon.serve(idle_exit_s=args.idle_exit, max_wall_s=args.max_wall)
     except faults.InjectedCrash:
-        # Model kill -9 faithfully: no cleanup, no atexit, no flush.
+        # Model kill -9 faithfully: no cleanup, no atexit, no flush —
+        # except the forked spec workers, which a real SIGKILL of the
+        # process group would take down with us.
+        daemon.emergency_stop()
         os._exit(faults.CRASH_EXIT_CODE)
     finally:
         signal.signal(signal.SIGTERM, previous)
@@ -759,11 +768,20 @@ def cmd_status(args: argparse.Namespace) -> int:
         return 0 if snapshot["qos"]["consistent"] else 1
     rows = [[j["job_id"], j["state"], j["priority"],
              f"{j['completed']}/{j['specs']}",
+             "-" if j.get("slot", -1) < 0 else str(j["slot"]),
              j["detail"].get("reason") or j["detail"].get("error") or "-"]
             for j in snapshot["jobs"]]
-    print(format_table(["job", "state", "prio", "specs", "detail"], rows,
+    print(format_table(["job", "state", "prio", "specs", "slot", "detail"],
+                       rows,
                        title=f"Service {snapshot['directory']} "
                              f"({snapshot['restarts']} start(s))"))
+    for entry in snapshot.get("slots") or ():
+        if entry.get("job_id") is None:
+            print(f"slot {entry['slot']:<14} idle")
+        else:
+            print(f"slot {entry['slot']:<14} {entry['job_id']} "
+                  f"at {entry['checkpoint']}/{entry['specs']} "
+                  f"(heartbeat {entry['heartbeat_age_s']:.3f}s ago)")
     qos = snapshot["qos"]
     print(f"qos ledger         {qos['totals']['preemptions']} preemptions, "
           f"{qos['totals']['violations']} violations "

@@ -46,10 +46,11 @@ entity rather than a spec position:
   estimates for launch ``kernel`` come out at ``factor``× truth
   (default 0.25, i.e. a 4× under-prediction)
 
-Four more kinds target the scheduling daemon (:mod:`repro.service`), so
+Five more kinds target the scheduling daemon (:mod:`repro.service`), so
 its crash-recovery paths are provable the same way. ``index`` names the
 global journal record sequence number (``crash-before-commit``,
-``crash-after-commit``, ``torn-journal``) or the job's admission ordinal
+``crash-after-commit``, ``torn-journal``), the number of jobs
+concurrently mid-dispatch (``crash-inflight``), or the execution slot
 (``hang-worker``):
 
 * ``crash-before-commit@seq`` — the daemon dies immediately *before*
@@ -61,8 +62,12 @@ global journal record sequence number (``crash-before-commit``,
 * ``torn-journal@seq``        — record ``seq`` is half-written (torn)
   and the daemon dies mid-write: restart must truncate the torn tail
   and recover from the previous record
-* ``hang-worker@job``         — the worker executing the job admitted
-  ``job``-th sleeps instead of making progress, tripping the daemon's
+* ``crash-inflight@K``        — the daemon dies at the first journal
+  append made while exactly ``K`` jobs sit in a dispatch state
+  (admitted/running/resumed), so recovery of *any subset* of
+  concurrently in-flight jobs is exercisable on a multi-slot daemon
+* ``hang-worker@slot``        — the worker on execution slot ``slot``
+  sleeps instead of making progress, tripping the daemon's per-slot
   heartbeat watchdog
 
 Daemon crash kinds raise :class:`InjectedCrash` (a ``BaseException``, so
@@ -98,11 +103,11 @@ CRASH_EXIT_CODE = 13
 
 _KINDS = ("fail", "crash", "hang", "corrupt", "stall-drain",
           "corrupt-estimate", "crash-before-commit", "crash-after-commit",
-          "torn-journal", "hang-worker")
+          "torn-journal", "crash-inflight", "hang-worker")
 
 #: Daemon fault kinds that kill the process at a journal boundary.
 SERVICE_CRASH_KINDS = ("crash-before-commit", "crash-after-commit",
-                       "torn-journal")
+                       "torn-journal", "crash-inflight")
 
 #: Kinds whose trailing slot is a float factor, with their defaults.
 _SIM_FACTOR_DEFAULTS = {"stall-drain": 8.0, "corrupt-estimate": 0.25}
@@ -385,14 +390,32 @@ def torn_journal_fires(seq: int) -> bool:
     return plan is not None and plan.fires("torn-journal", seq, 0)
 
 
-def worker_hang_fires(ordinal: int) -> bool:
-    """Should the worker for the ``ordinal``-th admitted job hang?
+def service_inflight_crash(in_flight: int, seq: int) -> None:
+    """Fire ``crash-inflight`` when ``in_flight`` jobs are mid-dispatch.
 
-    The daemon's worker sleeps :func:`hang_seconds` instead of
-    executing, so the heartbeat watchdog observes a stalled job.
+    Called by the persistent store on every journal append with the
+    number of jobs currently in a dispatch state
+    (admitted/running/resumed) as reported by the daemon. Raises
+    :class:`InjectedCrash` at the first append made while exactly ``K``
+    jobs are in flight, so multi-slot crash recovery is provable for
+    any concurrency level.
     """
     plan = active_plan()
-    return plan is not None and plan.fires("hang-worker", ordinal, 0)
+    if plan is not None and plan.fires("crash-inflight", in_flight, 0):
+        raise InjectedCrash("crash-inflight", seq)
+
+
+def worker_hang_fires(slot: int) -> bool:
+    """Should the worker on execution slot ``slot`` hang?
+
+    The daemon's worker sleeps :func:`hang_seconds` instead of
+    executing, so the per-slot heartbeat watchdog observes a stalled
+    job on that slot while its siblings keep making progress. (With a
+    single-slot daemon this degenerates to the pre-multi-slot
+    behavior: slot 0 is the only worker.)
+    """
+    plan = active_plan()
+    return plan is not None and plan.fires("hang-worker", slot, 0)
 
 
 __all__ = [
@@ -414,6 +437,7 @@ __all__ = [
     "install",
     "parse_plan",
     "service_crash_point",
+    "service_inflight_crash",
     "should_corrupt_put",
     "torn_journal_fires",
     "worker_hang_fires",

@@ -161,9 +161,11 @@ def run_traffic(scenario: ScenarioSpec,
         tracer.meta.setdefault("scenario_tenants",
                                [t.name for t in scenario.tenants])
     stream = scenario.stream(seed)
-    states: List[Dict[str, Optional[float]]] = [
-        {"dispatch": None, "finish": None} for _ in stream]
-    grids: List[int] = []
+    # Arrival bookkeeping is materialized lazily, at launch time: a
+    # 100k-arrival stream costs two pointer arrays up front, not 100k
+    # state dicts, grids, and pending events before the first fire.
+    states: List[Optional[Dict[str, Optional[float]]]] = [None] * len(stream)
+    grids: List[int] = [0] * len(stream)
     finished = [0]
 
     def launch(arrival: Arrival, state: Dict[str, Optional[float]],
@@ -198,14 +200,29 @@ def run_traffic(scenario: ScenarioSpec,
             kernel, on_finished=on_done, on_fully_dispatched=on_full,
             weight=1.0 + max(0, arrival.priority))
 
-    for arrival in stream:
+    def fire(index: int) -> None:
+        # Chain: each arrival schedules the next *before* launching, so
+        # the engine holds at most one pending arrival event and the
+        # chain survives anything launch() does. ``schedule_at_exact``
+        # pins the precomputed timestamp bit-identically to the old
+        # schedule-everything-at-t=0 form.
+        if index + 1 < len(stream):
+            nxt = stream[index + 1]
+            system.engine.schedule_at_exact(
+                config.us(nxt.t_us), lambda: fire(index + 1),
+                f"traffic-arrival-{nxt.seq}")
+        arrival = stream[index]
         grid = system.factory.grid_for(kernel_spec(arrival.kernel))
-        grids.append(grid)
-        state = states[arrival.seq]
-        system.engine.schedule_at(
-            config.us(arrival.t_us),
-            lambda a=arrival, s=state, g=grid: launch(a, s, g),
-            f"traffic-arrival-{arrival.seq}")
+        grids[arrival.seq] = grid
+        state: Dict[str, Optional[float]] = {"dispatch": None,
+                                             "finish": None}
+        states[arrival.seq] = state
+        launch(arrival, state, grid)
+
+    if stream:
+        system.engine.schedule_at_exact(
+            config.us(stream[0].t_us), lambda: fire(0),
+            f"traffic-arrival-{stream[0].seq}")
 
     system.start()
     system.run(horizon_ms=scenario.total_us / 1000.0,
@@ -213,6 +230,11 @@ def run_traffic(scenario: ScenarioSpec,
 
     outcomes: List[ArrivalOutcome] = []
     for arrival, state, grid in zip(stream, states, grids):
+        if state is None:
+            # Never launched (horizon cut the chain): same shape as a
+            # drop, with the grid recomputed for the NTT denominator.
+            state = {"dispatch": None, "finish": None}
+            grid = system.factory.grid_for(kernel_spec(arrival.kernel))
         if tracer is not None and state["finish"] is None:
             tracer.emit(system.engine.now, trace_mod.SLO,
                         f"{arrival.tenant}#{arrival.seq} dropped",

@@ -82,6 +82,17 @@ class AdmissionQueue:
         """The best job without removing it, or None when empty."""
         return self._heap[0][1] if self._heap else None
 
+    def top(self, n: int) -> List[Job]:
+        """The best ``n`` jobs in queue order, without removing them.
+
+        The multi-slot preemption policy matches the strongest waiting
+        jobs against running victims, so it needs more than ``peek``.
+        """
+        if n <= 0:
+            return []
+        return [job for _, job in heapq.nsmallest(
+            n, self._heap, key=lambda kv: kv[0])]
+
     def remove(self, job_id: str) -> Optional[Job]:
         """Remove a job by id (cancellation), or None if absent."""
         for i, (_, job) in enumerate(self._heap):

@@ -142,6 +142,8 @@ class ServiceClient:
                 "priority": job.priority,
                 "specs": len(job.specs),
                 "completed": job.completed,
+                "slot": job.slot,
+                "requeues": job.requeues,
                 "detail": job.detail,
             })
         rejected = []
@@ -159,6 +161,8 @@ class ServiceClient:
         return {
             "directory": str(self.directory),
             "daemon": beacon,
+            "workers": (beacon or {}).get("workers"),
+            "slots": (beacon or {}).get("slots"),
             "restarts": table.restarts,
             "transitions": table.transitions,
             "counts": table.counts(),

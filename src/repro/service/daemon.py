@@ -2,24 +2,32 @@
 
 ``SchedulerDaemon`` turns the simulator into a long-running service: a
 filesystem job-submission API (``spool/``), a bounded priority
-admission queue, a worker thread executing each job's RunSpecs through
-the shared result cache, heartbeat/watchdog supervision, and the
-crash-safe journal (:mod:`repro.service.store`) recording every
-lifecycle transition *before* it is acted on.
+admission queue, ``N`` concurrent execution slots running jobs'
+RunSpecs through the shared result cache, heartbeat/watchdog
+supervision per slot, and the crash-safe journal
+(:mod:`repro.service.store`) recording every lifecycle transition
+*before* it is acted on.
 
 Execution model
 ---------------
-A job is a batch of deterministic RunSpecs. The worker executes them in
-order; the index of the first unexecuted spec is the job's checkpoint.
-Preemption is *collaborative*, exactly in the spirit of the paper's SM
-preemption lifted to the service layer: the daemon requests preemption
-(sets a flag), the worker yields at the next spec boundary, and only
-then is the PREEMPTED transition journaled with the checkpoint. A
-single-spec job therefore finishes its spec before yielding — bounded
-preemption latency, never a corrupted half-spec.
+A job is a batch of deterministic RunSpecs. The daemon owns ``workers``
+execution slots; each busy slot has a supervision thread walking its
+job's specs in order, and the index of the first unexecuted spec is the
+job's checkpoint. With more than one worker the specs themselves run in
+a pool of **forked worker processes**, so CPU-bound simulation
+parallelizes past the GIL; with one worker they run in the slot thread,
+preserving the original single-worker behavior exactly. Preemption is
+*collaborative*, exactly in the spirit of the paper's SM preemption
+lifted to the service layer: the daemon requests preemption (sets a
+flag), the worker yields at the next spec boundary, and only then is
+the PREEMPTED transition journaled with the checkpoint. When every slot
+is busy and higher-priority work waits, victims are chosen across slots
+by Chimera's cheapest-victim cost ordering: lowest priority first, then
+the slot with the least completed-but-unmerged work, then the slot
+longest into its current spec (nearest its next boundary).
 
-Durability contract (DESIGN.md §12)
------------------------------------
+Durability contract (DESIGN.md §12, §14)
+----------------------------------------
 * **Intentions journal-before-act**: QUEUED is journaled before the
   spool file is consumed; ADMITTED/RUNNING/RESUMED before the worker
   starts; recovery re-queues before jobs re-enter the queue.
@@ -28,16 +36,24 @@ Durability contract (DESIGN.md §12)
   implies the result exists. A crash between the two re-runs the job,
   which is idempotent: specs are deterministic and content-cached, so
   the re-run replays from cache and rewrites identical bytes.
+* **Group-commit**: within one tick, journal appends are written and
+  flushed immediately but share a single ``fsync``, issued before any
+  of the acts those records authorize (spool consumption, worker
+  start) is performed. Journal-before-act is preserved at tick
+  granularity; a crash mid-tick loses at most un-acted-on intentions.
 * Restart recovery replays the journal, re-queues every job whose last
-  durable state was ADMITTED/RUNNING/RESUMED, re-enqueues QUEUED and
-  PREEMPTED jobs as they stand, and deduplicates spool files for jobs
-  the journal already knows — no job is lost, none runs twice.
+  durable state was ADMITTED/RUNNING/RESUMED — any subset of in-flight
+  jobs, under any slot count — re-enqueues QUEUED and PREEMPTED jobs
+  as they stand, and deduplicates spool files for jobs the journal
+  already knows — no job is lost, none runs twice.
 
 Environment knobs:
 
 * ``CHIMERA_SERVICE_DIR``      — service directory (default
   ``.chimera-service``): journal, spool, results, control files
 * ``CHIMERA_SERVICE_CAPACITY`` — admission queue bound (default 64)
+* ``CHIMERA_SERVICE_WORKERS``  — concurrent execution slots (default
+  ``os.cpu_count()``); ``1`` keeps execution in-process/in-thread
 * ``CHIMERA_HEARTBEAT``        — worker heartbeat watchdog timeout in
   seconds (default 30); a worker silent for longer is declared lost and
   its job FAILED
@@ -48,12 +64,15 @@ from __future__ import annotations
 import errno
 import json
 import logging
+import multiprocessing
 import os
 import tempfile
 import threading
 import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import AdmissionError, ConfigError, ServiceError
 from repro.harness import faults
@@ -75,13 +94,19 @@ from repro.service.store import (
 logger = logging.getLogger("repro.service.daemon")
 
 __all__ = ["SchedulerDaemon", "DEFAULT_SERVICE_DIR", "DEFAULT_HEARTBEAT_S",
-           "default_heartbeat", "default_service_dir", "reconcile_qos"]
+           "default_heartbeat", "default_service_dir", "default_workers",
+           "reconcile_qos"]
 
 #: Default service directory, relative to the current working directory.
 DEFAULT_SERVICE_DIR = ".chimera-service"
 
 #: Default worker heartbeat watchdog timeout, seconds.
 DEFAULT_HEARTBEAT_S = 30.0
+
+#: Journal states that mean "the daemon owed this job a dispatch" — a
+#: crash while a job sits in one of them re-queues it on restart, and
+#: the ``crash-inflight@K`` fault counts jobs in them.
+_DISPATCH_STATES = (JobState.ADMITTED, JobState.RUNNING, JobState.RESUMED)
 
 
 def default_service_dir() -> str:
@@ -106,6 +131,27 @@ def default_heartbeat() -> float:
     return heartbeat
 
 
+def default_workers() -> int:
+    """Execution slot count from ``CHIMERA_SERVICE_WORKERS``.
+
+    Defaults to ``os.cpu_count()`` (at least 1): the daemon's specs are
+    CPU-bound simulator runs, so one slot per core is the saturation
+    point.
+    """
+    raw = os.environ.get("CHIMERA_SERVICE_WORKERS", "").strip()
+    if not raw:
+        return max(1, os.cpu_count() or 1)
+    try:
+        workers = int(raw)
+    except ValueError as exc:
+        raise ConfigError(
+            f"CHIMERA_SERVICE_WORKERS must be an integer, got {raw!r}"
+        ) from exc
+    if workers < 1:
+        raise ConfigError("CHIMERA_SERVICE_WORKERS must be >= 1")
+    return workers
+
+
 def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
     """Write JSON atomically (temp file + rename) in ``path``'s dir."""
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -122,17 +168,53 @@ def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
         raise
 
 
-class _RunningJob:
-    """Supervision handle for the worker thread executing one job."""
+def _pool_warmup() -> int:
+    """No-op pool task used to force worker processes into existence
+    while the daemon is still single-threaded (forking after the slot
+    threads start is unsafe)."""
+    return os.getpid()
 
-    def __init__(self, job: Job):
+
+def _process_spec(spec: RunSpec, cache_dir: str,
+                  cache_enabled: bool) -> Dict[str, Any]:
+    """Pool-worker side of one spec execution.
+
+    Runs in a forked worker process: rebuilds a cache handle over the
+    shared directory, executes (or replays) the spec, and returns only
+    the small summary fields — large results never cross the pipe, they
+    land in the content-addressed cache where the parent (or a restart)
+    can replay them.
+    """
+    cache = ResultCache(cache_dir, enabled=cache_enabled)
+    key = spec.cache_key()
+    entry = cache.get(key)
+    if entry is not None:
+        result, duration = entry.result, entry.duration_s
+    else:
+        result, duration = execute_timed(spec)
+        cache.put(key, result, duration)
+    return {"duration_s": round(duration, 6),
+            "qos": result_qos(result),
+            "slo": result_slo(result)}
+
+
+class _RunningJob:
+    """Supervision handle for the slot thread executing one job."""
+
+    def __init__(self, job: Job, slot: int):
         self.job = job
+        #: The execution slot this dispatch occupies.
+        self.slot = slot
         self.preempt = threading.Event()
         self.cancel = threading.Event()
         #: Monotonic timestamp of the worker's last sign of life.
         self.heartbeat = time.monotonic()
         #: Specs executed so far in this dispatch (worker-updated).
         self.completed = job.completed
+        #: Checkpoint at dispatch time: ``completed - base_completed``
+        #: is the completed-but-unmerged work the victim-selection cost
+        #: charges for preempting this slot.
+        self.base_completed = job.completed
         #: Set *last* by the worker: ("completed"|"preempted"|"killed",
         #: checkpoint) or ("failed", error text).
         self.outcome: Optional[Tuple[str, Any]] = None
@@ -144,7 +226,7 @@ class _RunningJob:
 
 
 class SchedulerDaemon:
-    """A crash-safe, single-worker scheduling daemon over the simulator.
+    """A crash-safe, multi-slot scheduling daemon over the simulator.
 
     Drive it with :meth:`serve` (the ``chimera serve`` loop) or
     :meth:`tick`/:meth:`run_until_idle` (deterministic, for tests).
@@ -154,13 +236,17 @@ class SchedulerDaemon:
                  capacity: Optional[int] = None,
                  heartbeat_s: Optional[float] = None,
                  cache: Optional[ResultCache] = None,
-                 poll_s: float = 0.05):
+                 poll_s: float = 0.05,
+                 workers: Optional[int] = None,
+                 use_processes: Optional[bool] = None):
         self.directory = Path(directory if directory is not None
                               else default_service_dir())
         self.spool_dir = self.directory / "spool"
         self.results_dir = self.directory / "results"
         self.control_dir = self.directory / "control"
-        self.store = JournalStore(self.directory)
+        #: Group-commit: the daemon batches appends per tick and issues
+        #: one fsync in :meth:`_commit` before acting on any of them.
+        self.store = JournalStore(self.directory, autosync=False)
         self.queue = AdmissionQueue(capacity)
         self.heartbeat_s = (default_heartbeat() if heartbeat_s is None
                             else heartbeat_s)
@@ -168,13 +254,43 @@ class SchedulerDaemon:
             raise ConfigError("heartbeat_s must be > 0")
         self.cache = ResultCache.from_env() if cache is None else cache
         self.poll_s = poll_s
+        self.workers = default_workers() if workers is None else int(workers)
+        if self.workers < 1:
+            raise ConfigError("workers must be >= 1")
+        #: With one worker, specs run in the slot thread (the PR 7
+        #: behavior, and what the fault-injection tests monkeypatch);
+        #: with more, in forked worker processes to escape the GIL.
+        self.use_processes = (self.workers > 1 if use_processes is None
+                              else bool(use_processes))
         self.table = JobTable()
-        self.running: Optional[_RunningJob] = None
-        #: Dispatch counter (RUNNING/RESUMED transitions ever journaled);
-        #: the index the ``hang-worker`` fault targets.
+        #: Execution slots; ``None`` marks a free slot.
+        self.slots: List[Optional[_RunningJob]] = [None] * self.workers
+        #: Dispatch counter (RUNNING/RESUMED transitions ever journaled).
         self._ordinal = 0
         self._draining = False
         self._started = False
+        #: Acts deferred until the tick's group commit (spool unlinks,
+        #: cancel-marker unlinks, worker thread starts).
+        self._deferred: List[Callable[[], None]] = []
+        #: Set by slot threads when an outcome lands; the serve and
+        #: run-until-idle loops wait on it instead of spinning.
+        self._wake = threading.Event()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        #: Worker process handles, kept past pool shutdown so
+        #: :meth:`emergency_stop` can kill them after a crash.
+        self._pool_procs: List[Any] = []
+
+    @property
+    def running(self) -> Optional[_RunningJob]:
+        """The first busy slot (single-worker compatibility view)."""
+        for run in self.slots:
+            if run is not None:
+                return run
+        return None
+
+    def _busy(self) -> bool:
+        return any(run is not None for run in self.slots)
 
     # ------------------------------------------------------------------
     # startup & recovery
@@ -189,16 +305,46 @@ class SchedulerDaemon:
         self._acquire_lock()
         records = self.store.open()
         self.table = JobTable.from_records(records)
+        self.store.inflight_probe = self._inflight
         self._ordinal = sum(
             1 for r in records
             if r.get("type") == "transition"
             and r.get("to") in (JobState.RUNNING.value,
                                 JobState.RESUMED.value))
-        self.store.append_meta("daemon-start", pid=os.getpid())
+        self.slots = [None] * self.workers
+        self.store.append_meta("daemon-start", pid=os.getpid(),
+                               workers=self.workers)
         self._recover()
+        self._commit()
+        if self.use_processes and self._pool is None:
+            self._start_pool()
         self._started = True
-        logger.info("daemon started in %s: %d job(s) replayed, %d queued",
-                    self.directory, len(self.table), len(self.queue))
+        logger.info("daemon started in %s: %d job(s) replayed, %d queued, "
+                    "%d slot(s)", self.directory, len(self.table),
+                    len(self.queue), self.workers)
+
+    def _inflight(self) -> int:
+        """Jobs the journal currently shows in a dispatch state — the
+        count the ``crash-inflight@K`` fault keys on."""
+        return sum(1 for job in self.table.jobs.values()
+                   if job.state in _DISPATCH_STATES)
+
+    def _start_pool(self) -> None:
+        """Fork the spec-execution pool while still single-threaded.
+
+        The fork start method keeps monkeypatched module state visible
+        to workers and needs no re-import of the package; warming every
+        worker up front means no fork ever happens after slot threads
+        exist.
+        """
+        ctx = multiprocessing.get_context("fork")
+        self._pool = ProcessPoolExecutor(max_workers=self.workers,
+                                         mp_context=ctx)
+        warm = [self._pool.submit(_pool_warmup)
+                for _ in range(self.workers)]
+        for future in warm:
+            future.result()
+        self._pool_procs = list(self._pool._processes.values())
 
     def _acquire_lock(self) -> None:
         """Refuse to run two daemons over one journal.
@@ -229,8 +375,7 @@ class SchedulerDaemon:
         requeued = 0
         for job in sorted(self.table.live_jobs(),
                           key=lambda j: j.submit_seq):
-            if job.state in (JobState.ADMITTED, JobState.RUNNING,
-                             JobState.RESUMED):
+            if job.state in _DISPATCH_STATES:
                 # The crash interrupted this job mid-dispatch: journal
                 # the re-queue first, then pick it up again. Its
                 # checkpoint is whatever the journal last recorded.
@@ -238,6 +383,7 @@ class SchedulerDaemon:
                     job.job_id, job.state, JobState.QUEUED,
                     {"completed": job.completed, "reason": "crash-recovery"})
                 job.advance(JobState.QUEUED)
+                job.requeues += 1
                 requeued += 1
             # QUEUED and PREEMPTED jobs re-enter the queue as they stand
             # (recovery re-queues may exceed capacity: durable state is
@@ -266,19 +412,34 @@ class SchedulerDaemon:
         self._scan_control()
         self._scan_spool()
         self._scan_cancels()
-        self._supervise_running()
+        self._supervise_slots()
         self._maybe_preempt()
         self._dispatch()
+        self._commit()
+
+    def _commit(self) -> None:
+        """Group-commit barrier: one fsync over the tick's appends,
+        then the acts those records authorize.
+
+        Deliberately *not* in a ``finally``: if the tick dies mid-way
+        (an injected crash, a real one), nothing journaled this tick
+        has been acted on — the restart sees the intentions and redoes
+        them, which is exactly the journal-before-act contract.
+        """
+        self.store.commit()
+        while self._deferred:
+            act = self._deferred.pop(0)
+            act()
 
     def serve(self, idle_exit_s: Optional[float] = None,
               max_wall_s: Optional[float] = None) -> None:
-        """The ``chimera serve`` loop: tick, sleep, repeat.
+        """The ``chimera serve`` loop: tick, wait, repeat.
 
         ``idle_exit_s`` exits after the daemon has been idle (no running
         job, empty queue, empty spool) that long — used by smoke tests
         and CI. ``max_wall_s`` is a hard safety stop. A drain request
-        (SIGTERM or the ``control/drain`` file) checkpoints the running
-        job and exits once the checkpoint is durable.
+        (SIGTERM or the ``control/drain`` file) checkpoints every
+        running job and exits once all checkpoints are durable.
         """
         self.start()
         started = time.monotonic()
@@ -287,7 +448,7 @@ class SchedulerDaemon:
             while True:
                 self.tick()
                 now = time.monotonic()
-                if self._draining and self.running is None:
+                if self._draining and not self._busy():
                     self.store.append_meta("drain", clean=True)
                     logger.info("drained: %d job(s) left queued",
                                 len(self.queue))
@@ -305,7 +466,12 @@ class SchedulerDaemon:
                             return
                     else:
                         idle_since = None
-                time.sleep(self.poll_s)
+                # Workers wake the loop early at spec boundaries; the
+                # poll interval only bounds how late control files and
+                # watchdog checks can be noticed.
+                if self.poll_s > 0:
+                    self._wake.wait(self.poll_s)
+                self._wake.clear()
         finally:
             self.shutdown()
 
@@ -313,32 +479,50 @@ class SchedulerDaemon:
         """Tick until there is nothing left to do (tests, drains)."""
         self.start()
         deadline = time.monotonic() + timeout_s
-        while not self._idle() or (self._draining and self.running):
+        # Event-driven wakeup with adaptive backoff: slot threads set
+        # ``_wake`` at every spec boundary, so the loop sleeps until
+        # there is work instead of spinning at a fixed 100 Hz.
+        backoff = 0.0005
+        max_wait = max(self.poll_s, 0.02)
+        while not self._idle() or (self._draining and self._busy()):
             if time.monotonic() >= deadline:
                 raise ServiceError(
                     f"daemon did not go idle within {timeout_s:.3g}s")
             self.tick()
-            if not self._idle():
-                time.sleep(min(self.poll_s, 0.01))
+            if self._busy():
+                if self._wake.wait(backoff):
+                    self._wake.clear()
+                    backoff = 0.0005
+                else:
+                    backoff = min(backoff * 2, max_wait)
+            else:
+                backoff = 0.0005
         # One final pass so trailing control files are honored.
         self.tick()
 
     def _idle(self) -> bool:
-        return (self.running is None and not self.queue
+        return (not self._busy() and not self.queue
                 and not any(p.name.endswith(".json")
                             and not p.name.endswith(".rejected.json")
                             for p in self.spool_dir.glob("*.json")))
 
     def request_drain(self) -> None:
-        """Graceful shutdown: checkpoint the running job, keep the rest
-        queued (durably), and let :meth:`serve` exit."""
+        """Graceful shutdown: checkpoint every running job, keep the
+        rest queued (durably), and let :meth:`serve` exit."""
         self._draining = True
-        if self.running is not None and not self.running.preempt.is_set():
-            self.running.preempted_by = None
-            self.running.preempt.set()
+        for run in self.slots:
+            if run is not None and not run.preempt.is_set():
+                run.preempted_by = None
+                run.preempt.set()
 
     def shutdown(self) -> None:
         """Close the store and drop the pid lock (not a drain)."""
+        # Deferred acts belong to a tick that never committed; a real
+        # crash would have lost them too, and the restart redoes them.
+        self._deferred.clear()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
         self._release_lock()
         try:
             (self.control_dir / "drain").unlink()
@@ -346,6 +530,25 @@ class SchedulerDaemon:
             pass
         self.store.close()
         self._started = False
+
+    def emergency_stop(self) -> None:
+        """Kill pool worker processes, nothing else.
+
+        ``chimera serve`` calls this before ``os._exit`` on an injected
+        crash: the parent models ``kill -9``, and a real SIGKILL of the
+        process group would take the forked workers with it. Without
+        this, orphaned workers keep the inherited stdio pipes open and
+        stall anything capturing the daemon's output.
+        """
+        procs = list(self._pool_procs)
+        pool = self._pool
+        if pool is not None:
+            procs.extend(getattr(pool, "_processes", {}).values())
+        for proc in procs:
+            try:
+                proc.kill()
+            except Exception:  # noqa: BLE001 - already-dead processes
+                pass
 
     # ------------------------------------------------------------------
     # intake
@@ -360,9 +563,28 @@ class SchedulerDaemon:
         try:
             _atomic_write_json(beacon, {"pid": os.getpid(),
                                         "t": round(time.time(), 3),
-                                        "draining": self._draining})
+                                        "draining": self._draining,
+                                        "workers": self.workers,
+                                        "slots": self._slots_snapshot()})
         except OSError:  # pragma: no cover - beacon is advisory
             pass
+
+    def _slots_snapshot(self) -> List[Dict[str, Any]]:
+        """Per-slot occupancy for the beacon / ``chimera status``."""
+        now = time.monotonic()
+        snapshot: List[Dict[str, Any]] = []
+        for slot, run in enumerate(self.slots):
+            if run is None:
+                snapshot.append({"slot": slot, "job_id": None})
+            else:
+                snapshot.append({
+                    "slot": slot,
+                    "job_id": run.job.job_id,
+                    "checkpoint": run.completed,
+                    "specs": len(run.job.specs),
+                    "heartbeat_age_s": round(now - run.heartbeat, 3),
+                })
+        return snapshot
 
     def _scan_spool(self) -> None:
         """Admit (or reject, with reason) new submissions."""
@@ -396,7 +618,8 @@ class SchedulerDaemon:
                 continue
             # Durability: journal QUEUED (with the full job description,
             # making the journal self-contained) before consuming the
-            # spool file.
+            # spool file — the unlink is the act, deferred to the
+            # group commit.
             seq = self.store.append_transition(
                 job_id, None, JobState.QUEUED,
                 {"specs": [spec_to_dict(s) for s in specs],
@@ -405,7 +628,8 @@ class SchedulerDaemon:
                       submit_seq=seq)
             self.table.jobs[job_id] = job
             self.queue.push(job)
-            path.unlink(missing_ok=True)
+            self._deferred.append(
+                lambda p=path: p.unlink(missing_ok=True))
             logger.info("admitted %s (priority %d, %d spec(s))",
                         job_id, priority, len(specs))
 
@@ -426,11 +650,13 @@ class SchedulerDaemon:
             if job is None or is_terminal(job.state):
                 path.unlink(missing_ok=True)
                 continue
-            if self.running is not None and self.running.job is job:
+            run = next((r for r in self.slots
+                        if r is not None and r.job is job), None)
+            if run is not None:
                 # The marker stays until the worker acknowledges and
                 # KILLED is journaled, so a crash in between re-delivers
                 # the cancellation after restart.
-                self.running.cancel.set()
+                run.cancel.set()
                 continue
             self.store.append_transition(
                 job_id, job.state, JobState.KILLED,
@@ -438,110 +664,155 @@ class SchedulerDaemon:
             job.advance(JobState.KILLED)
             job.detail = {"reason": "cancelled"}
             self.queue.remove(job_id)
-            path.unlink(missing_ok=True)
+            self._deferred.append(
+                lambda p=path: p.unlink(missing_ok=True))
             logger.info("killed %s (cancelled while %s)", job_id, job.state)
 
     # ------------------------------------------------------------------
     # supervision
     # ------------------------------------------------------------------
 
-    def _supervise_running(self) -> None:
-        run = self.running
-        if run is None:
-            return
-        job = run.job
-        if run.outcome is None:
-            if time.monotonic() - run.heartbeat > self.heartbeat_s:
-                # Watchdog: the worker went silent. Journal the failure,
-                # abandon the thread (it may be wedged in a spec), and
-                # free the slot — the PR 5 guard pattern at daemon scale.
+    def _supervise_slots(self) -> None:
+        for slot, run in enumerate(self.slots):
+            if run is None:
+                continue
+            job = run.job
+            if run.outcome is None:
+                if time.monotonic() - run.heartbeat > self.heartbeat_s:
+                    # Watchdog: this slot's worker went silent. Journal
+                    # the failure, abandon the thread (it may be wedged
+                    # in a spec), and free the slot — the PR 5 guard
+                    # pattern at daemon scale. Other slots are
+                    # untouched: supervision is per-slot.
+                    self.store.append_transition(
+                        job.job_id, job.state, JobState.FAILED,
+                        {"reason": "heartbeat-lost",
+                         "heartbeat_s": self.heartbeat_s,
+                         "completed": run.completed})
+                    job.advance(JobState.FAILED)
+                    job.detail = {"reason": "heartbeat-lost"}
+                    run.abandoned = True
+                    run.cancel.set()
+                    self.slots[slot] = None
+                    logger.warning(
+                        "watchdog: worker for %s (slot %d) silent > %.3gs; "
+                        "job failed", job.job_id, slot, self.heartbeat_s)
+                continue
+            kind, info = run.outcome
+            job.completed = run.completed
+            self.slots[slot] = None
+            if kind == "completed":
+                payload = self._finalize_result(job)
+                self.store.append_transition(job.job_id, job.state,
+                                             JobState.COMPLETED, payload)
+                job.advance(JobState.COMPLETED)
+                job.detail = payload
+                logger.info("completed %s (%d spec(s))", job.job_id,
+                            len(job.specs))
+            elif kind == "preempted":
+                self.store.append_transition(
+                    job.job_id, job.state, JobState.PREEMPTED,
+                    {"completed": run.completed, "by": run.preempted_by,
+                     "reason": "drain" if run.preempted_by is None
+                     else "priority"})
+                job.advance(JobState.PREEMPTED)
+                self.queue.push(job)
+                logger.info("preempted %s at spec %d/%d (by %s)", job.job_id,
+                            run.completed, len(job.specs),
+                            run.preempted_by or "drain")
+            elif kind == "killed":
+                self.store.append_transition(
+                    job.job_id, job.state, JobState.KILLED,
+                    {"reason": "cancelled", "completed": run.completed})
+                job.advance(JobState.KILLED)
+                job.detail = {"reason": "cancelled"}
+                marker = self.spool_dir / f"{job.job_id}.cancel"
+                self._deferred.append(
+                    lambda p=marker: p.unlink(missing_ok=True))
+            elif kind == "failed":
                 self.store.append_transition(
                     job.job_id, job.state, JobState.FAILED,
-                    {"reason": "heartbeat-lost",
-                     "heartbeat_s": self.heartbeat_s,
-                     "completed": run.completed})
+                    {"error": str(info), "completed": run.completed})
                 job.advance(JobState.FAILED)
-                job.detail = {"reason": "heartbeat-lost"}
-                run.abandoned = True
-                run.cancel.set()
-                self.running = None
-                logger.warning("watchdog: worker for %s silent > %.3gs; "
-                               "job failed", job.job_id, self.heartbeat_s)
-            return
-        kind, info = run.outcome
-        job.completed = run.completed
-        self.running = None
-        if kind == "completed":
-            payload = self._finalize_result(job)
-            self.store.append_transition(job.job_id, job.state,
-                                         JobState.COMPLETED, payload)
-            job.advance(JobState.COMPLETED)
-            job.detail = payload
-            logger.info("completed %s (%d spec(s))", job.job_id,
-                        len(job.specs))
-        elif kind == "preempted":
-            self.store.append_transition(
-                job.job_id, job.state, JobState.PREEMPTED,
-                {"completed": run.completed, "by": run.preempted_by,
-                 "reason": "drain" if run.preempted_by is None
-                 else "priority"})
-            job.advance(JobState.PREEMPTED)
-            self.queue.push(job)
-            logger.info("preempted %s at spec %d/%d (by %s)", job.job_id,
-                        run.completed, len(job.specs),
-                        run.preempted_by or "drain")
-        elif kind == "killed":
-            self.store.append_transition(
-                job.job_id, job.state, JobState.KILLED,
-                {"reason": "cancelled", "completed": run.completed})
-            job.advance(JobState.KILLED)
-            job.detail = {"reason": "cancelled"}
-            (self.spool_dir / f"{job.job_id}.cancel").unlink(missing_ok=True)
-        elif kind == "failed":
-            self.store.append_transition(
-                job.job_id, job.state, JobState.FAILED,
-                {"error": str(info), "completed": run.completed})
-            job.advance(JobState.FAILED)
-            job.detail = {"error": str(info)}
-            logger.warning("job %s failed: %s", job.job_id, info)
-        else:  # pragma: no cover - worker writes only the kinds above
-            raise ServiceError(f"unknown worker outcome {kind!r}")
+                job.detail = {"error": str(info)}
+                logger.warning("job %s failed: %s", job.job_id, info)
+            else:  # pragma: no cover - worker writes only the kinds above
+                raise ServiceError(f"unknown worker outcome {kind!r}")
 
     def _maybe_preempt(self) -> None:
-        run = self.running
-        if run is None or run.preempt.is_set():
+        """Cross-slot victim selection (Chimera's cheapest-victim cost).
+
+        Only fires when every slot is busy — a free slot serves the
+        challenger without violence. The strongest waiting jobs are
+        matched greedily against the cheapest victims: lowest priority
+        first, then least completed-but-unmerged work (cheapest
+        checkpoint to carry), then longest into its current spec
+        (nearest its next boundary, so the yield lands soonest).
+        """
+        if self._draining or any(run is None for run in self.slots):
             return
-        best = self.queue.peek()
-        if best is not None and best.priority > run.job.priority:
-            run.preempted_by = best.job_id
-            run.preempt.set()
-            logger.info("preemption requested: %s (prio %d) yields to %s "
-                        "(prio %d)", run.job.job_id, run.job.priority,
-                        best.job_id, best.priority)
+        challengers = self.queue.top(len(self.slots))
+        if not challengers:
+            return
+        now = time.monotonic()
+        victims = [run for run in self.slots
+                   if run is not None and run.outcome is None
+                   and not run.preempt.is_set() and not run.abandoned]
+        victims.sort(key=lambda run: (
+            run.job.priority,
+            run.completed - run.base_completed,
+            -(now - run.heartbeat),
+            run.slot))
+        vi = 0
+        for challenger in challengers:
+            if vi >= len(victims):
+                break
+            victim = victims[vi]
+            if victim.job.priority >= challenger.priority:
+                # Victims are cost-sorted (priority first) and the
+                # challengers strength-sorted: if the strongest waiter
+                # cannot beat the cheapest victim, nobody can.
+                break
+            victim.preempted_by = challenger.job_id
+            victim.preempt.set()
+            vi += 1
+            logger.info("preemption requested: %s (prio %d, slot %d) yields "
+                        "to %s (prio %d)", victim.job.job_id,
+                        victim.job.priority, victim.slot,
+                        challenger.job_id, challenger.priority)
 
     def _dispatch(self) -> None:
-        if self.running is not None or self._draining or not self.queue:
+        if self._draining:
             return
-        job = self.queue.pop()
-        if job.state is JobState.QUEUED:
-            self.store.append_transition(job.job_id, JobState.QUEUED,
-                                         JobState.ADMITTED,
-                                         {"ordinal": self._ordinal})
-            job.advance(JobState.ADMITTED)
-        next_state = (JobState.RESUMED if job.state is JobState.PREEMPTED
-                      else JobState.RUNNING)
-        job.ordinal = self._ordinal
-        self._ordinal += 1
-        self.store.append_transition(
-            job.job_id, job.state, next_state,
-            {"completed": job.completed, "ordinal": job.ordinal})
-        job.advance(next_state)
-        run = _RunningJob(job)
-        run.thread = threading.Thread(
-            target=self._worker_main, args=(run,), daemon=True,
-            name=f"chimera-worker-{job.job_id}")
-        self.running = run
-        run.thread.start()
+        for slot, occupant in enumerate(self.slots):
+            if occupant is not None:
+                continue
+            if not self.queue:
+                return
+            job = self.queue.pop()
+            if job.state is JobState.QUEUED:
+                self.store.append_transition(job.job_id, JobState.QUEUED,
+                                             JobState.ADMITTED,
+                                             {"ordinal": self._ordinal})
+                job.advance(JobState.ADMITTED)
+            next_state = (JobState.RESUMED if job.state is JobState.PREEMPTED
+                          else JobState.RUNNING)
+            job.ordinal = self._ordinal
+            self._ordinal += 1
+            job.slot = slot
+            self.store.append_transition(
+                job.job_id, job.state, next_state,
+                {"completed": job.completed, "ordinal": job.ordinal,
+                 "slot": slot})
+            job.advance(next_state)
+            run = _RunningJob(job, slot)
+            run.thread = threading.Thread(
+                target=self._worker_main, args=(run,), daemon=True,
+                name=f"chimera-worker-s{slot}-{job.job_id}")
+            self.slots[slot] = run
+            # Journal-before-act: the thread starts only after the
+            # RUNNING/RESUMED record is fsync'd by the group commit.
+            self._deferred.append(run.thread.start)
 
     # ------------------------------------------------------------------
     # the worker
@@ -551,7 +822,7 @@ class SchedulerDaemon:
         """Execute the job's remaining specs, yielding at boundaries."""
         job = run.job
         try:
-            if faults.worker_hang_fires(job.ordinal):
+            if faults.worker_hang_fires(run.slot):
                 time.sleep(faults.hang_seconds())
             for i in range(run.completed, len(job.specs)):
                 if run.cancel.is_set():
@@ -570,25 +841,55 @@ class SchedulerDaemon:
             run.outcome = ("completed", len(job.specs))
         except Exception as exc:  # noqa: BLE001 - reported, not raised
             run.outcome = ("failed", f"{type(exc).__name__}: {exc}")
+        finally:
+            self._wake.set()
 
     def _execute_spec(self, job: Job, index: int) -> Dict[str, Any]:
-        """Run one spec (through the shared result cache) and summarize."""
+        """Run one spec (through the shared result cache) and summarize.
+
+        Cache hits are served in the slot thread (cheap, no pickling);
+        misses go to the process pool when one exists, otherwise they
+        run inline.
+        """
         spec = job.specs[index]
         key = spec.cache_key()
         entry = self.cache.get(key)
         if entry is not None:
             result, duration = entry.result, entry.duration_s
+            summary = {"duration_s": round(duration, 6),
+                       "qos": result_qos(result),
+                       "slo": result_slo(result)}
+        elif self._pool is not None:
+            summary = self._submit_to_pool(spec)
         else:
             result, duration = execute_timed(spec)
             self.cache.put(key, result, duration)
-        return {
-            "index": index,
-            "spec": spec.describe(),
-            "key": key,
-            "duration_s": round(duration, 6),
-            "qos": result_qos(result),
-            "slo": result_slo(result),
-        }
+            summary = {"duration_s": round(duration, 6),
+                       "qos": result_qos(result),
+                       "slo": result_slo(result)}
+        return {"index": index, "spec": spec.describe(), "key": key,
+                **summary}
+
+    def _submit_to_pool(self, spec: RunSpec) -> Dict[str, Any]:
+        """Execute one spec in the process pool."""
+        with self._pool_lock:
+            pool = self._pool
+        if pool is None:  # pragma: no cover - pool torn down mid-flight
+            raise ServiceError("worker pool is not running")
+        try:
+            future = pool.submit(_process_spec, spec,
+                                 str(self.cache.directory),
+                                 self.cache.enabled)
+            return future.result()
+        except BrokenProcessPool as exc:  # pragma: no cover - worker death
+            with self._pool_lock:
+                if self._pool is pool:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    self._pool = None
+                    if self._started:
+                        self._start_pool()
+            raise ServiceError(
+                f"worker process died executing spec: {exc}") from exc
 
     def _spec_result_path(self, job: Job, index: int) -> Path:
         return self.results_dir / f"{job.job_id}.d" / f"spec-{index}.json"

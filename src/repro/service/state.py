@@ -111,8 +111,15 @@ class Job:
     state: JobState = JobState.QUEUED
     #: Specs executed so far (the durable checkpoint).
     completed: int = 0
-    #: Admission order, assigned by the daemon; targets ``hang-worker``.
+    #: Admission order, assigned by the daemon at each dispatch.
     ordinal: int = -1
+    #: Execution slot of the last dispatch (-1: never dispatched);
+    #: rides on every RUNNING/RESUMED payload so replay knows where
+    #: each job last ran (and ``hang-worker@slot`` targets it).
+    slot: int = -1
+    #: Times this job re-entered the queue after its creation record
+    #: (crash-recovery re-queues); replay derives it from the journal.
+    requeues: int = 0
     #: FIFO tiebreaker within a priority level (journal seq of QUEUED).
     submit_seq: int = 0
     #: Set on a terminal transition: error text, kill reason, ...

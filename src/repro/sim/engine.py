@@ -124,6 +124,27 @@ class Engine:
         """Schedule ``callback`` to fire at absolute ``time``."""
         return self.schedule(time - self._now, callback, label)
 
+    def schedule_at_exact(self, time: float, callback: Callable[[], None],
+                          label: Label = "") -> Event:
+        """Schedule ``callback`` at *exactly* absolute ``time``.
+
+        :meth:`schedule_at` reconstructs the timestamp as
+        ``now + (time - now)``, which can differ from ``time`` by an
+        ulp once ``now`` is nonzero. Chained schedulers (each event
+        scheduling the next from a precomputed timeline) need the exact
+        value, or replays stop being bit-identical to the
+        schedule-everything-up-front form.
+        """
+        if time < self._now:
+            text = label() if callable(label) else label
+            raise SimulationError(
+                f"cannot schedule event {text!r} in the past "
+                f"(time={time}, now={self._now})")
+        event = Event(time, next(self._seq), callback, label, engine=self)
+        heapq.heappush(self._queue, (event.time, event.seq, event))
+        self._live += 1
+        return event
+
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the queue is empty."""
         while self._queue and self._queue[0][2].cancelled:

@@ -102,6 +102,30 @@ class TestRunTraffic:
                          for t in report["tenants"].values())
         assert per_tenant == report["arrivals"]
 
+    def test_arrival_events_are_scheduled_lazily(self, monkeypatch):
+        """Each arrival schedules the next: the engine never holds
+        O(stream) pending arrival events (or their closures) before the
+        replay starts."""
+        from repro.harness import runner as runner_mod
+
+        scenario = tiny_scenario()
+        stream = scenario.stream(9)
+        assert len(stream) > 20
+        seen = {}
+        original = runner_mod.SimSystem.run
+
+        def spy(self, *args, **kwargs):
+            seen["pending"] = self.engine.pending_events
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(runner_mod.SimSystem, "run", spy)
+        result = run_traffic(scenario, seed=9, config=small_config(),
+                             target_kernel_us=60.0)
+        assert len(result.outcomes) == len(stream)
+        # Only the chain head plus the fixed start() machinery is
+        # pending — not one event per arrival.
+        assert seen["pending"] < min(10, len(stream) // 2)
+
     def test_replay_is_deterministic(self):
         scenario = tiny_scenario()
         first = run_traffic(scenario, seed=5, config=small_config(),

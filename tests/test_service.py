@@ -94,6 +94,9 @@ def _daemon(tmp_path, monkeypatch=None, executor=None, **kwargs):
     kwargs.setdefault("capacity", 8)
     kwargs.setdefault("heartbeat_s", 30.0)
     kwargs.setdefault("poll_s", 0.0)
+    # These tests pin the PR 7 single-slot semantics; multi-slot
+    # behavior is covered by test_daemon_slots.py.
+    kwargs.setdefault("workers", 1)
     kwargs.setdefault("cache", ResultCache(tmp_path / "cache",
                                            enabled=False))
     if executor is not None:
@@ -513,7 +516,7 @@ class TestDaemonLifecycle:
         monkeypatch.setattr("repro.service.daemon._pid_alive",
                             lambda pid: True)
         other = SchedulerDaemon(tmp_path / "svc", capacity=8,
-                                heartbeat_s=30.0,
+                                heartbeat_s=30.0, workers=1,
                                 cache=ResultCache(tmp_path / "c2",
                                                   enabled=False))
         with pytest.raises(ServiceError):
@@ -540,7 +543,7 @@ class TestCrashRecovery:
     def _run(self, svc, monkeypatch, submit):
         client = self._submit_all(svc) if submit else ServiceClient(svc)
         daemon = SchedulerDaemon(svc, capacity=8, heartbeat_s=30.0,
-                                 poll_s=0.0,
+                                 poll_s=0.0, workers=1,
                                  cache=ResultCache(svc / "cache",
                                                    enabled=False))
         monkeypatch.setattr("repro.service.daemon.execute_timed",
