@@ -205,6 +205,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exit once idle this long (smoke tests/CI)")
     serve.add_argument("--max-wall", type=_nonnegative_float, default=None,
                        metavar="S", help="hard wall-clock stop")
+    serve.add_argument("--queue-ttl", type=_nonnegative_float, default=None,
+                       metavar="S",
+                       help="expire jobs queued longer than this to "
+                            "timed-out (default: CHIMERA_QUEUE_TTL or "
+                            "0 = never)")
 
     submit = sub.add_parser(
         "submit", help="submit a job (a batch of runs) to the daemon")
@@ -227,11 +232,20 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--priority", type=int, default=0)
     submit.add_argument("--job-id", default=None,
                         help="explicit id (default: generated)")
+    submit.add_argument("--slo", type=_nonnegative_float, default=None,
+                        metavar="S",
+                        help="completion deadline budget in seconds; the "
+                             "daemon rejects up front (unmeetable-slo) "
+                             "when its estimates say it is already blown")
     submit.add_argument("--wait", action="store_true",
                         help="block until the job reaches a terminal "
                              "state; exit 1 unless it completed")
     submit.add_argument("--timeout", type=_nonnegative_float, default=300.0,
                         metavar="S", help="--wait timeout")
+    submit.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="with --wait: resubmit up to N times after "
+                             "transient overload rejections, honoring "
+                             "the daemon's retry_after_s hint")
 
     status = sub.add_parser(
         "status", help="inspect the service journal (daemon not required)")
@@ -709,7 +723,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     daemon = SchedulerDaemon(directory=args.dir, capacity=args.capacity,
                              heartbeat_s=args.heartbeat, poll_s=args.poll,
-                             workers=args.workers)
+                             workers=args.workers,
+                             queue_ttl_s=args.queue_ttl)
 
     def _on_sigterm(signum, frame):  # noqa: ARG001 - signal signature
         daemon.request_drain()
@@ -734,12 +749,22 @@ def cmd_submit(args: argparse.Namespace) -> int:
     from repro.service.state import JobState
 
     client = ServiceClient(args.dir)
-    job_id = client.submit(_submit_specs(args), priority=args.priority,
-                           job_id=args.job_id)
-    print(job_id)
-    if not args.wait:
-        return 0
-    final = client.wait(job_id, timeout_s=args.timeout)
+    specs = _submit_specs(args)
+    if args.wait and args.retries > 0:
+        import uuid
+
+        job_id = args.job_id or f"job-{uuid.uuid4().hex[:12]}"
+        print(job_id)
+        final = client.submit_and_wait(
+            specs, priority=args.priority, job_id=job_id, slo_s=args.slo,
+            timeout_s=args.timeout, retries=args.retries)
+    else:
+        job_id = client.submit(specs, priority=args.priority,
+                               job_id=args.job_id, slo_s=args.slo)
+        print(job_id)
+        if not args.wait:
+            return 0
+        final = client.wait(job_id, timeout_s=args.timeout)
     print(f"{job_id} {final}", file=sys.stderr)
     if final == "rejected":
         record = client.rejection(job_id) or {}
@@ -782,6 +807,23 @@ def cmd_status(args: argparse.Namespace) -> int:
             print(f"slot {entry['slot']:<14} {entry['job_id']} "
                   f"at {entry['checkpoint']}/{entry['specs']} "
                   f"(heartbeat {entry['heartbeat_age_s']:.3f}s ago)")
+    overload = snapshot.get("overload") or {}
+    brownout = overload.get("brownout") or {}
+    breaker = overload.get("breaker") or {}
+    depth = overload.get("queue_depth")
+    capacity = overload.get("queue_capacity")
+    oldest = overload.get("oldest_queued_age_s")
+    print(f"queue              "
+          f"{'-' if depth is None else depth}"
+          f"{'' if capacity is None else '/' + str(capacity)} waiting"
+          f"{'' if oldest is None else f', oldest {oldest:.3f}s'}")
+    print(f"brownout           {brownout.get('name', 'normal')} "
+          f"(level {brownout.get('level', 0)}); "
+          f"{overload.get('shed', 0)} shed, "
+          f"{overload.get('timed_out', 0)} expired")
+    print(f"breaker            {breaker.get('state', 'closed')}"
+          + (f" ({breaker['trips']} trip(s))"
+             if breaker.get("trips") else ""))
     qos = snapshot["qos"]
     print(f"qos ledger         {qos['totals']['preemptions']} preemptions, "
           f"{qos['totals']['violations']} violations "

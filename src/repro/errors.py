@@ -103,16 +103,20 @@ class AdmissionError(ServiceError):
     """A job submission was rejected at admission.
 
     ``reason`` is a machine-readable slug (``"capacity"``,
-    ``"duplicate"``, ``"invalid-spec"``) mirrored into the client's
-    rejection response, so backpressure is explicit rather than an
-    unbounded queue.
+    ``"duplicate"``, ``"invalid-spec"``, ``"unmeetable-slo"``,
+    ``"brownout"``) mirrored into the client's rejection response, so
+    backpressure is explicit rather than an unbounded queue.
+    ``retry_after_s``, when set, is a hint for how long the client
+    should wait before resubmitting (overload rejections); it rides on
+    the rejection record so retry loops can be polite without guessing.
     """
 
     def __init__(self, message: str, *, reason: str = "rejected",
-                 job_id=None):
+                 job_id=None, retry_after_s=None):
         super().__init__(message)
         self.reason = reason
         self.job_id = job_id
+        self.retry_after_s = retry_after_s
 
 
 class StoreError(ServiceError):

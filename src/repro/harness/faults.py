@@ -70,6 +70,24 @@ concurrently mid-dispatch (``crash-inflight``), or the execution slot
   sleeps instead of making progress, tripping the daemon's per-slot
   heartbeat watchdog
 
+Two overload-control kinds drive the daemon's graceful-degradation
+paths (:mod:`repro.service.overload`) deterministically:
+
+* ``slow-slot@slot[:factor]`` — specs executing on slot ``slot`` (or
+  every slot with ``*``) take ``factor``× their real wall time (default
+  8): the worker sleeps the difference after executing, so queue
+  pressure builds honestly and brownout/deadline admission paths fire
+  under test without wall-clock-scale workloads. A float-factor kind
+  like ``stall-drain``.
+* ``pool-break@k``            — the ``k``-th spec submitted to the
+  worker pool (0-based, counted process-locally like ``corrupt``)
+  raises :class:`InjectedPoolBreak` instead of executing, modeling a
+  broken process pool; the daemon's circuit breaker must count it,
+  open after K of them, and degrade to inline execution. ``k`` of
+  ``*`` breaks every pool submission while the fault is active;
+  ``pool-break@0,pool-break@1,pool-break@2`` breaks exactly the first
+  three.
+
 Daemon crash kinds raise :class:`InjectedCrash` (a ``BaseException``, so
 no library handler can swallow it); ``chimera serve`` converts it to a
 real ``os._exit`` so the process dies exactly like ``kill -9``, while
@@ -103,14 +121,16 @@ CRASH_EXIT_CODE = 13
 
 _KINDS = ("fail", "crash", "hang", "corrupt", "stall-drain",
           "corrupt-estimate", "crash-before-commit", "crash-after-commit",
-          "torn-journal", "crash-inflight", "hang-worker")
+          "torn-journal", "crash-inflight", "hang-worker", "slow-slot",
+          "pool-break")
 
 #: Daemon fault kinds that kill the process at a journal boundary.
 SERVICE_CRASH_KINDS = ("crash-before-commit", "crash-after-commit",
                        "torn-journal", "crash-inflight")
 
 #: Kinds whose trailing slot is a float factor, with their defaults.
-_SIM_FACTOR_DEFAULTS = {"stall-drain": 8.0, "corrupt-estimate": 0.25}
+_SIM_FACTOR_DEFAULTS = {"stall-drain": 8.0, "corrupt-estimate": 0.25,
+                        "slow-slot": 8.0}
 
 #: PID of the process that imported this module. Forked pool workers
 #: inherit the value, so a differing ``os.getpid()`` marks a worker.
@@ -119,6 +139,7 @@ _MAIN_PID = os.getpid()
 _installed: Optional["FaultPlan"] = None
 _env_cache: Tuple[Optional[str], Optional["FaultPlan"]] = (None, None)
 _put_seq = 0
+_pool_seq = 0
 
 
 class FaultInjected(ReproError):
@@ -139,6 +160,20 @@ class InjectedCrash(BaseException):
     def __init__(self, kind: str, seq: int):
         super().__init__(f"injected daemon crash: {kind} at journal seq {seq}")
         self.kind = kind
+        self.seq = seq
+
+
+class InjectedPoolBreak(ReproError):
+    """The ``pool-break`` fault fired on a worker-pool submission.
+
+    Modeled as an ordinary exception (unlike :class:`InjectedCrash`):
+    a broken pool is survivable — the daemon's circuit breaker counts
+    it and degrades to inline execution, which is exactly the path
+    under test.
+    """
+
+    def __init__(self, seq: int):
+        super().__init__(f"injected worker-pool break (submission {seq})")
         self.seq = seq
 
 
@@ -243,16 +278,18 @@ def parse_plan(text: str) -> FaultPlan:
 
 def install(plan: Union[FaultPlan, str]) -> None:
     """Install a process-local plan (overrides ``CHIMERA_FAULTS``)."""
-    global _installed, _put_seq
+    global _installed, _put_seq, _pool_seq
     _installed = parse_plan(plan) if isinstance(plan, str) else plan
     _put_seq = 0
+    _pool_seq = 0
 
 
 def clear() -> None:
-    """Remove any installed plan and reset the put counter."""
-    global _installed, _put_seq
+    """Remove any installed plan and reset the put/pool counters."""
+    global _installed, _put_seq, _pool_seq
     _installed = None
     _put_seq = 0
+    _pool_seq = 0
 
 
 @contextmanager
@@ -405,6 +442,50 @@ def service_inflight_crash(in_flight: int, seq: int) -> None:
         raise InjectedCrash("crash-inflight", seq)
 
 
+def slow_slot_factor(slot: int) -> Optional[float]:
+    """Service-time inflation factor for execution slot ``slot``, or
+    None when unfaulted.
+
+    The daemon's worker sleeps ``(factor - 1) × wall`` after executing
+    a spec on a faulted slot, so observed service times (and therefore
+    queue pressure, deadline admission, and brownout escalation) behave
+    as if the machine were ``factor``× slower — without wall-clock-scale
+    workloads in tests or CI.
+    """
+    return _sim_factor("slow-slot", slot)
+
+
+def has_pool_break() -> bool:
+    """Is any ``pool-break`` fault active?
+
+    The daemon consults this in thread-mode (no real process pool) to
+    decide whether spec execution should still route through the
+    breaker-guarded pool path so the fault has somewhere to fire.
+    """
+    plan = active_plan()
+    return plan is not None and any(f.kind == "pool-break"
+                                    for f in plan.faults)
+
+
+def inject_pool_break() -> None:
+    """Raise :class:`InjectedPoolBreak` if the plan breaks this
+    worker-pool submission. Counts submissions process-locally.
+
+    Called by the daemon immediately before handing a spec to the pool;
+    the counter resets on :func:`install`/:func:`clear` so
+    fixture-driven tests are deterministic. A no-op (that does not
+    count) when no ``pool-break`` fault is active.
+    """
+    global _pool_seq
+    plan = active_plan()
+    if plan is None or not any(f.kind == "pool-break" for f in plan.faults):
+        return
+    seq = _pool_seq
+    _pool_seq += 1
+    if plan.fires("pool-break", seq, 0):
+        raise InjectedPoolBreak(seq)
+
+
 def worker_hang_fires(slot: int) -> bool:
     """Should the worker on execution slot ``slot`` hang?
 
@@ -425,20 +506,24 @@ __all__ = [
     "FaultInjected",
     "FaultPlan",
     "InjectedCrash",
+    "InjectedPoolBreak",
     "SERVICE_CRASH_KINDS",
     "active_plan",
     "clear",
     "drain_stall_factor",
     "estimate_skew",
     "hang_seconds",
+    "has_pool_break",
     "in_worker",
     "inject_before_execute",
+    "inject_pool_break",
     "injected",
     "install",
     "parse_plan",
     "service_crash_point",
     "service_inflight_crash",
     "should_corrupt_put",
+    "slow_slot_factor",
     "torn_journal_fires",
     "worker_hang_fires",
 ]

@@ -36,7 +36,7 @@ from repro.errors import ConfigError
 from repro.metrics.metrics import antt, percentile, stp
 
 __all__ = ["ArrivalOutcome", "slo_report", "merge_slo_summaries",
-           "attainment_of"]
+           "attainment_of", "service_report"]
 
 #: Rounding applied to every float in a report (byte-stability).
 _ROUND = 4
@@ -260,6 +260,48 @@ def merge_slo_summaries(
         if horizon_us > 0 else 0.0,
         "latency_us": _merge_latency_blocks(latency_parts),
         "preemption_us": _merge_latency_blocks(preempt_parts),
+    }
+
+
+def service_report(jobs: Iterable[Any]) -> Dict[str, Any]:
+    """Job-level SLO accounting for the scheduling daemon.
+
+    Takes :class:`~repro.service.state.Job` records (anything with
+    ``state`` — a value-carrying enum or string — and ``priority``) and
+    counts terminal outcomes with overload's miss categories kept
+    **distinct**: a job shed by brownout (``shed``) or expired in the
+    queue (``timed_out``) is a miss the daemon *chose*, unlike
+    ``failed`` (the work broke) or ``killed`` (the client walked away).
+    ``attainment`` is completed over all terminal jobs; the per-priority
+    breakdown is what the overload acceptance criteria compare (high
+    priority must stay ≥ 0.9 while best-effort is shed).
+    """
+    def bucket() -> Dict[str, int]:
+        return {"completed": 0, "failed": 0, "killed": 0, "shed": 0,
+                "timed_out": 0, "live": 0}
+
+    overall = bucket()
+    by_priority: Dict[int, Dict[str, int]] = {}
+    slot = {"completed": "completed", "failed": "failed",
+            "killed": "killed", "shed": "shed", "timed-out": "timed_out"}
+    for job in jobs:
+        state = getattr(job.state, "value", job.state)
+        key = slot.get(state, "live")
+        overall[key] += 1
+        by_priority.setdefault(int(job.priority), bucket())[key] += 1
+
+    def finish(counts: Dict[str, int]) -> Dict[str, Any]:
+        terminal = sum(v for k, v in counts.items() if k != "live")
+        out: Dict[str, Any] = dict(counts)
+        out["terminal"] = terminal
+        out["attainment"] = round(
+            counts["completed"] / terminal if terminal else 0.0, _ROUND)
+        return out
+
+    return {
+        **finish(overall),
+        "priorities": {str(p): finish(c)
+                       for p, c in sorted(by_priority.items())},
     }
 
 

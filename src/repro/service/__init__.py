@@ -7,11 +7,15 @@ The service layer turns the batch harness into a long-running system:
   (journal-before-act durability; torn-tail repair; validated replay)
 * :mod:`repro.service.admission` — bounded priority queue with
   explicit backpressure
+* :mod:`repro.service.overload` — graceful degradation: deadline-aware
+  admission (service-time EWMA), brownout load shedding, queue-age
+  expiry, and the worker-pool circuit breaker
 * :mod:`repro.service.daemon` — the tick loop: intake, dispatch,
   collaborative spec-boundary preemption, heartbeat watchdog, recovery
 * :mod:`repro.service.client` — filesystem API: submit/status/cancel
 
-See DESIGN.md §12 for the architecture and the durability contract.
+See DESIGN.md §12 for the architecture and the durability contract,
+§15 for overload control.
 """
 
 from repro.service.admission import AdmissionQueue, default_capacity
@@ -22,19 +26,31 @@ from repro.service.daemon import (
     default_service_dir,
     reconcile_qos,
 )
+from repro.service.overload import (
+    BROWNOUT_LEVELS,
+    BrownoutController,
+    CircuitBreaker,
+    ServiceTimeEstimator,
+    default_queue_ttl,
+)
 from repro.service.state import Job, JobState, is_terminal, validate_transition
 from repro.service.store import JobTable, JournalStore
 
 __all__ = [
     "AdmissionQueue",
+    "BROWNOUT_LEVELS",
+    "BrownoutController",
+    "CircuitBreaker",
     "Job",
     "JobState",
     "JobTable",
     "JournalStore",
     "SchedulerDaemon",
     "ServiceClient",
+    "ServiceTimeEstimator",
     "default_capacity",
     "default_heartbeat",
+    "default_queue_ttl",
     "default_service_dir",
     "is_terminal",
     "reconcile_qos",

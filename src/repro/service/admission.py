@@ -16,9 +16,9 @@ from __future__ import annotations
 
 import heapq
 import os
-from typing import List, Optional, Tuple
+from typing import List, Optional, Set, Tuple
 
-from repro.errors import AdmissionError, ConfigError
+from repro.errors import AdmissionError, ConfigError, ServiceError
 from repro.service.state import Job
 
 __all__ = ["AdmissionQueue", "DEFAULT_CAPACITY", "default_capacity"]
@@ -51,6 +51,7 @@ class AdmissionQueue:
         if self.capacity < 1:
             raise ConfigError("admission queue capacity must be >= 1")
         self._heap: List[Tuple[Tuple[int, int], Job]] = []
+        self._ids: Set[str] = set()
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -71,12 +72,26 @@ class AdmissionQueue:
 
     def push(self, job: Job) -> None:
         """Enqueue an accepted job (capacity must have been checked —
-        recovery re-queues bypass the bound rather than drop state)."""
+        recovery re-queues bypass the bound rather than drop state).
+
+        A duplicate ``job_id`` is a daemon bug (double-queueing would
+        dispatch the same job twice) and raises ``ServiceError``.
+        """
+        if job.job_id in self._ids:
+            raise ServiceError(
+                f"job {job.job_id} is already queued; refusing duplicate "
+                f"push")
         heapq.heappush(self._heap, (job.sort_key(), job))
+        self._ids.add(job.job_id)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._ids
 
     def pop(self) -> Job:
         """Remove and return the best job."""
-        return heapq.heappop(self._heap)[1]
+        job = heapq.heappop(self._heap)[1]
+        self._ids.discard(job.job_id)
+        return job
 
     def peek(self) -> Optional[Job]:
         """The best job without removing it, or None when empty."""
@@ -94,15 +109,29 @@ class AdmissionQueue:
             n, self._heap, key=lambda kv: kv[0])]
 
     def remove(self, job_id: str) -> Optional[Job]:
-        """Remove a job by id (cancellation), or None if absent."""
+        """Remove a job by id (cancellation/shedding), or None if absent."""
         for i, (_, job) in enumerate(self._heap):
             if job.job_id == job_id:
                 self._heap[i] = self._heap[-1]
                 self._heap.pop()
                 heapq.heapify(self._heap)
+                self._ids.discard(job_id)
                 return job
         return None
 
     def jobs(self) -> List[Job]:
         """Snapshot in queue order (best first)."""
         return [job for _, job in sorted(self._heap, key=lambda kv: kv[0])]
+
+    def oldest_age_s(self, now: float) -> Optional[float]:
+        """Age in seconds of the longest-waiting job, or None when empty.
+
+        Uses each job's ``enqueued_t`` wall-clock stamp; jobs that never
+        got one (``enqueued_t == 0``) are ignored rather than reported
+        as decades old.
+        """
+        stamps = [job.enqueued_t for _, job in self._heap
+                  if job.enqueued_t > 0]
+        if not stamps:
+            return None
+        return max(0.0, now - min(stamps))

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import time
 import uuid
 from pathlib import Path
@@ -20,6 +21,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import AdmissionError, ServiceError
 from repro.harness.sweep import RunSpec
+from repro.metrics.slo import service_report
 from repro.service.daemon import (
     _atomic_write_json,
     default_service_dir,
@@ -28,7 +30,12 @@ from repro.service.daemon import (
 from repro.service.state import JobState, is_terminal
 from repro.service.store import JobTable, JournalStore, spec_to_dict
 
-__all__ = ["ServiceClient"]
+#: Rejection reasons worth resubmitting after a backoff (transient
+#: overload); anything else is permanent for this submission.
+RETRYABLE_REASONS = frozenset({"capacity", "brownout", "unmeetable-slo",
+                               "draining"})
+
+__all__ = ["RETRYABLE_REASONS", "ServiceClient"]
 
 
 class ServiceClient:
@@ -44,13 +51,21 @@ class ServiceClient:
     # -- submission ----------------------------------------------------
 
     def submit(self, specs: Sequence[RunSpec], priority: int = 0,
-               job_id: Optional[str] = None) -> str:
+               job_id: Optional[str] = None,
+               slo_s: Optional[float] = None) -> str:
         """Drop a job into the spool; returns its id.
 
+        ``slo_s`` declares the job's completion deadline budget
+        (seconds from submission); the daemon's deadline-aware
+        admission rejects the job up front (reason ``"unmeetable-slo"``)
+        when its service-time estimates say the budget is already blown.
+
         Raises :class:`~repro.errors.AdmissionError` immediately for a
-        duplicate id or an empty batch; capacity backpressure arrives
-        asynchronously as a ``spool/<id>.rejected.json`` record (see
-        :meth:`rejection`).
+        duplicate id or an empty batch; capacity/overload backpressure
+        arrives asynchronously as a ``spool/<id>.rejected.json`` record
+        (see :meth:`rejection`). Resubmitting an id whose previous
+        attempt was rejected is allowed — the stale rejection record is
+        retracted.
         """
         if not specs:
             raise AdmissionError("a job needs at least one spec",
@@ -60,16 +75,23 @@ class ServiceClient:
         if "/" in job_id or job_id.startswith("."):
             raise AdmissionError(f"invalid job id {job_id!r}",
                                  reason="invalid-spec", job_id=job_id)
+        if slo_s is not None and slo_s <= 0:
+            raise AdmissionError("slo_s must be > 0 seconds",
+                                 reason="invalid-spec", job_id=job_id)
         if (self.spool_dir / f"{job_id}.json").exists() \
                 or job_id in self._table().jobs:
             raise AdmissionError(f"job id {job_id!r} already exists",
                                  reason="duplicate", job_id=job_id)
         self.spool_dir.mkdir(parents=True, exist_ok=True)
-        _atomic_write_json(
-            self.spool_dir / f"{job_id}.json",
-            {"job_id": job_id, "priority": int(priority),
-             "specs": [spec_to_dict(s) for s in specs],
-             "t": round(time.time(), 3)})
+        payload = {"job_id": job_id, "priority": int(priority),
+                   "specs": [spec_to_dict(s) for s in specs],
+                   "t": round(time.time(), 3)}
+        if slo_s is not None:
+            payload["slo_s"] = float(slo_s)
+        # A lingering rejection record belongs to a *previous* attempt
+        # at this id; this submission supersedes it.
+        (self.spool_dir / f"{job_id}.rejected.json").unlink(missing_ok=True)
+        _atomic_write_json(self.spool_dir / f"{job_id}.json", payload)
         return job_id
 
     def cancel(self, job_id: str) -> bool:
@@ -106,10 +128,12 @@ class ServiceClient:
         job = self._table().jobs.get(job_id)
         if job is not None:
             return job.state.value
-        if (self.spool_dir / f"{job_id}.rejected.json").exists():
-            return "rejected"
+        # Pending beats rejected: a resubmission under the same id
+        # supersedes a stale rejection record from an earlier attempt.
         if (self.spool_dir / f"{job_id}.json").exists():
             return "pending"
+        if (self.spool_dir / f"{job_id}.rejected.json").exists():
+            return "rejected"
         return None
 
     def rejection(self, job_id: str) -> Optional[Dict[str, Any]]:
@@ -158,6 +182,24 @@ class ServiceClient:
                 (self.control_dir / "daemon.json").read_text())
         except (OSError, ValueError):
             pass
+        counts = table.counts()
+        # Live-daemon signals come from the beacon; durable ones
+        # (brownout level, shed/expired counts) from the journal, so
+        # the overload picture survives the daemon being down.
+        overload = {
+            "queue_depth": (beacon or {}).get("queue", {}).get("depth"),
+            "queue_capacity": (beacon or {}).get("queue", {}).get(
+                "capacity"),
+            "oldest_queued_age_s": (beacon or {}).get("queue", {}).get(
+                "oldest_age_s"),
+            "brownout": ((beacon or {}).get("brownout")
+                         or {"level": table.brownout_level,
+                             "name": table.brownout_name}),
+            "breaker": ((beacon or {}).get("breaker")
+                        or {"state": table.breaker_state}),
+            "shed": counts.get(JobState.SHED.value, 0),
+            "timed_out": counts.get(JobState.TIMED_OUT.value, 0),
+        }
         return {
             "directory": str(self.directory),
             "daemon": beacon,
@@ -165,7 +207,9 @@ class ServiceClient:
             "slots": (beacon or {}).get("slots"),
             "restarts": table.restarts,
             "transitions": table.transitions,
-            "counts": table.counts(),
+            "counts": counts,
+            "overload": overload,
+            "service": service_report(table.iter_jobs()),
             "jobs": jobs,
             "rejected": rejected,
             "qos": reconcile_qos(self.directory),
@@ -174,10 +218,22 @@ class ServiceClient:
     # -- waiting -------------------------------------------------------
 
     def wait(self, job_id: str, timeout_s: float = 60.0,
-             poll_s: float = 0.05) -> str:
+             poll_s: float = 0.05, max_poll_s: float = 1.0) -> str:
         """Block until ``job_id`` reaches a terminal state (or is
-        rejected); returns the final state name."""
+        rejected); returns the final state name.
+
+        Polls with jittered exponential backoff — ``poll_s`` doubling
+        up to ``max_poll_s``, each sleep scaled by a deterministic
+        per-(job, process) jitter in [0.5, 1.5) — so a fleet of waiting
+        clients neither hammers the journal at a fixed rate nor
+        synchronizes into polling bursts. The backoff resets whenever
+        the observed state changes (progress usually clusters).
+        """
+        rng = random.Random(f"{job_id}:{os.getpid()}")
         deadline = time.monotonic() + timeout_s
+        delay = max(poll_s, 1e-4)
+        max_poll_s = max(max_poll_s, delay)
+        last_state: Optional[str] = "unobserved"
         while True:
             state = self.job_state(job_id)
             if state == "rejected":
@@ -188,4 +244,56 @@ class ServiceClient:
             if time.monotonic() >= deadline:
                 raise ServiceError(
                     f"job {job_id} still {state!r} after {timeout_s:.3g}s")
-            time.sleep(poll_s)
+            if state != last_state:
+                delay = max(poll_s, 1e-4)
+                last_state = state
+            sleep = min(delay, max_poll_s) * (0.5 + rng.random())
+            sleep = min(sleep, max(deadline - time.monotonic(), 0.0))
+            if sleep > 0:
+                time.sleep(sleep)
+            delay = min(delay * 2, max_poll_s)
+
+    def submit_and_wait(self, specs: Sequence[RunSpec], priority: int = 0,
+                        job_id: Optional[str] = None,
+                        slo_s: Optional[float] = None,
+                        timeout_s: float = 60.0, poll_s: float = 0.05,
+                        retries: int = 0) -> str:
+        """Submit, wait, and politely retry overload rejections.
+
+        With ``retries > 0``, a rejection whose reason is transient
+        (``capacity``, ``brownout``, ``unmeetable-slo``, ``draining``)
+        is resubmitted after sleeping the daemon's ``retry_after_s``
+        hint (jittered; falling back to an exponential schedule when the
+        record carries none) — up to ``retries`` resubmissions within
+        the overall ``timeout_s`` budget. Returns the final state name
+        (``"rejected"`` once the retry budget or the deadline is
+        exhausted). Raises like :meth:`submit` for permanent errors.
+        """
+        if job_id is None:
+            job_id = f"job-{uuid.uuid4().hex[:12]}"
+        rng = random.Random(f"{job_id}:{os.getpid()}:retry")
+        deadline = time.monotonic() + timeout_s
+        attempt = 0
+        while True:
+            self.submit(specs, priority=priority, job_id=job_id,
+                        slo_s=slo_s)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceError(
+                    f"job {job_id} ran out of its {timeout_s:.3g}s budget "
+                    f"while submitting")
+            state = self.wait(job_id, timeout_s=remaining, poll_s=poll_s)
+            if state != "rejected":
+                return state
+            record = self.rejection(job_id) or {}
+            reason = record.get("reason")
+            if attempt >= retries or reason not in RETRYABLE_REASONS:
+                return state
+            attempt += 1
+            hint = record.get("retry_after_s")
+            if not isinstance(hint, (int, float)) or hint <= 0:
+                hint = min(poll_s * (2 ** attempt), 1.0)
+            sleep = float(hint) * (0.5 + rng.random())
+            sleep = min(sleep, max(deadline - time.monotonic(), 0.0))
+            if sleep > 0:
+                time.sleep(sleep)

@@ -57,6 +57,24 @@ Environment knobs:
 * ``CHIMERA_HEARTBEAT``        — worker heartbeat watchdog timeout in
   seconds (default 30); a worker silent for longer is declared lost and
   its job FAILED
+* ``CHIMERA_QUEUE_TTL``, ``CHIMERA_BROWNOUT_*``, ``CHIMERA_BREAKER_*``
+  — overload control (queue-age expiry, brownout watermarks, worker
+  pool circuit breaker); see :mod:`repro.service.overload`
+
+Overload control (DESIGN.md §15)
+--------------------------------
+Between slot supervision and preemption each tick runs
+:meth:`SchedulerDaemon._overload_control`: queued jobs past
+``CHIMERA_QUEUE_TTL`` expire to ``TIMED_OUT``; the brownout state
+machine folds in queue depth/age pressure and sheds whole priority
+classes to ``SHED`` when it escalates (every level change journaled, so
+restarts recover the level); the circuit breaker's state changes are
+journaled too. Admission adds two gates ahead of the capacity bound:
+the brownout level (reason ``"brownout"``) and a deadline check fed by
+a rolling service-time EWMA (reason ``"unmeetable-slo"``) — both
+rejections carry a ``retry_after_s`` hint. While the breaker is open,
+dispatch degrades to a single slot and cache misses run inline instead
+of in the pool; a half-open probe restores full concurrency.
 """
 
 from __future__ import annotations
@@ -83,6 +101,12 @@ from repro.harness.sweep import RunSpec, execute_timed
 from repro.metrics.qos import merge_qos_summaries
 from repro.metrics.slo import merge_slo_summaries
 from repro.service.admission import AdmissionQueue
+from repro.service.overload import (
+    BrownoutController,
+    CircuitBreaker,
+    ServiceTimeEstimator,
+    default_queue_ttl,
+)
 from repro.service.state import Job, JobState, is_terminal
 from repro.service.store import (
     JobTable,
@@ -238,7 +262,10 @@ class SchedulerDaemon:
                  cache: Optional[ResultCache] = None,
                  poll_s: float = 0.05,
                  workers: Optional[int] = None,
-                 use_processes: Optional[bool] = None):
+                 use_processes: Optional[bool] = None,
+                 queue_ttl_s: Optional[float] = None,
+                 brownout: Optional[BrownoutController] = None,
+                 breaker: Optional[CircuitBreaker] = None):
         self.directory = Path(directory if directory is not None
                               else default_service_dir())
         self.spool_dir = self.directory / "spool"
@@ -280,6 +307,21 @@ class SchedulerDaemon:
         #: Worker process handles, kept past pool shutdown so
         #: :meth:`emergency_stop` can kill them after a crash.
         self._pool_procs: List[Any] = []
+        # Overload control (DESIGN.md §15): deadline-aware admission,
+        # brownout shedding, queue-age expiry, pool circuit breaker.
+        self.estimator = ServiceTimeEstimator()
+        self.brownout = (BrownoutController.from_env() if brownout is None
+                         else brownout)
+        self.breaker = CircuitBreaker.from_env() if breaker is None \
+            else breaker
+        self.queue_ttl_s = (default_queue_ttl() if queue_ttl_s is None
+                            else float(queue_ttl_s))
+        if self.queue_ttl_s < 0:
+            raise ConfigError("queue_ttl_s must be >= 0")
+        #: Breaker state as last journaled; the tick thread journals
+        #: changes it observes (slot threads flip the breaker but must
+        #: never touch the journal — it is not thread-safe).
+        self._breaker_journaled = CircuitBreaker.CLOSED
 
     @property
     def running(self) -> Optional[_RunningJob]:
@@ -314,6 +356,17 @@ class SchedulerDaemon:
         self.slots = [None] * self.workers
         self.store.append_meta("daemon-start", pid=os.getpid(),
                                workers=self.workers)
+        if self.table.brownout_level:
+            # Mid-brownout crash: adopt the journaled level rather than
+            # resetting to normal under what is presumably still load.
+            self.brownout.restore(self.table.brownout_level)
+            logger.warning("recovered brownout level %d (%s) from journal",
+                           self.brownout.level, self.brownout.name)
+        if self.table.breaker_state != CircuitBreaker.CLOSED:
+            # The breaker guards *this* process's pool, which is fresh;
+            # journal the reset so replayed state matches reality.
+            self.store.append_meta("breaker", state=CircuitBreaker.CLOSED,
+                                   reason="restart-reset")
         self._recover()
         self._commit()
         if self.use_processes and self._pool is None:
@@ -383,6 +436,10 @@ class SchedulerDaemon:
                     job.job_id, job.state, JobState.QUEUED,
                     {"completed": job.completed, "reason": "crash-recovery"})
                 job.advance(JobState.QUEUED)
+                # It was *running*, not waiting: a fresh queue-age lease
+                # (jobs replayed as QUEUED/PREEMPTED keep their stamps —
+                # their wait genuinely spans the crash).
+                job.enqueued_t = time.time()
                 job.requeues += 1
                 requeued += 1
             # QUEUED and PREEMPTED jobs re-enter the queue as they stand
@@ -413,6 +470,7 @@ class SchedulerDaemon:
         self._scan_spool()
         self._scan_cancels()
         self._supervise_slots()
+        self._overload_control()
         self._maybe_preempt()
         self._dispatch()
         self._commit()
@@ -560,12 +618,25 @@ class SchedulerDaemon:
             self.request_drain()
         # Liveness beacon for clients (best-effort, never fsync'd).
         beacon = self.control_dir / "daemon.json"
+        oldest = self.queue.oldest_age_s(time.time())
         try:
-            _atomic_write_json(beacon, {"pid": os.getpid(),
-                                        "t": round(time.time(), 3),
-                                        "draining": self._draining,
-                                        "workers": self.workers,
-                                        "slots": self._slots_snapshot()})
+            _atomic_write_json(beacon, {
+                "pid": os.getpid(),
+                "t": round(time.time(), 3),
+                "draining": self._draining,
+                "workers": self.workers,
+                "effective_workers": self._effective_workers(),
+                "slots": self._slots_snapshot(),
+                "queue": {
+                    "depth": len(self.queue),
+                    "capacity": self.queue.capacity,
+                    "oldest_age_s": (None if oldest is None
+                                     else round(oldest, 3)),
+                },
+                "brownout": self.brownout.snapshot(),
+                "breaker": self.breaker.snapshot(),
+                "estimator": self.estimator.snapshot(),
+            })
         except OSError:  # pragma: no cover - beacon is advisory
             pass
 
@@ -597,13 +668,29 @@ class SchedulerDaemon:
                 path.unlink(missing_ok=True)
                 continue
             try:
-                payload = json.loads(path.read_text())
+                text = path.read_text()
+            except OSError as exc:
+                # Transient filesystem trouble (NFS hiccup, the writer's
+                # rename racing us) is not the client's fault: leave the
+                # submission for the next tick instead of rejecting it.
+                logger.debug("spool read of %s deferred: %s", path, exc)
+                continue
+            try:
+                payload = json.loads(text)
                 specs = tuple(spec_from_dict(d)
                               for d in payload.get("specs", ()))
                 if not specs:
                     raise ValueError("submission carries no specs")
                 priority = int(payload.get("priority", 0))
-            except Exception as exc:  # noqa: BLE001 - any damage rejects
+                slo_s = payload.get("slo_s")
+                if slo_s is not None:
+                    slo_s = float(slo_s)
+                    if slo_s <= 0:
+                        raise ValueError("slo_s must be > 0")
+            except (ValueError, TypeError, KeyError, AttributeError,
+                    ServiceError) as exc:
+                # Real decode/validation damage: the bytes are durable
+                # and wrong, so retrying cannot help — reject.
                 self._reject(path, job_id, "invalid-spec",
                              f"{type(exc).__name__}: {exc}")
                 continue
@@ -611,11 +698,31 @@ class SchedulerDaemon:
                 self._reject(path, job_id, "draining",
                              "daemon is draining; resubmit after restart")
                 continue
+            if not self.brownout.admits(priority):
+                self._reject(
+                    path, job_id, "brownout",
+                    f"daemon is in {self.brownout.name} brownout "
+                    f"(level {self.brownout.level}); priority {priority} "
+                    f"submissions are not being admitted",
+                    retry_after_s=self._retry_after_hint())
+                continue
             try:
                 self.queue.check_capacity(job_id)
             except AdmissionError as exc:
-                self._reject(path, job_id, exc.reason, str(exc))
+                self._reject(path, job_id, exc.reason, str(exc),
+                             retry_after_s=self._retry_after_hint())
                 continue
+            if slo_s is not None:
+                overrun = self._deadline_overrun_s(
+                    specs, priority, slo_s, payload.get("t"))
+                if overrun is not None:
+                    self._reject(
+                        path, job_id, "unmeetable-slo",
+                        f"estimated completion misses the {slo_s:.3g}s "
+                        f"SLO budget by {overrun:.3g}s; rejecting at "
+                        f"admission instead of queueing doomed work",
+                        retry_after_s=round(max(overrun, 0.05), 3))
+                    continue
             # Durability: journal QUEUED (with the full job description,
             # making the journal self-contained) before consuming the
             # spool file — the unlink is the act, deferred to the
@@ -626,6 +733,7 @@ class SchedulerDaemon:
                  "priority": priority})
             job = Job(job_id=job_id, specs=specs, priority=priority,
                       submit_seq=seq)
+            job.enqueued_t = time.time()
             self.table.jobs[job_id] = job
             self.queue.push(job)
             self._deferred.append(
@@ -634,14 +742,42 @@ class SchedulerDaemon:
                         job_id, priority, len(specs))
 
     def _reject(self, path: Path, job_id: str, reason: str,
-                detail: str) -> None:
-        """Backpressure: replace the submission with a rejection record."""
+                detail: str, retry_after_s: Optional[float] = None) -> None:
+        """Backpressure: replace the submission with a rejection record.
+
+        Overload rejections carry ``retry_after_s`` so a polite client
+        can back off exactly as long as the daemon expects to need.
+        """
+        record = {"job_id": job_id, "reason": reason, "detail": detail,
+                  "t": round(time.time(), 3)}
+        if retry_after_s is not None:
+            record["retry_after_s"] = retry_after_s
         _atomic_write_json(
-            self.spool_dir / f"{job_id}.rejected.json",
-            {"job_id": job_id, "reason": reason, "detail": detail,
-             "t": round(time.time(), 3)})
+            self.spool_dir / f"{job_id}.rejected.json", record)
         path.unlink(missing_ok=True)
         logger.warning("rejected %s: %s (%s)", job_id, reason, detail)
+
+    def _deadline_overrun_s(self, specs: Tuple[RunSpec, ...], priority: int,
+                            slo_s: float,
+                            submit_t: Optional[float]) -> Optional[float]:
+        """Seconds by which this job's estimated completion misses its
+        SLO deadline, or None when it fits (or the EWMA has no data —
+        admission stays permissive rather than rejecting on fiction)."""
+        service = self.estimator.estimate_specs(specs)
+        if service is None:
+            return None
+        wait = self._estimated_wait_s(priority)
+        if wait is None:
+            return None
+        now = time.time()
+        try:
+            deadline = float(submit_t) + slo_s
+        except (TypeError, ValueError):
+            deadline = now + slo_s
+        eta = now + wait + service
+        if eta <= deadline:
+            return None
+        return eta - deadline
 
     def _scan_cancels(self) -> None:
         for path in sorted(self.spool_dir.glob("*.cancel")):
@@ -716,6 +852,7 @@ class SchedulerDaemon:
                      "reason": "drain" if run.preempted_by is None
                      else "priority"})
                 job.advance(JobState.PREEMPTED)
+                job.enqueued_t = time.time()
                 self.queue.push(job)
                 logger.info("preempted %s at spec %d/%d (by %s)", job.job_id,
                             run.completed, len(job.specs),
@@ -738,6 +875,124 @@ class SchedulerDaemon:
                 logger.warning("job %s failed: %s", job.job_id, info)
             else:  # pragma: no cover - worker writes only the kinds above
                 raise ServiceError(f"unknown worker outcome {kind!r}")
+
+    # ------------------------------------------------------------------
+    # overload control
+    # ------------------------------------------------------------------
+
+    def _overload_control(self) -> None:
+        """Queue-age expiry, brownout level machine, breaker journaling.
+
+        Runs in the tick thread between supervision and preemption, so
+        every shed/expiry is journaled through the same group commit as
+        the rest of the tick and nothing races the slot threads.
+        """
+        now = time.time()
+        if self.queue_ttl_s > 0:
+            for job in self.queue.jobs():
+                if job.enqueued_t <= 0:
+                    continue
+                age = now - job.enqueued_t
+                if age > self.queue_ttl_s:
+                    self._expel(job, JobState.TIMED_OUT, {
+                        "reason": "queue-ttl", "age_s": round(age, 3),
+                        "ttl_s": self.queue_ttl_s,
+                        "completed": job.completed,
+                        "priority": job.priority})
+        change = self.brownout.observe(
+            len(self.queue), self.queue.capacity,
+            self.queue.oldest_age_s(now))
+        if change is not None:
+            self.store.append_meta(
+                "brownout", level=self.brownout.level,
+                name=self.brownout.name, depth=len(self.queue),
+                pressure=self.brownout.pressure)
+            log = logger.warning if change[1] > change[0] else logger.info
+            log("brownout %s: level %d -> %d (%s), pressure %.3f, "
+                "%d queued",
+                "escalated" if change[1] > change[0] else "eased",
+                change[0], change[1], self.brownout.name,
+                self.brownout.pressure, len(self.queue))
+        if self.brownout.level > 0:
+            for job in self.queue.jobs():
+                protected = (job.state is JobState.PREEMPTED
+                             or job.completed > 0)
+                if self.brownout.sheds(job.priority, protected):
+                    self._expel(job, JobState.SHED, {
+                        "reason": "brownout",
+                        "level": self.brownout.level,
+                        "name": self.brownout.name,
+                        "completed": job.completed,
+                        "priority": job.priority})
+        state = self.breaker.state
+        if state != self._breaker_journaled:
+            self.store.append_meta("breaker", state=state,
+                                   trips=self.breaker.trips,
+                                   probes=self.breaker.probes)
+            logger.warning("circuit breaker %s -> %s (%d trip(s))",
+                           self._breaker_journaled, state,
+                           self.breaker.trips)
+            self._breaker_journaled = state
+
+    def _expel(self, job: Job, new_state: JobState,
+               payload: Dict[str, Any]) -> None:
+        """Drop one queued job into a journaled overload terminal state."""
+        self.store.append_transition(job.job_id, job.state, new_state,
+                                     payload)
+        job.advance(new_state)
+        job.detail = dict(payload)
+        self.queue.remove(job.job_id)
+        logger.warning("%s %s (%s, priority %d)", new_state.value,
+                       job.job_id, payload.get("reason"), job.priority)
+
+    def _effective_workers(self) -> int:
+        """Slots dispatch may fill: all of them with a healthy pool,
+        one while the circuit breaker is open/probing (inline execution
+        shares the GIL, so fanning out buys nothing and hides the
+        degradation)."""
+        if self.breaker.state != CircuitBreaker.CLOSED:
+            return 1
+        return self.workers
+
+    def _estimated_wait_s(self, priority: int) -> Optional[float]:
+        """Estimated queue wait for a new job of ``priority``, or None
+        when the EWMA has no data for some job ahead of it.
+
+        Backlog = remaining specs on every busy slot plus every queued
+        job that would sort ahead (priority >= the candidate's — a new
+        submission always loses FIFO ties), divided by the slots
+        dispatch may currently fill.
+        """
+        backlog = 0.0
+        for run in self.slots:
+            if run is None:
+                continue
+            est = self.estimator.estimate_specs(
+                run.job.specs[run.completed:])
+            if est is None:
+                return None
+            backlog += est
+        for job in self.queue.jobs():
+            if job.priority < priority:
+                continue
+            est = self.estimator.estimate_specs(job.specs[job.completed:])
+            if est is None:
+                return None
+            backlog += est
+        return backlog / self._effective_workers()
+
+    def _retry_after_hint(self) -> float:
+        """How long a rejected client should wait before resubmitting:
+        the estimated time for the queue to drain to the brownout exit
+        watermark, floored by the level dwell."""
+        floor = max(self.brownout.dwell_s, 0.05)
+        mean = self.estimator.mean_estimate()
+        if mean is None or not len(self.queue):
+            return round(max(floor, 1.0), 3)
+        target = int(self.brownout.exit_frac * self.queue.capacity)
+        excess = max(1, len(self.queue) - target)
+        return round(max(floor, excess * mean / self._effective_workers()),
+                     3)
 
     def _maybe_preempt(self) -> None:
         """Cross-slot victim selection (Chimera's cheapest-victim cost).
@@ -784,7 +1039,11 @@ class SchedulerDaemon:
     def _dispatch(self) -> None:
         if self._draining:
             return
-        for slot, occupant in enumerate(self.slots):
+        # An open (or probing) circuit breaker degrades dispatch to a
+        # single slot; slots already busy keep draining their jobs.
+        limit = min(self._effective_workers(), len(self.slots))
+        for slot in range(limit):
+            occupant = self.slots[slot]
             if occupant is not None:
                 continue
             if not self.queue:
@@ -831,7 +1090,17 @@ class SchedulerDaemon:
                 if run.preempt.is_set():
                     run.outcome = ("preempted", i)
                     return
+                started = time.monotonic()
                 summary = self._execute_spec(job, i)
+                wall = max(0.0, time.monotonic() - started)
+                factor = faults.slow_slot_factor(run.slot)
+                if factor is not None and factor > 1.0:
+                    # slow-slot fault: this slot's machine is factor×
+                    # slower — sleep the difference so queue pressure
+                    # (and the EWMA) build honestly.
+                    time.sleep(wall * (factor - 1.0))
+                    wall *= factor
+                self.estimator.observe(job.specs[i], wall)
                 if run.abandoned:
                     # The watchdog already failed this job; stay silent.
                     return
@@ -847,21 +1116,43 @@ class SchedulerDaemon:
     def _execute_spec(self, job: Job, index: int) -> Dict[str, Any]:
         """Run one spec (through the shared result cache) and summarize.
 
-        Cache hits are served in the slot thread (cheap, no pickling);
-        misses go to the process pool when one exists, otherwise they
-        run inline.
+        Cache hits are served in the slot thread (cheap, no pickling).
+        Misses normally go to the process pool; the circuit breaker
+        guards that path — a :class:`BrokenProcessPool` (or an injected
+        ``pool-break``) counts as a breaker failure and the spec falls
+        back to inline execution, so jobs *survive* a sick pool at
+        degraded concurrency instead of failing.
         """
         spec = job.specs[index]
         key = spec.cache_key()
         entry = self.cache.get(key)
         if entry is not None:
             result, duration = entry.result, entry.duration_s
-            summary = {"duration_s": round(duration, 6),
-                       "qos": result_qos(result),
-                       "slo": result_slo(result)}
-        elif self._pool is not None:
-            summary = self._submit_to_pool(spec)
-        else:
+            return {"index": index, "spec": spec.describe(), "key": key,
+                    "duration_s": round(duration, 6),
+                    "qos": result_qos(result),
+                    "slo": result_slo(result)}
+        summary: Optional[Dict[str, Any]] = None
+        # Thread-mode daemons have no real pool; an active pool-break
+        # fault still routes misses through the breaker path so the
+        # breaker is exercisable without forked workers.
+        pool_candidate = self.use_processes or faults.has_pool_break()
+        if pool_candidate and self.breaker.allow_pool():
+            try:
+                summary = self._submit_to_pool(spec)
+            except (BrokenProcessPool, faults.InjectedPoolBreak) as exc:
+                opened = self.breaker.record_failure()
+                self._retire_pool()
+                logger.warning(
+                    "worker pool failed executing a spec of %s: %s%s",
+                    job.job_id, exc,
+                    " (circuit opened; degrading to inline execution)"
+                    if opened else "")
+            else:
+                if self.breaker.record_success():
+                    logger.info("breaker probe succeeded; full-slot "
+                                "dispatch restored")
+        if summary is None:
             result, duration = execute_timed(spec)
             self.cache.put(key, result, duration)
             summary = {"duration_s": round(duration, 6),
@@ -871,25 +1162,37 @@ class SchedulerDaemon:
                 **summary}
 
     def _submit_to_pool(self, spec: RunSpec) -> Dict[str, Any]:
-        """Execute one spec in the process pool."""
-        with self._pool_lock:
-            pool = self._pool
-        if pool is None:  # pragma: no cover - pool torn down mid-flight
-            raise ServiceError("worker pool is not running")
-        try:
-            future = pool.submit(_process_spec, spec,
-                                 str(self.cache.directory),
-                                 self.cache.enabled)
-            return future.result()
-        except BrokenProcessPool as exc:  # pragma: no cover - worker death
+        """Execute one spec through the (breaker-guarded) pool path.
+
+        Rebuilds the pool lazily when a half-open probe arrives after a
+        failure retired it. Thread-mode daemons (``use_processes=False``)
+        execute inline here — a surrogate pool that exists so injected
+        ``pool-break`` faults have a submission to break.
+        """
+        faults.inject_pool_break()
+        pool = None
+        if self.use_processes:
             with self._pool_lock:
-                if self._pool is pool:
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    self._pool = None
-                    if self._started:
-                        self._start_pool()
-            raise ServiceError(
-                f"worker process died executing spec: {exc}") from exc
+                if self._pool is None and self._started:
+                    self._start_pool()
+                pool = self._pool
+        if pool is None:
+            result, duration = execute_timed(spec)
+            self.cache.put(spec.cache_key(), result, duration)
+            return {"duration_s": round(duration, 6),
+                    "qos": result_qos(result),
+                    "slo": result_slo(result)}
+        future = pool.submit(_process_spec, spec,
+                             str(self.cache.directory),
+                             self.cache.enabled)
+        return future.result()
+
+    def _retire_pool(self) -> None:
+        """Tear down a broken pool; the next half-open probe rebuilds it."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     def _spec_result_path(self, job: Job, index: int) -> Path:
         return self.results_dir / f"{job.job_id}.d" / f"spec-{index}.json"

@@ -8,9 +8,12 @@ Every job the daemon hosts moves through an explicit state machine::
                          PREEMPTED -> RESUMED -> (as RUNNING)
 
 plus recovery edges back to ``QUEUED`` (a crash while a job was
-admitted/running re-queues it from its last durable transition).
-``COMPLETED``, ``KILLED``, and ``FAILED`` are terminal: a job reaches
-exactly one of them exactly once, and the journal replay enforces it.
+admitted/running re-queues it from its last durable transition), and two
+overload exits out of the queue itself: ``SHED`` (brownout load
+shedding dropped the job) and ``TIMED_OUT`` (it sat queued past
+``CHIMERA_QUEUE_TTL``). ``COMPLETED``, ``KILLED``, ``FAILED``,
+``SHED``, and ``TIMED_OUT`` are terminal: a job reaches exactly one of
+them exactly once, and the journal replay enforces it.
 
 Transitions are validated by :func:`validate_transition`; an illegal
 edge raises :class:`~repro.errors.JobStateError` whether it comes from
@@ -41,6 +44,8 @@ class JobState(str, Enum):
     COMPLETED = "completed"    # every spec executed, result durable
     KILLED = "killed"          # cancelled by the client
     FAILED = "failed"          # spec error or heartbeat loss
+    SHED = "shed"              # dropped by brownout load shedding
+    TIMED_OUT = "timed-out"    # expired in the queue (CHIMERA_QUEUE_TTL)
 
 
 #: Legal edges. Edges back to QUEUED are the crash-recovery re-queues:
@@ -48,29 +53,34 @@ class JobState(str, Enum):
 #: put back in the queue on restart (its execution is deterministic and
 #: idempotent through the result cache, so re-running loses nothing).
 TRANSITIONS: Dict[JobState, FrozenSet[JobState]] = {
-    JobState.QUEUED: frozenset({JobState.ADMITTED, JobState.KILLED}),
+    JobState.QUEUED: frozenset({JobState.ADMITTED, JobState.KILLED,
+                                JobState.SHED, JobState.TIMED_OUT}),
     JobState.ADMITTED: frozenset({JobState.RUNNING, JobState.KILLED,
                                   JobState.QUEUED}),
     JobState.RUNNING: frozenset({JobState.PREEMPTED, JobState.COMPLETED,
                                  JobState.FAILED, JobState.KILLED,
                                  JobState.QUEUED}),
     JobState.PREEMPTED: frozenset({JobState.RESUMED, JobState.KILLED,
-                                   JobState.FAILED, JobState.QUEUED}),
+                                   JobState.FAILED, JobState.QUEUED,
+                                   JobState.SHED, JobState.TIMED_OUT}),
     JobState.RESUMED: frozenset({JobState.PREEMPTED, JobState.COMPLETED,
                                  JobState.FAILED, JobState.KILLED,
                                  JobState.QUEUED}),
     JobState.COMPLETED: frozenset(),
     JobState.KILLED: frozenset(),
     JobState.FAILED: frozenset(),
+    JobState.SHED: frozenset(),
+    JobState.TIMED_OUT: frozenset(),
 }
 
 #: States a job can never leave.
 TERMINAL_STATES: FrozenSet[JobState] = frozenset(
-    {JobState.COMPLETED, JobState.KILLED, JobState.FAILED})
+    {JobState.COMPLETED, JobState.KILLED, JobState.FAILED,
+     JobState.SHED, JobState.TIMED_OUT})
 
 
 def is_terminal(state: JobState) -> bool:
-    """Is ``state`` one of the three terminal states?"""
+    """Is ``state`` one of the terminal states?"""
     return state in TERMINAL_STATES
 
 
@@ -122,6 +132,10 @@ class Job:
     requeues: int = 0
     #: FIFO tiebreaker within a priority level (journal seq of QUEUED).
     submit_seq: int = 0
+    #: Wall time the job last entered a queue-waiting state (QUEUED or
+    #: PREEMPTED); drives queue-age pressure and CHIMERA_QUEUE_TTL
+    #: expiry. Replay restores it from the record timestamp.
+    enqueued_t: float = 0.0
     #: Set on a terminal transition: error text, kill reason, ...
     detail: Dict[str, Any] = field(default_factory=dict)
 

@@ -310,6 +310,12 @@ class JobTable:
         #: Transition counts by (from, to) edge, for reporting.
         self.transitions: int = 0
         self.restarts: int = 0
+        #: Last journaled brownout level (meta ``brownout`` records);
+        #: restart recovery adopts it instead of resetting to normal.
+        self.brownout_level: int = 0
+        self.brownout_name: str = "normal"
+        #: Last journaled circuit-breaker state (meta ``breaker``).
+        self.breaker_state: str = "closed"
 
     @classmethod
     def from_records(cls, records: List[Dict[str, Any]]) -> "JobTable":
@@ -321,8 +327,15 @@ class JobTable:
     def apply(self, record: Dict[str, Any]) -> Optional[Job]:
         """Apply one replayed record, enforcing every invariant."""
         if record.get("type") == "meta":
-            if record.get("event") == "daemon-start":
+            event = record.get("event")
+            meta = record.get("payload") or {}
+            if event == "daemon-start":
                 self.restarts += 1
+            elif event == "brownout":
+                self.brownout_level = int(meta.get("level", 0))
+                self.brownout_name = str(meta.get("name", "normal"))
+            elif event == "breaker":
+                self.breaker_state = str(meta.get("state", "closed"))
             return None
         job_id = record.get("job")
         payload = record.get("payload") or {}
@@ -367,7 +380,12 @@ class JobTable:
             job.completed = int(payload["completed"])
         if "slot" in payload:
             job.slot = int(payload["slot"])
-        if new in (JobState.COMPLETED, JobState.FAILED, JobState.KILLED):
+        if new in (JobState.QUEUED, JobState.PREEMPTED):
+            # The record timestamp is when the job (re-)entered a
+            # queue-waiting state; queue-age pressure and TTL expiry
+            # survive restarts because replay restores it.
+            job.enqueued_t = float(record.get("t", 0.0))
+        if is_terminal(new):
             job.detail = dict(payload)
         self.transitions += 1
         return job
